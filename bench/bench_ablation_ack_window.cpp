@@ -1,0 +1,46 @@
+// Ablation (Section 4.2.1): SCReAM's RFC 8888 acknowledgment window — the
+// Ericsson library default of 64 packets vs the paper's mitigation of 256.
+// Post-handover arrival bursts larger than the window leave received packets
+// unacknowledged; SCReAM misreads them as losses and cuts its rate.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rpv;
+  bench::print_header("Ablation — SCReAM RFC 8888 ack window 64 vs 256",
+                      "IMC'22 Section 4.2.1 (implementation discussion)");
+
+  metrics::TextTable table{{"ack window", "environment", "goodput med (Mbps)",
+                            "misloss pkts/run", "queue discards/run",
+                            "latency<300ms (%)"}};
+
+  for (const int window : {64, 256}) {
+    for (const auto env :
+         {experiment::Environment::kUrban, experiment::Environment::kRuralP1}) {
+      auto campaign =
+          bench::video_campaign(env, pipeline::CcKind::kScream, 5);
+      campaign.scenario.rfc8888_ack_window = window;
+      const auto reports = experiment::run_campaign(campaign);
+      const auto goodput = experiment::pool_goodput(reports);
+      const auto latency = experiment::pool_playback_latency(reports);
+      double misloss = 0.0, discards = 0.0;
+      for (const auto& r : reports) {
+        misloss += static_cast<double>(r.scream_misloss_packets);
+        discards += static_cast<double>(r.queue_discard_events);
+      }
+      misloss /= static_cast<double>(reports.size());
+      discards /= static_cast<double>(reports.size());
+      table.add_row({std::to_string(window), experiment::environment_name(env),
+                     metrics::TextTable::num(goodput.median(), 2),
+                     metrics::TextTable::num(misloss, 0),
+                     metrics::TextTable::num(discards, 1),
+                     metrics::TextTable::num(
+                         100.0 * latency.fraction_below(300.0), 1)});
+    }
+  }
+
+  std::cout << "\n" << table.render();
+  std::cout << "\nPaper shape: the 64-packet window mislabels received packets "
+               "as lost during arrival bursts, needlessly lowering SCReAM's "
+               "bitrate; widening to 256 reduces those events.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation: it runs the relevant measurement campaign on the simulator and
+// prints the same rows/series the paper plots, so shapes can be compared
+// side by side (see EXPERIMENTS.md for the paper-vs-measured record).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "metrics/bootstrap.hpp"
+#include "metrics/summary.hpp"
+#include "metrics/text_table.hpp"
+
+namespace rpv::bench {
+
+inline constexpr int kDefaultRuns = 5;
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "Paper reference: " << paper_ref << "\n"
+            << "==============================================================\n";
+}
+
+// Boxplot-style row for a sample set.
+inline void add_summary_row(metrics::TextTable& table, const std::string& label,
+                            const std::vector<double>& samples, int precision = 2) {
+  const auto s = metrics::Summary::of(samples);
+  table.add_row({label, std::to_string(s.n), metrics::TextTable::num(s.min, precision),
+                 metrics::TextTable::num(s.q1, precision),
+                 metrics::TextTable::num(s.median, precision),
+                 metrics::TextTable::num(s.q3, precision),
+                 metrics::TextTable::num(s.max, precision),
+                 metrics::TextTable::num(s.mean, precision),
+                 std::to_string(s.outliers_hi)});
+}
+
+// "mean [lo, hi]" with a 95% bootstrap CI over the samples.
+inline std::string mean_with_ci(const std::vector<double>& samples,
+                                int precision = 2) {
+  const auto ci = metrics::bootstrap_mean_ci(samples);
+  return metrics::TextTable::num(ci.mean, precision) + " [" +
+         metrics::TextTable::num(ci.lo, precision) + ", " +
+         metrics::TextTable::num(ci.hi, precision) + "]";
+}
+
+inline metrics::TextTable summary_table(const std::string& value_name) {
+  return metrics::TextTable{
+      {value_name, "n", "min", "q1", "median", "q3", "max", "mean", "outliers"}};
+}
+
+// CDF series printed at fixed evaluation points.
+inline void print_cdf_rows(const std::string& label, const metrics::Cdf& cdf,
+                           const std::vector<double>& xs,
+                           const std::string& x_name) {
+  std::cout << "\n[" << label << "]  (" << x_name << " -> CDF)\n";
+  for (const double x : xs) {
+    std::cout << "  " << metrics::TextTable::num(x, 1) << "\t"
+              << metrics::TextTable::num(cdf.fraction_below(x), 4) << "\n";
+  }
+}
+
+inline experiment::Campaign video_campaign(experiment::Environment env,
+                                           pipeline::CcKind cc,
+                                           int runs = kDefaultRuns,
+                                           std::uint64_t seed = 1000) {
+  experiment::Campaign c;
+  c.scenario.env = env;
+  c.scenario.cc = cc;
+  c.scenario.mobility = experiment::Mobility::kAir;
+  c.scenario.seed = seed;
+  c.runs = runs;
+  return c;
+}
+
+inline experiment::Campaign probe_campaign(experiment::Environment env,
+                                           experiment::Mobility mobility,
+                                           int runs = kDefaultRuns,
+                                           std::uint64_t seed = 2000) {
+  experiment::Campaign c;
+  c.scenario.env = env;
+  c.scenario.mobility = mobility;
+  c.scenario.cc = pipeline::CcKind::kNone;
+  c.scenario.probe_interval = sim::Duration::millis(100);
+  c.scenario.seed = seed;
+  c.runs = runs;
+  return c;
+}
+
+}  // namespace rpv::bench

@@ -1,0 +1,72 @@
+// Extension (paper Section 5): multipath transport over two operators.
+// The paper motivates multipath (MPTCP/MP-QUIC style, or redundant duplication
+// as in its reference [9]) to mask single-operator outages; this bench
+// compares single-link rural delivery (P1) against duplicated delivery over
+// P1+P2 for every method.
+#include "bench_common.hpp"
+
+#include "experiment/scenario.hpp"
+#include "pipeline/multipath_session.hpp"
+#include <string>
+
+int main() {
+  using namespace rpv;
+  bench::print_header("Extension — multipath (P1+P2) vs single path (P1)",
+                      "IMC'22 Section 5 discussion; reference [9]");
+
+  metrics::TextTable table{{"method", "path", "latency<300ms (%)",
+                            "OWD p99 (ms)", "stalls/min", "SSIM>=0.5 (%)",
+                            "PER (%)"}};
+
+  for (const auto cc : {pipeline::CcKind::kStatic, pipeline::CcKind::kGcc}) {
+    std::vector<pipeline::SessionReport> single, dup, sched;
+    for (std::uint64_t k = 0; k < 4; ++k) {
+      experiment::Scenario s;
+      s.env = experiment::Environment::kRuralP1;
+      s.cc = cc;
+      s.seed = 3000 + k;
+      single.push_back(experiment::run_scenario(s));
+
+      for (const auto mode : {pipeline::MultipathMode::kDuplicate,
+                              pipeline::MultipathMode::kScheduled}) {
+        sim::Rng rng{s.seed * 0x9E3779B97F4A7C15ULL + 0x1234567};
+        auto layout_a = experiment::make_layout(s, rng);
+        experiment::Scenario s2 = s;
+        s2.env = experiment::Environment::kRuralP2;
+        auto layout_b = experiment::make_layout(s2, rng);
+        auto traj = experiment::make_trajectory(s, rng);
+        auto cfg = experiment::make_session_config(s);
+        pipeline::MultipathSession mp{cfg,  std::move(layout_a),
+                                      std::move(layout_b), &traj,
+                                      "rural-mp", mode};
+        (mode == pipeline::MultipathMode::kDuplicate ? dup : sched)
+            .push_back(mp.run());
+      }
+    }
+
+    for (const auto* label :
+         {"single(P1)", "duplicate(P1+P2)", "scheduled(P1+P2)"}) {
+      const std::string l = label;
+      const auto& rs = l == "single(P1)" ? single
+                       : l == "duplicate(P1+P2)" ? dup
+                                                 : sched;
+      const auto latency = experiment::pool_playback_latency(rs);
+      const auto owd = experiment::pool_owd(rs);
+      const auto ssim = experiment::pool_ssim(rs);
+      table.add_row(
+          {pipeline::cc_name(cc), label,
+           metrics::TextTable::num(100.0 * latency.fraction_below(300.0), 1),
+           metrics::TextTable::num(owd.quantile(0.99), 0),
+           metrics::TextTable::num(experiment::mean_stalls_per_minute(rs), 2),
+           metrics::TextTable::num(100.0 * ssim.fraction_at_least(0.5), 2),
+           metrics::TextTable::num(100.0 * experiment::mean_per(rs), 3)});
+    }
+  }
+
+  std::cout << "\n" << table.render();
+  std::cout << "\nExpected shape: duplication over uncorrelated operators "
+               "masks per-operator outages — fewer stalls, a shorter OWD "
+               "tail, and near-zero effective loss (paper ref [9] reports up "
+               "to 33% video-quality improvement from link diversity).\n";
+  return 0;
+}

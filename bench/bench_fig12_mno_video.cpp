@@ -1,0 +1,49 @@
+// Figure 12 (Appendix A.3): video delivery performance by operator in the
+// rural environment — goodput, FPS, playback latency, and SSIM per method
+// over P1 vs P2. Paper: larger P2 capacity improves goodput and SSIM, but
+// SCReAM performs significantly poorer with P2 at higher bitrates (the ack-
+// window limitation), so latency/FPS do not simply improve.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rpv;
+  bench::print_header("Figure 12 — MNO comparison of video delivery (rural)",
+                      "IMC'22 Fig. 12(a)-(d), Appendix A.3");
+
+  metrics::TextTable table{{"method-operator", "goodput med (Mbps)",
+                            "30FPS time (%)", "latency<300ms (%)",
+                            "SSIM med", "SSIM>=0.5 (%)"}};
+
+  for (const auto cc : {pipeline::CcKind::kGcc, pipeline::CcKind::kScream,
+                        pipeline::CcKind::kStatic}) {
+    for (const auto env : {experiment::Environment::kRuralP1,
+                           experiment::Environment::kRuralP2}) {
+      const std::string op =
+          env == experiment::Environment::kRuralP1 ? "P1" : "P2";
+      auto campaign = bench::video_campaign(env, cc, 4);
+      // The paper observed SCReAM's ack-window pathology especially at P2's
+      // higher bitrates; the campaign default of 256 already mitigates — use
+      // the library default of 64 here, as the A.3 measurements did.
+      campaign.scenario.rfc8888_ack_window = 64;
+      const auto reports = experiment::run_campaign(campaign);
+      const auto goodput = experiment::pool_goodput(reports);
+      const auto fps = experiment::pool_fps(reports);
+      const auto latency = experiment::pool_playback_latency(reports);
+      const auto ssim = experiment::pool_ssim(reports);
+      table.add_row(
+          {pipeline::cc_name(cc) + " - " + op,
+           metrics::TextTable::num(goodput.median(), 2),
+           metrics::TextTable::num(100.0 * fps.fraction_at_least(29.0), 1),
+           metrics::TextTable::num(100.0 * latency.fraction_below(300.0), 1),
+           metrics::TextTable::num(ssim.median(), 3),
+           metrics::TextTable::num(100.0 * ssim.fraction_at_least(0.5), 2)});
+    }
+  }
+
+  std::cout << "\n" << table.render();
+  std::cout << "\nPaper shape: P2's extra rural capacity lifts goodput and "
+               "received-frame quality (SSIM), but SCReAM's playback latency "
+               "and FPS worsen at P2's higher bitrates (RFC 8888 ack-window "
+               "limitation, Section 4.2.1).\n";
+  return 0;
+}

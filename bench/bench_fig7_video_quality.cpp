@@ -1,0 +1,55 @@
+// Figure 7: adaptive video delivery performance in urban and rural tests —
+// (a) FPS CDF, (b) SSIM CDF, (c) playback latency CDF, per delivery method.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rpv;
+  bench::print_header(
+      "Figure 7 — FPS, SSIM and playback-latency CDFs per method",
+      "IMC'22 Fig. 7(a)-(c), Sections 4.2.1-4.2.3");
+
+  const std::vector<double> fps_xs = {1, 5, 10, 15, 20, 25, 29, 30, 33};
+  const std::vector<double> ssim_xs = {0.1, 0.25, 0.5, 0.7, 0.8, 0.9, 0.95};
+  const std::vector<double> lat_xs = {150, 200, 250, 300, 400, 600, 800, 1000};
+
+  metrics::TextTable headline{{"scenario", "30FPS time (%)", "FPS<10 (%)",
+                               "SSIM>=0.5 (%)", "SSIM>=0.9 (%)",
+                               "latency<300ms (%)", "stalls/min"}};
+
+  for (const auto env :
+       {experiment::Environment::kUrban, experiment::Environment::kRuralP1}) {
+    for (const auto cc : {pipeline::CcKind::kStatic, pipeline::CcKind::kScream,
+                          pipeline::CcKind::kGcc}) {
+      const auto label =
+          pipeline::cc_name(cc) + " - " + experiment::environment_name(env);
+      const auto reports =
+          experiment::run_campaign(bench::video_campaign(env, cc, 5));
+
+      const auto fps = experiment::pool_fps(reports);
+      const auto ssim = experiment::pool_ssim(reports);
+      const auto latency = experiment::pool_playback_latency(reports);
+
+      bench::print_cdf_rows(label + " / FPS", fps, fps_xs, "frames per second");
+      bench::print_cdf_rows(label + " / SSIM", ssim, ssim_xs, "SSIM");
+      bench::print_cdf_rows(label + " / playback latency", latency, lat_xs,
+                            "latency (ms)");
+
+      headline.add_row(
+          {label,
+           metrics::TextTable::num(100.0 * fps.fraction_at_least(29.0), 1),
+           metrics::TextTable::num(100.0 * fps.fraction_below(9.99), 2),
+           metrics::TextTable::num(100.0 * ssim.fraction_at_least(0.5), 2),
+           metrics::TextTable::num(100.0 * ssim.fraction_at_least(0.9), 1),
+           metrics::TextTable::num(100.0 * latency.fraction_below(300.0), 1),
+           metrics::TextTable::num(experiment::mean_stalls_per_minute(reports), 2)});
+    }
+  }
+
+  std::cout << "\n" << headline.render();
+  std::cout << "\nPaper shape: CCs hold 30 FPS ~90% urban but dip below 10 FPS "
+               "(GCC ~3%, SCReAM ~1.5%) more than static; SSIM >= 0.5 between "
+               "80.91% and 99.63% (SCReAM minimizes outliers, static urban "
+               "worst); playback < 300 ms — urban: GCC/static ~90%, SCReAM "
+               "~38%; rural: SCReAM ~85%, GCC lowest.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Mission planning: which delivery method should a remote-piloting operator
+// use at a given site? Runs all three methods over repeated flights in both
+// environments and prints a decision matrix against the RP requirements the
+// paper derives (<300 ms playback latency, SSIM >= 0.5, stable FPS).
+//
+//   $ ./examples/mission_planning [runs]
+#include <iostream>
+#include <string>
+
+#include "experiment/runner.hpp"
+#include "pipeline/qoe.hpp"
+#include "metrics/text_table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rpv;
+  const int runs = argc > 1 ? std::stoi(argv[1]) : 4;
+
+  std::cout << "Evaluating delivery methods for remote-piloting missions ("
+            << runs << " flights per cell)...\n\n";
+
+  metrics::TextTable table({"site", "method", "goodput (Mbps)",
+                            "latency<300ms (%)", "SSIM>=0.5 (%)",
+                            "stalls/min", "QoE (1-5)", "verdict"});
+
+  for (const auto env :
+       {experiment::Environment::kUrban, experiment::Environment::kRuralP1}) {
+    for (const auto cc : {pipeline::CcKind::kStatic, pipeline::CcKind::kGcc,
+                          pipeline::CcKind::kScream}) {
+      experiment::Campaign c;
+      c.scenario.env = env;
+      c.scenario.cc = cc;
+      c.scenario.seed = 77;
+      c.runs = runs;
+      const auto reports = experiment::run_campaign(c);
+
+      const auto goodput = experiment::pool_goodput(reports);
+      const auto latency = experiment::pool_playback_latency(reports);
+      const auto ssim = experiment::pool_ssim(reports);
+      const double lat_ok = 100.0 * latency.fraction_below(300.0);
+      const double ssim_ok = 100.0 * ssim.fraction_at_least(0.5);
+      const double stalls = experiment::mean_stalls_per_minute(reports);
+
+      // Mean QoE across runs plus a simple operator verdict against the
+      // paper's RP requirements.
+      double mos = 0.0;
+      for (const auto& r : reports) mos += pipeline::score_qoe(r).mos;
+      mos /= static_cast<double>(reports.size());
+      std::string verdict = "usable";
+      if (lat_ok < 50.0 || ssim_ok < 90.0) verdict = "unsafe";
+      else if (lat_ok > 85.0 && ssim_ok > 97.0 && stalls < 1.0) verdict = "good";
+
+      table.add_row({experiment::environment_name(env), pipeline::cc_name(cc),
+                     metrics::TextTable::num(goodput.median(), 1),
+                     metrics::TextTable::num(lat_ok, 1),
+                     metrics::TextTable::num(ssim_ok, 1),
+                     metrics::TextTable::num(stalls, 2),
+                     metrics::TextTable::num(mos, 2), verdict});
+    }
+  }
+
+  std::cout << table.render();
+  std::cout << "\nPaper guidance: with abundant urban capacity, static bitrate "
+               "maximizes quality; in capacity-limited rural areas adaptive "
+               "streaming (SCReAM) becomes advantageous.\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+# Gnuplot script for Fig. 7-style CDFs from rpv_trace CSVs.
+#
+#   ./build/tools/rpv_trace out/ urban gcc 1
+#   ./build/tools/rpv_trace out/ urban scream 1
+#   ./build/tools/rpv_trace out/ urban static 1
+#   gnuplot -e "dir='out'; env='urban'" scripts/plot_cdfs.gp
+#
+# Produces <dir>/<env>_cdfs.png with the SSIM distribution per method.
+if (!exists("dir")) dir = "out"
+if (!exists("env")) env = "urban"
+
+set terminal pngcairo size 1200,500 font "DejaVu Sans,11"
+set output sprintf("%s/%s_cdfs.png", dir, env)
+set datafile separator comma
+set key bottom right
+
+set multiplot layout 1,2
+
+set xlabel "SSIM"
+set ylabel "CDF"
+set xrange [0:1]
+plot for [m in "gcc scream static"] \
+  sprintf("%s/%s-%s-1_ssim.csv", dir, env eq "urban" ? "urban" : "rural-p1", m) \
+  skip 1 using 2:(1.0) smooth cnorm with lines lw 2 title m
+
+set xlabel "Goodput (Mbps)"
+set xrange [*:*]
+plot for [m in "gcc scream static"] \
+  sprintf("%s/%s-%s-1_goodput.csv", dir, env eq "urban" ? "urban" : "rural-p1", m) \
+  skip 1 using 2:(1.0) smooth cnorm with lines lw 2 title m
+
+unset multiplot

@@ -1,0 +1,25 @@
+# Gnuplot script for the Fig. 8-style flight timeline from rpv_trace CSVs.
+#
+#   ./build/tools/rpv_trace out/ rural gcc 42
+#   gnuplot -e "prefix='out/rural-p1-gcc-42'" scripts/plot_flight.gp
+#
+# Produces <prefix>_timeline.png with network latency, playback latency and
+# the CC target bitrate over flight time, handover instants as impulses.
+if (!exists("prefix")) prefix = "out/rural-p1-gcc-1"
+
+set terminal pngcairo size 1400,700 font "DejaVu Sans,11"
+set output sprintf("%s_timeline.png", prefix)
+
+set datafile separator comma
+set key top left
+set xlabel "Flight time (s)"
+set ytics nomirror
+set y2tics
+set ylabel "Latency (ms)"
+set y2label "Target bitrate (Mbps)"
+set yrange [0:1000]
+
+plot sprintf("%s_owd.csv", prefix)              skip 1 using 1:2       with lines lw 1 lc rgb "#4477AA" title "network latency", \
+     sprintf("%s_playback_latency.csv", prefix) skip 1 using 1:2       with lines lw 2 lc rgb "#EE6677" title "playback latency", \
+     sprintf("%s_target_bitrate.csv", prefix)   skip 1 using 1:($2/1e6) axes x1y2 with lines lw 1 lc rgb "#228833" title "CC target (Mbps)", \
+     sprintf("%s_handovers.csv", prefix)        skip 1 using 1:(900)   with impulses lw 1 lc rgb "#BBBBBB" title "handover"

@@ -1,0 +1,66 @@
+#include "cc/gcc/aimd_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpv::cc::gcc {
+
+double AimdController::update(BandwidthSignal signal, double incoming_rate_bps,
+                              sim::TimePoint now) {
+  double dt = 0.0;
+  if (!last_update_.is_never()) dt = std::min((now - last_update_).sec(), 1.0);
+  last_update_ = now;
+
+  // State transitions (Carlucci et al., Fig. 4): overuse always decreases,
+  // underuse holds (the bottleneck queue is draining), normal grows again.
+  switch (signal) {
+    case BandwidthSignal::kOveruse:
+      state_ = State::kDecrease;
+      break;
+    case BandwidthSignal::kUnderuse:
+      state_ = State::kHold;
+      break;
+    case BandwidthSignal::kNormal:
+      state_ = (state_ == State::kDecrease) ? State::kHold : State::kIncrease;
+      break;
+  }
+
+  switch (state_) {
+    case State::kIncrease: {
+      const bool near_convergence =
+          congestion_point_bps_ > 0.0 &&
+          rate_bps_ >= (1.0 - cfg_.convergence_band) * congestion_point_bps_;
+      if (near_convergence) {
+        rate_bps_ += cfg_.additive_bps_per_sec * dt;
+      } else {
+        rate_bps_ *= std::pow(cfg_.multiplicative_ramp_per_sec, dt);
+      }
+      // Never run far ahead of what the receiver demonstrably gets.
+      if (incoming_rate_bps > 0.0) {
+        rate_bps_ = std::min(rate_bps_, 1.5 * incoming_rate_bps + 100e3);
+      }
+      break;
+    }
+    case State::kDecrease: {
+      if (!last_decrease_.is_never() &&
+          now - last_decrease_ < cfg_.decrease_guard) {
+        break;  // one decrease per congestion episode window
+      }
+      last_decrease_ = now;
+      // The incoming-rate estimate can be nearly empty right after a radio
+      // stall (only the tail of a drain burst in the window); a single
+      // decrease never cuts more than half the current rate.
+      const double basis = std::max(incoming_rate_bps, 0.5 * rate_bps_ / cfg_.beta);
+      rate_bps_ = cfg_.beta * basis;
+      if (incoming_rate_bps > 0.0) congestion_point_bps_ = basis;
+      break;
+    }
+    case State::kHold:
+      break;
+  }
+
+  rate_bps_ = std::clamp(rate_bps_, cfg_.min_rate_bps, cfg_.max_rate_bps);
+  return rate_bps_;
+}
+
+}  // namespace rpv::cc::gcc

@@ -1,0 +1,53 @@
+// GCC delay-based rate controller: the Increase / Hold / Decrease state
+// machine driven by the over-use detector signal (Carlucci et al. §3.3).
+//
+// In Increase the rate grows multiplicatively while far from the last known
+// congestion point and additively near it; on Decrease it drops to
+// beta * R_hat, the measured incoming rate at the receiver. The ramp factor
+// is calibrated so a stream reaches 25 Mbps from its starting rate in about
+// the 12 s the paper measures for GCC (§4.2.1).
+#pragma once
+
+#include "cc/gcc/overuse_detector.hpp"
+#include "sim/time.hpp"
+
+namespace rpv::cc::gcc {
+
+struct AimdConfig {
+  double beta = 0.85;
+  double multiplicative_ramp_per_sec = 1.22;  // calibrated ramp (see above)
+  double additive_bps_per_sec = 800e3;
+  double min_rate_bps = 150e3;
+  double max_rate_bps = 30e6;
+  // Near-convergence band around the last congestion point: additive growth
+  // inside, multiplicative outside.
+  double convergence_band = 0.15;
+  // At most one multiplicative decrease per interval: repeated overuse
+  // reports within one congestion episode must not compound.
+  sim::Duration decrease_guard = sim::Duration::millis(400);
+};
+
+class AimdController {
+ public:
+  AimdController(AimdConfig cfg, double initial_rate_bps)
+      : cfg_{cfg}, rate_bps_{initial_rate_bps} {}
+
+  // Advance the state machine with the detector signal, the measured
+  // incoming rate R_hat, and the current time. Returns the new target.
+  double update(BandwidthSignal signal, double incoming_rate_bps,
+                sim::TimePoint now);
+
+  [[nodiscard]] double rate_bps() const { return rate_bps_; }
+
+ private:
+  enum class State { kIncrease, kHold, kDecrease };
+
+  AimdConfig cfg_;
+  double rate_bps_;
+  State state_ = State::kIncrease;
+  double congestion_point_bps_ = -1.0;  // R_hat at the last decrease
+  sim::TimePoint last_update_ = sim::TimePoint::never();
+  sim::TimePoint last_decrease_ = sim::TimePoint::never();
+};
+
+}  // namespace rpv::cc::gcc

@@ -1,0 +1,53 @@
+#include "cc/gcc/arrival_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpv::cc::gcc {
+
+std::optional<double> ArrivalFilter::on_packet(sim::TimePoint send_time,
+                                               sim::TimePoint arrival_time) {
+  if (!initialized_) {
+    current_ = {send_time, send_time, arrival_time, true};
+    initialized_ = true;
+    return std::nullopt;
+  }
+
+  if (send_time - current_.first_send <= cfg_.burst_window) {
+    // Same burst group.
+    current_.last_send = std::max(current_.last_send, send_time);
+    current_.last_arrival = std::max(current_.last_arrival, arrival_time);
+    return std::nullopt;
+  }
+
+  // Group boundary: measure against the previous completed group.
+  std::optional<double> result;
+  if (previous_.valid) {
+    const double inter_arrival =
+        (current_.last_arrival - previous_.last_arrival).ms();
+    const double inter_departure =
+        (current_.last_send - previous_.last_send).ms();
+    const double d = inter_arrival - inter_departure;
+    kalman_update(d);
+    ++groups_;
+    result = m_;
+  }
+  previous_ = current_;
+  current_ = {send_time, send_time, arrival_time, true};
+  return result;
+}
+
+void ArrivalFilter::kalman_update(double z_ms) {
+  // Online measurement-noise estimate keeps the gain sane under jitter.
+  const double residual = z_ms - m_;
+  var_noise_ = std::max(
+      cfg_.noise_smoothing * var_noise_ +
+          (1.0 - cfg_.noise_smoothing) * residual * residual,
+      1.0);
+  const double pq = p_ + cfg_.process_noise;
+  const double k = pq / (pq + var_noise_);
+  m_ += k * residual;
+  p_ = (1.0 - k) * pq;
+}
+
+}  // namespace rpv::cc::gcc

@@ -1,0 +1,59 @@
+// GCC arrival-time model: packet grouping and Kalman estimation of the
+// one-way queuing-delay gradient (Carlucci et al., MMSys'16 — the design the
+// paper's GCC implementation follows).
+//
+// Acked packets are coalesced into groups of packets sent within a 5 ms
+// burst window. For consecutive groups the filter measures
+//   d_i = (arrival_i - arrival_{i-1}) - (departure_i - departure_{i-1}),
+// the inter-group delay variation, and tracks its underlying trend m_i with
+// a scalar Kalman filter whose measurement noise is estimated online. m_i is
+// the congestion signal the overuse detector thresholds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/time.hpp"
+
+namespace rpv::cc::gcc {
+
+struct ArrivalFilterConfig {
+  sim::Duration burst_window = sim::Duration::millis(5);
+  double process_noise = 1e-3;       // Kalman Q (ms^2)
+  double initial_variance = 0.1;     // Kalman P0
+  double noise_smoothing = 0.95;     // measurement-noise EWMA coefficient
+};
+
+class ArrivalFilter {
+ public:
+  explicit ArrivalFilter(ArrivalFilterConfig cfg = {}) : cfg_{cfg} {}
+
+  // Feed one acked packet (in arrival order). Returns the updated gradient
+  // estimate (ms per group interval) whenever a group completes.
+  std::optional<double> on_packet(sim::TimePoint send_time,
+                                  sim::TimePoint arrival_time);
+
+  [[nodiscard]] double gradient_ms() const { return m_; }
+  [[nodiscard]] int groups_seen() const { return groups_; }
+
+ private:
+  struct Group {
+    sim::TimePoint first_send;
+    sim::TimePoint last_send;
+    sim::TimePoint last_arrival;
+    bool valid = false;
+  };
+
+  void kalman_update(double z_ms);
+
+  ArrivalFilterConfig cfg_;
+  Group current_;
+  Group previous_;
+  double m_ = 0.0;
+  double p_ = 0.1;
+  double var_noise_ = 5.0;
+  int groups_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace rpv::cc::gcc

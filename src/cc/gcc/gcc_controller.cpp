@@ -1,0 +1,77 @@
+#include "cc/gcc/gcc_controller.hpp"
+
+#include <algorithm>
+
+namespace rpv::cc::gcc {
+
+GccController::GccController(GccConfig cfg)
+    : cfg_{cfg},
+      filter_{cfg.filter},
+      detector_{cfg.detector},
+      aimd_{cfg.aimd, cfg.initial_rate_bps},
+      loss_{cfg.loss, cfg.initial_rate_bps},
+      target_bps_{cfg.initial_rate_bps} {}
+
+void GccController::on_packet_sent(const SentPacket& p) {
+  history_[p.transport_seq] = p;
+  // Bound the history: anything older than a full seq window is stale.
+  if (history_.size() > 8192) {
+    // Cheap aging: drop entries far behind the newest seq.
+    const std::uint16_t newest = p.transport_seq;
+    for (auto it = history_.begin(); it != history_.end();) {
+      const auto age = static_cast<std::uint16_t>(newest - it->first);
+      it = (age > 8192) ? history_.erase(it) : std::next(it);
+    }
+  }
+}
+
+void GccController::note_acked(std::size_t bytes, sim::TimePoint arrival) {
+  acked_bytes_.emplace_back(arrival, bytes);
+  const auto horizon = arrival - cfg_.incoming_rate_window;
+  while (!acked_bytes_.empty() && acked_bytes_.front().first < horizon) {
+    acked_bytes_.pop_front();
+  }
+  std::size_t total = 0;
+  for (const auto& [t, b] : acked_bytes_) total += b;
+  incoming_rate_bps_ =
+      static_cast<double>(total) * 8.0 / cfg_.incoming_rate_window.sec();
+}
+
+void GccController::on_feedback(const rtp::FeedbackReport& report,
+                                sim::TimePoint now) {
+  if (report.results.empty()) return;
+
+  int lost = 0;
+  int total = 0;
+  BandwidthSignal signal = BandwidthSignal::kNormal;
+  bool fresh_signal = false;
+
+  for (const auto& r : report.results) {
+    ++total;
+    if (!r.received) {
+      ++lost;
+      continue;
+    }
+    const auto it = history_.find(r.transport_seq);
+    if (it == history_.end()) continue;
+    note_acked(it->second.size_bytes, r.arrival);
+    if (const auto gradient = filter_.on_packet(it->second.send_time, r.arrival)) {
+      signal = detector_.update(*gradient, now);
+      fresh_signal = true;
+    }
+    history_.erase(it);
+  }
+
+  const double report_loss =
+      total > 0 ? static_cast<double>(lost) / static_cast<double>(total) : 0.0;
+  smoothed_loss_ = 0.8 * smoothed_loss_ + 0.2 * report_loss;
+
+  // A stale overuse signal must not keep decreasing the rate: only signals
+  // produced by this report's packet groups count as congestion evidence.
+  if (!fresh_signal) signal = BandwidthSignal::kNormal;
+  const double delay_rate = aimd_.update(signal, incoming_rate_bps_, now);
+  const double loss_rate = loss_.update(smoothed_loss_, now);
+  target_bps_ = std::min(delay_rate, loss_rate);
+}
+
+}  // namespace rpv::cc::gcc

@@ -1,0 +1,69 @@
+// Google Congestion Control, send-side, over transport-wide-CC feedback.
+//
+// Composition (Carlucci et al., MMSys'16): the arrival filter turns acked
+// packet timings into a queuing-delay-gradient estimate; the over-use
+// detector thresholds it; the AIMD controller maps the signal to a
+// delay-based rate; a parallel loss-based controller reacts to reported
+// loss; the target handed to the encoder is the minimum of the two.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "cc/gcc/aimd_controller.hpp"
+#include "cc/gcc/arrival_filter.hpp"
+#include "cc/gcc/loss_controller.hpp"
+#include "cc/gcc/overuse_detector.hpp"
+#include "cc/rate_controller.hpp"
+
+namespace rpv::cc::gcc {
+
+struct GccConfig {
+  double initial_rate_bps = 2e6;  // the paper's lowest encoding rate
+  ArrivalFilterConfig filter;
+  OveruseDetectorConfig detector;
+  AimdConfig aimd;
+  LossControllerConfig loss;
+  sim::Duration incoming_rate_window = sim::Duration::millis(500);
+  double pacing_factor = 1.25;
+};
+
+class GccController final : public RateController {
+ public:
+  explicit GccController(GccConfig cfg = {});
+
+  void on_packet_sent(const SentPacket& p) override;
+  void on_feedback(const rtp::FeedbackReport& report, sim::TimePoint now) override;
+
+  [[nodiscard]] double target_bitrate_bps() const override { return target_bps_; }
+  [[nodiscard]] double pacing_rate_bps() const override {
+    return target_bps_ * cfg_.pacing_factor;
+  }
+  [[nodiscard]] std::string name() const override { return "gcc"; }
+
+  // Introspection for tests and traces.
+  [[nodiscard]] double delay_based_rate_bps() const { return aimd_.rate_bps(); }
+  [[nodiscard]] double loss_based_rate_bps() const { return loss_.rate_bps(); }
+  [[nodiscard]] double incoming_rate_bps() const { return incoming_rate_bps_; }
+  [[nodiscard]] double smoothed_loss() const { return smoothed_loss_; }
+  [[nodiscard]] BandwidthSignal last_signal() const { return detector_.last_signal(); }
+
+ private:
+  void note_acked(std::size_t bytes, sim::TimePoint arrival);
+
+  GccConfig cfg_;
+  ArrivalFilter filter_;
+  OveruseDetector detector_;
+  AimdController aimd_;
+  LossController loss_;
+  double target_bps_;
+  double smoothed_loss_ = 0.0;
+  double incoming_rate_bps_ = 0.0;
+
+  std::unordered_map<std::uint16_t, SentPacket> history_;
+  std::deque<std::pair<sim::TimePoint, std::size_t>> acked_bytes_;
+};
+
+}  // namespace rpv::cc::gcc

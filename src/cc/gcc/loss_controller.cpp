@@ -1,0 +1,21 @@
+#include "cc/gcc/loss_controller.hpp"
+
+#include <algorithm>
+
+namespace rpv::cc::gcc {
+
+double LossController::update(double loss_fraction, sim::TimePoint now) {
+  if (!last_update_.is_never() && now - last_update_ < cfg_.update_interval) {
+    return rate_bps_;
+  }
+  last_update_ = now;
+  if (loss_fraction > cfg_.high_loss) {
+    rate_bps_ *= (1.0 - 0.5 * loss_fraction);
+  } else if (loss_fraction < cfg_.low_loss) {
+    rate_bps_ *= cfg_.increase_factor;
+  }
+  rate_bps_ = std::clamp(rate_bps_, cfg_.min_rate_bps, cfg_.max_rate_bps);
+  return rate_bps_;
+}
+
+}  // namespace rpv::cc::gcc

@@ -1,0 +1,38 @@
+// GCC loss-based controller (Carlucci et al. §3.1): a second estimate A_s
+// driven purely by the fraction of lost packets reported in feedback.
+//   p > 10%  -> A_s *= (1 - 0.5 p)
+//   p <  2%  -> A_s *= 1.05
+//   else     -> hold
+// The sender's final target is min(delay-based, loss-based).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace rpv::cc::gcc {
+
+struct LossControllerConfig {
+  double high_loss = 0.10;
+  double low_loss = 0.02;
+  double increase_factor = 1.05;
+  double min_rate_bps = 150e3;
+  double max_rate_bps = 30e6;
+  // Apply at most one multiplicative update per this interval so bursts of
+  // feedback do not compound.
+  sim::Duration update_interval = sim::Duration::millis(200);
+};
+
+class LossController {
+ public:
+  LossController(LossControllerConfig cfg, double initial_rate_bps)
+      : cfg_{cfg}, rate_bps_{initial_rate_bps} {}
+
+  double update(double loss_fraction, sim::TimePoint now);
+  [[nodiscard]] double rate_bps() const { return rate_bps_; }
+
+ private:
+  LossControllerConfig cfg_;
+  double rate_bps_;
+  sim::TimePoint last_update_ = sim::TimePoint::never();
+};
+
+}  // namespace rpv::cc::gcc

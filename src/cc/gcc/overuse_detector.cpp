@@ -1,0 +1,42 @@
+#include "cc/gcc/overuse_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpv::cc::gcc {
+
+void OveruseDetector::adapt_threshold(double gradient_ms, sim::TimePoint now) {
+  if (last_update_.is_never()) {
+    last_update_ = now;
+    return;
+  }
+  const double dt_ms = std::min((now - last_update_).ms(), 100.0);
+  const double k = std::abs(gradient_ms) > threshold_ ? cfg_.k_up : cfg_.k_down;
+  threshold_ += k * dt_ms * (std::abs(gradient_ms) - threshold_);
+  threshold_ = std::clamp(threshold_, cfg_.min_threshold_ms, cfg_.max_threshold_ms);
+  last_update_ = now;
+}
+
+BandwidthSignal OveruseDetector::update(double gradient_ms, sim::TimePoint now) {
+  gradient_ms *= cfg_.signal_gain;
+  adapt_threshold(gradient_ms, now);
+
+  if (gradient_ms > threshold_) {
+    if (overuse_start_.is_never()) overuse_start_ = now;
+    const bool sustained = (now - overuse_start_) >= cfg_.overuse_time;
+    const bool not_falling = gradient_ms >= prev_gradient_;
+    if (sustained && not_falling) {
+      signal_ = BandwidthSignal::kOveruse;
+    }
+  } else if (gradient_ms < -threshold_) {
+    overuse_start_ = sim::TimePoint::never();
+    signal_ = BandwidthSignal::kUnderuse;
+  } else {
+    overuse_start_ = sim::TimePoint::never();
+    signal_ = BandwidthSignal::kNormal;
+  }
+  prev_gradient_ = gradient_ms;
+  return signal_;
+}
+
+}  // namespace rpv::cc::gcc

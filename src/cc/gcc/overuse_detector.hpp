@@ -1,0 +1,47 @@
+// GCC over-use detector: compares the Kalman gradient estimate against an
+// adaptive threshold (Carlucci et al. §3.2). Overuse is only signalled when
+// the estimate stays above the threshold for a minimum duration and is not
+// falling; the threshold itself adapts so that TCP cross-traffic cannot
+// starve the flow.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace rpv::cc::gcc {
+
+enum class BandwidthSignal { kNormal, kOveruse, kUnderuse };
+
+struct OveruseDetectorConfig {
+  // WebRTC compares an *amplified* slope against the threshold
+  // (modified_trend = num_deltas * trend * gain); without the amplification
+  // a slowly-filling bufferbloat queue never crosses the 12.5 ms threshold.
+  double signal_gain = 40.0;
+  double initial_threshold_ms = 12.5;
+  double min_threshold_ms = 6.0;
+  double max_threshold_ms = 600.0;
+  double k_up = 0.0087;    // threshold gain when |m| above it
+  double k_down = 0.00018;  // threshold decay when |m| below it
+  sim::Duration overuse_time = sim::Duration::millis(10);
+};
+
+class OveruseDetector {
+ public:
+  explicit OveruseDetector(OveruseDetectorConfig cfg = {}) : cfg_{cfg} {}
+
+  BandwidthSignal update(double gradient_ms, sim::TimePoint now);
+
+  [[nodiscard]] double threshold_ms() const { return threshold_; }
+  [[nodiscard]] BandwidthSignal last_signal() const { return signal_; }
+
+ private:
+  void adapt_threshold(double gradient_ms, sim::TimePoint now);
+
+  OveruseDetectorConfig cfg_;
+  double threshold_ = 12.5;
+  double prev_gradient_ = 0.0;
+  sim::TimePoint overuse_start_ = sim::TimePoint::never();
+  sim::TimePoint last_update_ = sim::TimePoint::never();
+  BandwidthSignal signal_ = BandwidthSignal::kNormal;
+};
+
+}  // namespace rpv::cc::gcc

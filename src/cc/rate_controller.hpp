@@ -1,0 +1,58 @@
+// Congestion-controller interface shared by GCC, SCReAM, and the static
+// baseline.
+//
+// The sender pipeline consults the controller for (a) the encoder target
+// bitrate and (b) transmission clocking. Two clocking styles exist in the
+// paper's workloads: rate-paced (GCC and static stream packets at a pacing
+// rate derived from the target) and window-limited (SCReAM is self-clocked
+// against a congestion window over bytes in flight).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rtp/feedback.hpp"
+#include "sim/time.hpp"
+
+namespace rpv::cc {
+
+struct SentPacket {
+  std::uint16_t transport_seq = 0;
+  std::size_t size_bytes = 0;
+  sim::TimePoint send_time;
+};
+
+class RateController {
+ public:
+  virtual ~RateController() = default;
+
+  virtual void on_packet_sent(const SentPacket& p) = 0;
+  virtual void on_feedback(const rtp::FeedbackReport& report,
+                           sim::TimePoint now) = 0;
+
+  // Encoder target bitrate right now.
+  [[nodiscard]] virtual double target_bitrate_bps() const = 0;
+
+  // Transmission clocking.
+  [[nodiscard]] virtual bool window_limited() const { return false; }
+  // Window-limited controllers: may `bytes` more be put in flight?
+  [[nodiscard]] virtual bool can_send(std::size_t bytes) const {
+    (void)bytes;
+    return true;
+  }
+  // Rate-paced controllers: current pacing rate.
+  [[nodiscard]] virtual double pacing_rate_bps() const {
+    return target_bitrate_bps() * 1.25;
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Periodic sender-pipeline hooks (no-ops unless a controller needs them).
+  virtual void on_tick(sim::TimePoint now) { (void)now; }
+  // Current sender-side RTP queue delay at the target rate.
+  virtual void on_send_queue_delay(double ms) { (void)ms; }
+  // The sender flushed its RTP queue (SCReAM-style discard).
+  virtual void on_queue_discard(sim::TimePoint now) { (void)now; }
+};
+
+}  // namespace rpv::cc

@@ -1,0 +1,22 @@
+// Constant-bitrate baseline (paper §3.2): the maximum "support-able" bitrate
+// found in trial runs — 25 Mbps urban, 8 Mbps rural — with no adaptation.
+#pragma once
+
+#include "cc/rate_controller.hpp"
+
+namespace rpv::cc {
+
+class StaticRate final : public RateController {
+ public:
+  explicit StaticRate(double bitrate_bps) : bitrate_bps_{bitrate_bps} {}
+
+  void on_packet_sent(const SentPacket&) override {}
+  void on_feedback(const rtp::FeedbackReport&, sim::TimePoint) override {}
+  [[nodiscard]] double target_bitrate_bps() const override { return bitrate_bps_; }
+  [[nodiscard]] std::string name() const override { return "static"; }
+
+ private:
+  double bitrate_bps_;
+};
+
+}  // namespace rpv::cc

@@ -1,0 +1,74 @@
+#include "cellular/base_station.hpp"
+
+namespace rpv::cellular {
+namespace {
+
+// Place `n` cells on a jittered grid covering [x0,x1]x[y0,y1].
+std::vector<BaseStation> jittered_grid(sim::Rng& rng, int n, double x0, double x1,
+                                       double y0, double y1, double jitter,
+                                       double mast_height) {
+  std::vector<BaseStation> cells;
+  cells.reserve(static_cast<std::size_t>(n));
+  // Near-square grid with enough sites for n cells.
+  int cols = 1;
+  while (cols * cols < n) ++cols;
+  const int rows = (n + cols - 1) / cols;
+  int id = 1;
+  for (int r = 0; r < rows && id <= n; ++r) {
+    for (int c = 0; c < cols && id <= n; ++c) {
+      const double fx = cols > 1 ? static_cast<double>(c) / (cols - 1) : 0.5;
+      const double fy = rows > 1 ? static_cast<double>(r) / (rows - 1) : 0.5;
+      BaseStation bs;
+      bs.cell_id = static_cast<std::uint32_t>(id++);
+      bs.pos = {x0 + fx * (x1 - x0) + rng.uniform(-jitter, jitter),
+                y0 + fy * (y1 - y0) + rng.uniform(-jitter, jitter),
+                mast_height + rng.uniform(-5.0, 10.0)};
+      cells.push_back(bs);
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+CellLayout make_urban_layout(sim::Rng& rng) {
+  CellLayout layout;
+  layout.name = "urban";
+  // 32 cells covering the campus flight area plus surroundings; rooftop
+  // masts ~30 m, strong downtilt for dense street-level coverage.
+  layout.cells = jittered_grid(rng, 32, -700.0, 700.0, -700.0, 700.0, 60.0, 30.0);
+  for (auto& bs : layout.cells) {
+    bs.downtilt_deg = 8.0;
+    bs.tx_power_dbm = 43.0;  // smaller urban cells transmit less
+  }
+  return layout;
+}
+
+CellLayout make_rural_layout_p1(sim::Rng& rng) {
+  CellLayout layout;
+  layout.name = "rural-p1";
+  // 18 cells spread over a wide open area; tall masts, gentle downtilt,
+  // higher power for range. Inter-site distance ~2 km.
+  layout.cells = jittered_grid(rng, 18, -4000.0, 4000.0, -4000.0, 4000.0, 400.0, 45.0);
+  for (auto& bs : layout.cells) {
+    bs.downtilt_deg = 4.0;
+    bs.tx_power_dbm = 46.0;
+  }
+  return layout;
+}
+
+CellLayout make_rural_layout_p2(sim::Rng& rng) {
+  CellLayout layout;
+  layout.name = "rural-p2";
+  // Competing operator with a denser rural deployment (~30 cells in the
+  // same region), which yields both more capacity and more handovers.
+  layout.cells = jittered_grid(rng, 30, -4000.0, 4000.0, -4000.0, 4000.0, 350.0, 45.0);
+  for (auto& bs : layout.cells) {
+    bs.cell_id += 100;  // distinct id space from P1
+    bs.downtilt_deg = 4.0;
+    bs.tx_power_dbm = 46.0;
+  }
+  return layout;
+}
+
+}  // namespace rpv::cellular

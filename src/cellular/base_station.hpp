@@ -1,0 +1,41 @@
+// Base station (eNodeB cell) description and the deployment layouts used by
+// the paper's two measurement areas (Fig. 3): a dense urban grid around the
+// Munich city-center campus and a sparse rural deployment in the outskirts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/vec3.hpp"
+#include "sim/rng.hpp"
+
+namespace rpv::cellular {
+
+struct BaseStation {
+  std::uint32_t cell_id = 0;
+  geo::Vec3 pos;                // antenna position; z = mast height (m)
+  double tx_power_dbm = 46.0;   // typical macro cell
+  double downtilt_deg = 6.0;    // mechanical+electrical downtilt
+};
+
+struct CellLayout {
+  std::string name;
+  std::vector<BaseStation> cells;
+
+  [[nodiscard]] std::size_t size() const { return cells.size(); }
+};
+
+// Urban layout: ~32 reachable cells in a ~1.4 x 0.5 km area with moderately
+// high buildings — dense inter-site distance of roughly 250 m.
+CellLayout make_urban_layout(sim::Rng& rng);
+
+// Rural layout for the default operator P1: ~18 reachable cells over > 20 km
+// of open space — inter-site distances of 1.5-3 km.
+CellLayout make_rural_layout_p1(sim::Rng& rng);
+
+// Rural layout for the competing operator P2: denser deployment in the same
+// region (the paper observes P2 offers more capacity and more frequent HOs).
+CellLayout make_rural_layout_p2(sim::Rng& rng);
+
+}  // namespace rpv::cellular

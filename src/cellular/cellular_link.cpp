@@ -1,0 +1,141 @@
+#include "cellular/cellular_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpv::cellular {
+
+CellularLink::CellularLink(sim::Simulator& simulator, CellLayout layout,
+                           CellularLinkConfig cfg,
+                           const geo::Trajectory* trajectory, sim::Rng rng)
+    : sim_{simulator},
+      layout_{std::move(layout)},
+      cfg_{cfg},
+      trajectory_{trajectory},
+      rng_{rng},
+      loss_{cfg.loss, rng.fork()} {
+  radio_ = std::make_unique<RadioModel>(cfg_.radio, layout_, rng_.fork());
+  // Attach to the strongest cell at the trajectory start.
+  radio_->update(trajectory_->position(trajectory_->start()));
+  const auto initial = radio_->measurements().front().cell_id;
+  ho_ = std::make_unique<HandoverController>(
+      cfg_.handover, HetModel{cfg_.het, rng_.fork()}, initial);
+  cells_seen_.push_back(initial);
+  queue_ = std::make_unique<LinkQueue>(
+      sim_, cfg_.queue, [this] { return capacity_mbps_ * 1e6; },
+      [this](net::Packet p) {
+        // Serialization finished: apply radio loss, then access latency.
+        const auto it = pending_.find(p.id);
+        if (it == pending_.end()) return;
+        DeliverFn deliver = std::move(it->second);
+        pending_.erase(it);
+        const double altitude = trajectory_->position(sim_.now()).z;
+        // Stress kicks in above the standing queue a delay-based CC would
+        // tolerate (~80 ms) and saturates at bufferbloat levels (~300 ms).
+        const double qd_ms = queue_->queuing_delay_sec() * 1e3;
+        const double stress = std::clamp((qd_ms - 80.0) / 220.0, 0.0, 1.0);
+        if (loss_.drops_packet(altitude, stress)) {
+          if (on_loss_) on_loss_(p);
+          return;
+        }
+        const auto jitter = sim::Duration::seconds(
+            std::abs(rng_.normal(0.0, cfg_.uplink_access_jitter_ms)) / 1e3);
+        // RLC acknowledged mode delivers in order: jitter may stretch the
+        // delay but never lets a packet overtake its predecessor.
+        auto at = sim_.now() + cfg_.uplink_access_latency + jitter;
+        if (at <= last_uplink_delivery_) {
+          at = last_uplink_delivery_ + sim::Duration::micros(1);
+        }
+        last_uplink_delivery_ = at;
+        sim_.schedule_at(at, [this, p, deliver = std::move(deliver)]() mutable {
+          p.received = sim_.now();
+          deliver(std::move(p));
+        });
+      },
+      [this](const net::Packet& p) {
+        // Buffer overflow drop.
+        pending_.erase(p.id);
+        if (on_loss_) on_loss_(p);
+      });
+  refresh_capacity();
+}
+
+void CellularLink::start() {
+  measurement_tick();
+}
+
+double CellularLink::airborne_fraction() const {
+  const double z = trajectory_->position(sim_.now()).z;
+  return 1.0 - std::exp(-std::max(z, 0.0) / cfg_.radio.los_altitude_scale_m);
+}
+
+void CellularLink::refresh_capacity() {
+  const bool interrupted =
+      !cfg_.handover.make_before_break && ho_->in_handover(sim_.now());
+  const double factor =
+      interrupted ? 0.0 : ho_->capacity_factor(sim_.now());
+  capacity_mbps_ = radio_->capacity_mbps(ho_->serving_cell()) * std::max(factor, 0.02);
+}
+
+void CellularLink::measurement_tick() {
+  const auto now = sim_.now();
+  radio_->update(trajectory_->position(now));
+  if (const auto het = ho_->on_measurement(now, radio_->measurements(),
+                                           airborne_fraction())) {
+    // RRC message trail of the handover (the QCSuper capture records these).
+    const auto& ev = ho_->log().events().back();
+    rrc_.record(now, RrcMessageType::kMeasurementReport, ev.target_cell);
+    rrc_.record(now, RrcMessageType::kConnectionReconfiguration, ev.source_cell);
+    sim_.schedule_in(*het, [this, target = ev.target_cell] {
+      rrc_.record(sim_.now(), RrcMessageType::kConnectionReconfigurationComplete,
+                  target);
+    });
+    // Handover triggered. With break-before-make the bearer is interrupted
+    // for the execution time; DAPS keeps transmitting on the source stack.
+    if (!cfg_.handover.make_before_break) {
+      queue_->pause();
+      sim_.schedule_in(*het, [this] {
+        queue_->resume();
+        refresh_capacity();
+      });
+    }
+    const auto serving = ho_->serving_cell();
+    if (std::find(cells_seen_.begin(), cells_seen_.end(), serving) ==
+        cells_seen_.end()) {
+      cells_seen_.push_back(serving);
+    }
+  }
+  refresh_capacity();
+  capacity_trace_.add(now, capacity_mbps_);
+
+  if (now < trajectory_->end()) {
+    sim_.schedule_in(cfg_.handover.measurement_interval,
+                     [this] { measurement_tick(); });
+  }
+}
+
+void CellularLink::send_uplink(net::Packet p, DeliverFn deliver) {
+  p.enqueued = sim_.now();
+  pending_.emplace(p.id, std::move(deliver));
+  queue_->enqueue(std::move(p));
+}
+
+void CellularLink::send_downlink(net::Packet p, DeliverFn deliver) {
+  if (rng_.chance(cfg_.downlink_loss)) return;
+  const auto jitter = sim::Duration::seconds(
+      std::abs(rng_.normal(0.0, cfg_.downlink_jitter_ms)) / 1e3);
+  sim::TimePoint at = sim_.now() + cfg_.downlink_latency + jitter;
+  // Downlink shares the radio interruption during handover execution
+  // (unless DAPS keeps both stacks active).
+  if (!cfg_.handover.make_before_break && ho_->in_handover(at)) {
+    at = ho_->handover_end() + jitter;
+  }
+  sim_.schedule_at(at, [this, p, deliver = std::move(deliver)]() mutable {
+    p.received = sim_.now();
+    deliver(std::move(p));
+  });
+}
+
+std::size_t CellularLink::distinct_cells_seen() const { return cells_seen_.size(); }
+
+}  // namespace rpv::cellular

@@ -1,0 +1,113 @@
+// The end-to-end cellular access link of one UE (the UAV's LTE dongle).
+//
+// Composes the radio model, handover controller, deep-buffered uplink queue
+// and residual loss process, and drives them from the UE trajectory inside
+// the discrete-event simulator. Exposes an asynchronous send interface for
+// uplink (media) and downlink (feedback) packets plus the traces the
+// measurement analyses consume: handover log, capacity and queue series.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "cellular/base_station.hpp"
+#include "cellular/handover.hpp"
+#include "cellular/link_queue.hpp"
+#include "cellular/loss_model.hpp"
+#include "cellular/radio_model.hpp"
+#include "cellular/rrc_log.hpp"
+#include "geo/trajectory.hpp"
+#include "metrics/time_series.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace rpv::cellular {
+
+struct CellularLinkConfig {
+  RadioConfig radio;
+  HandoverConfig handover;
+  HetConfig het;
+  LinkQueueConfig queue;
+  LossConfig loss;
+
+  // Radio access latency (scheduling grant, HARQ round trips) added after
+  // serialization, per direction.
+  sim::Duration uplink_access_latency = sim::Duration::millis(15);
+  double uplink_access_jitter_ms = 3.0;
+  sim::Duration downlink_latency = sim::Duration::millis(8);
+  double downlink_jitter_ms = 1.0;
+  double downlink_loss = 1e-5;
+};
+
+class CellularLink {
+ public:
+  using DeliverFn = std::function<void(net::Packet)>;
+  using LossFn = std::function<void(const net::Packet&)>;
+
+  CellularLink(sim::Simulator& simulator, CellLayout layout,
+               CellularLinkConfig cfg, const geo::Trajectory* trajectory,
+               sim::Rng rng);
+
+  // Begin the RRC measurement loop; runs until the trajectory ends.
+  void start();
+
+  // Uplink media path: deep queue -> serialization -> loss -> access latency.
+  void send_uplink(net::Packet p, DeliverFn deliver);
+  // Downlink feedback path: lightly loaded, but shares HO interruptions.
+  void send_downlink(net::Packet p, DeliverFn deliver);
+
+  // Notification for every packet lost on the radio (media loss accounting).
+  void set_loss_callback(LossFn fn) { on_loss_ = std::move(fn); }
+
+  [[nodiscard]] double current_capacity_mbps() const { return capacity_mbps_; }
+  [[nodiscard]] std::uint32_t serving_cell() const { return ho_->serving_cell(); }
+  [[nodiscard]] bool in_handover() const { return ho_->in_handover(sim_.now()); }
+  [[nodiscard]] double queuing_delay_ms() const {
+    return queue_->queuing_delay_sec() * 1e3;
+  }
+  [[nodiscard]] std::size_t queued_bytes() const { return queue_->queued_bytes(); }
+
+  [[nodiscard]] const metrics::HandoverLog& handover_log() const { return ho_->log(); }
+  // The QCSuper-style RRC message capture.
+  [[nodiscard]] const RrcLog& rrc_log() const { return rrc_; }
+  [[nodiscard]] const metrics::TimeSeries& capacity_trace() const {
+    return capacity_trace_;
+  }
+  [[nodiscard]] const LossModel& loss_model() const { return loss_; }
+  [[nodiscard]] std::uint64_t buffer_drops() const { return queue_->drops(); }
+  [[nodiscard]] std::size_t distinct_cells_seen() const;
+  [[nodiscard]] sim::Duration observed_duration() const {
+    return trajectory_->duration();
+  }
+
+  // How airborne the UE currently is, in [0,1] (0 = ground level).
+  [[nodiscard]] double airborne_fraction() const;
+
+ private:
+  void measurement_tick();
+  void refresh_capacity();
+
+  sim::Simulator& sim_;
+  CellLayout layout_;
+  CellularLinkConfig cfg_;
+  const geo::Trajectory* trajectory_;
+  sim::Rng rng_;
+  std::unique_ptr<RadioModel> radio_;
+  std::unique_ptr<HandoverController> ho_;
+  std::unique_ptr<LinkQueue> queue_;
+  RrcLog rrc_;
+  LossModel loss_;
+  LossFn on_loss_;
+  double capacity_mbps_ = 10.0;
+  sim::TimePoint last_uplink_delivery_;  // enforce in-order delivery (RLC)
+  metrics::TimeSeries capacity_trace_;
+  std::vector<std::uint32_t> cells_seen_;
+
+  // Per-packet completion callbacks, keyed by packet id; erased on delivery
+  // or overflow drop.
+  std::unordered_map<std::uint64_t, DeliverFn> pending_;
+};
+
+}  // namespace rpv::cellular

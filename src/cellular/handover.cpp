@@ -1,0 +1,90 @@
+#include "cellular/handover.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpv::cellular {
+
+sim::Duration HetModel::sample(double airborne_fraction) {
+  airborne_fraction = std::clamp(airborne_fraction, 0.0, 1.0);
+  const double p_outlier =
+      cfg_.outlier_prob_ground +
+      (cfg_.outlier_prob_air - cfg_.outlier_prob_ground) * airborne_fraction;
+  double ms = 0.0;
+  if (rng_.chance(p_outlier)) {
+    ms = rng_.lognormal(std::log(cfg_.outlier_median_ms), cfg_.outlier_sigma);
+  } else {
+    ms = rng_.lognormal(std::log(cfg_.bulk_median_ms), cfg_.bulk_sigma);
+  }
+  ms = std::min(ms, cfg_.max_het_ms);
+  return sim::Duration::seconds(ms / 1e3);
+}
+
+HandoverController::HandoverController(HandoverConfig cfg, HetModel het,
+                                       std::uint32_t initial_cell)
+    : cfg_{cfg}, het_{std::move(het)}, serving_{initial_cell} {}
+
+double HandoverController::capacity_factor(sim::TimePoint now) const {
+  if (in_handover(now)) return 0.0;  // link interrupted during execution
+  if (!a3_since_.is_never()) return cfg_.edge_capacity_factor;
+  return 1.0;
+}
+
+std::optional<sim::Duration> HandoverController::on_measurement(
+    sim::TimePoint now, const std::vector<CellMeasurement>& measurements,
+    double airborne_fraction) {
+  if (measurements.empty() || in_handover(now)) return std::nullopt;
+
+  double serving_rsrp = -150.0;
+  for (const auto& m : measurements) {
+    if (m.cell_id == serving_) {
+      serving_rsrp = m.rsrp_dbm;
+      break;
+    }
+  }
+  // Strongest neighbour (measurements are sorted strongest-first).
+  const CellMeasurement* best = nullptr;
+  for (const auto& m : measurements) {
+    if (m.cell_id != serving_) {
+      best = &m;
+      break;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+
+  const bool a3 = best->rsrp_dbm > serving_rsrp + cfg_.hysteresis_db;
+  if (!a3) {
+    a3_candidate_ = 0;
+    a3_since_ = sim::TimePoint::never();
+    return std::nullopt;
+  }
+  if (best->cell_id != a3_candidate_) {
+    // New candidate: restart the time-to-trigger clock.
+    a3_candidate_ = best->cell_id;
+    a3_since_ = now;
+    return std::nullopt;
+  }
+  if (now - a3_since_ < cfg_.time_to_trigger) return std::nullopt;
+
+  // Trigger the handover.
+  const sim::Duration het = het_.sample(airborne_fraction);
+  metrics::HandoverEvent ev;
+  ev.start = now;
+  ev.het = het;
+  ev.source_cell = serving_;
+  ev.target_cell = a3_candidate_;
+  ev.ping_pong = (a3_candidate_ == previous_cell_) &&
+                 !previous_left_at_.is_never() &&
+                 (now - previous_left_at_ < cfg_.ping_pong_window);
+  log_.record(ev);
+
+  previous_cell_ = serving_;
+  previous_left_at_ = now;
+  serving_ = a3_candidate_;
+  ho_end_ = now + het;
+  a3_candidate_ = 0;
+  a3_since_ = sim::TimePoint::never();
+  return het;
+}
+
+}  // namespace rpv::cellular

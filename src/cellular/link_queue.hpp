@@ -1,0 +1,83 @@
+// Deep-buffered uplink queue ("bufferbloat").
+//
+// Cellular operators deploy very large per-UE buffers; the paper (citing
+// Jiang et al.) attributes the near-zero packet error rate and the large
+// latency spikes to them: when the radio slows down (cell edge, handover),
+// packets queue for hundreds of milliseconds instead of being dropped.
+// This is a FIFO byte queue drained at a time-varying service rate, with
+// pause/resume hooks for handover interruptions and overflow-only drops.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace rpv::cellular {
+
+struct LinkQueueConfig {
+  std::size_t buffer_bytes = 6 * 1024 * 1024;  // ~6 MB: seconds at video rates
+  // CoDel-style active queue management (paper Section 5 discusses smart
+  // queue management as a bufferbloat mitigation). When enabled, packets
+  // whose sojourn time persistently exceeds `aqm_target` are dropped at
+  // dequeue, signalling the sender's CC before the deep buffer fills.
+  bool aqm_enabled = false;
+  sim::Duration aqm_target = sim::Duration::millis(20);
+  sim::Duration aqm_interval = sim::Duration::millis(100);
+};
+
+class LinkQueue {
+ public:
+  using DeliverFn = std::function<void(net::Packet)>;
+  using RateFn = std::function<double()>;  // current service rate, bits/s
+  using DropFn = std::function<void(const net::Packet&)>;
+
+  LinkQueue(sim::Simulator& simulator, LinkQueueConfig cfg, RateFn rate,
+            DeliverFn deliver, DropFn on_drop = nullptr);
+
+  // Enqueue for transmission; drops on buffer overflow.
+  void enqueue(net::Packet p);
+
+  // Handover control: while paused nothing is serialized.
+  void pause();
+  void resume();
+
+  [[nodiscard]] std::size_t queued_bytes() const { return queued_bytes_; }
+  [[nodiscard]] double fill_fraction() const {
+    return static_cast<double>(queued_bytes_) /
+           static_cast<double>(cfg_.buffer_bytes);
+  }
+  [[nodiscard]] std::size_t queued_packets() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t aqm_drops() const { return aqm_drops_; }
+  // Queue sojourn estimate at the current service rate, in seconds.
+  [[nodiscard]] double queuing_delay_sec() const;
+
+ private:
+  void maybe_start_service();
+  void finish_head();
+  bool aqm_should_drop(const net::Packet& p);
+
+  sim::Simulator& sim_;
+  LinkQueueConfig cfg_;
+  RateFn rate_;
+  DeliverFn deliver_;
+  DropFn on_drop_;
+  std::deque<net::Packet> queue_;
+  std::size_t queued_bytes_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t aqm_drops_ = 0;
+  bool busy_ = false;
+  bool paused_ = false;
+  sim::EventId service_event_ = 0;
+
+  // CoDel state.
+  sim::TimePoint first_above_ = sim::TimePoint::never();
+  sim::TimePoint next_aqm_drop_ = sim::TimePoint::never();
+  int aqm_drop_count_ = 0;
+};
+
+}  // namespace rpv::cellular

@@ -1,0 +1,28 @@
+#include "cellular/loss_model.hpp"
+
+#include <cmath>
+
+namespace rpv::cellular {
+
+bool LossModel::drops_packet(double altitude_m, double queue_fill) {
+  ++seen_;
+  if (bad_) {
+    if (rng_.chance(cfg_.p_bad_to_good)) bad_ = false;
+  } else {
+    double p = cfg_.p_good_to_bad;
+    if (cfg_.altitude_boost > 0.0 && altitude_m > 0.0) {
+      const double f = 1.0 - std::exp(-altitude_m / cfg_.boost_altitude_m);
+      p *= 1.0 + cfg_.altitude_boost * f;
+    }
+    if (cfg_.stress_boost > 0.0 && queue_fill > 0.0) {
+      p *= 1.0 + cfg_.stress_boost * queue_fill;
+    }
+    if (rng_.chance(p)) bad_ = true;
+  }
+  const double p = bad_ ? cfg_.loss_bad : cfg_.loss_good;
+  const bool lost = rng_.chance(p);
+  if (lost) ++lost_;
+  return lost;
+}
+
+}  // namespace rpv::cellular

@@ -1,0 +1,57 @@
+// Residual packet loss after HARQ: a two-state Gilbert-Elliott process.
+//
+// The paper measures a PER of only 0.06-0.07% — HARQ and deep buffers absorb
+// almost all radio errors — but notes that the drops which do occur happen
+// in consecutive bursts. A bursty two-state model reproduces exactly that:
+// a long-lived Good state with negligible loss and a short-lived Bad state
+// (deep fade / failed HARQ cascade) in which most packets die.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace rpv::cellular {
+
+struct LossConfig {
+  double p_good_to_bad = 4e-5;   // per packet
+  double p_bad_to_good = 0.06;   // per packet (mean burst ~17 packets)
+  double loss_good = 2e-4;
+  double loss_bad = 0.65;
+  // The paper observes packet loss at altitudes above ~80 m in the urban
+  // environment (interference from many line-of-sight cells defeats HARQ
+  // more often). Entry into the Bad state scales up with altitude.
+  double altitude_boost = 0.0;      // extra multiplier at full boost altitude
+  double boost_altitude_m = 80.0;   // altitude where the boost is ~63% in
+  // Sustained transmission at the link's limit (deep standing queue, edge
+  // MCS, max UE power) multiplies HARQ-cascade failures. Senders that adapt
+  // their rate avoid this state; a constant-bitrate stream does not — the
+  // mechanism behind the paper's static-stream SSIM artifacts (§4.2.3).
+  double stress_boost = 0.0;        // extra multiplier at 100% queue fill
+};
+
+class LossModel {
+ public:
+  LossModel(LossConfig cfg, sim::Rng rng) : cfg_{cfg}, rng_{rng} {}
+
+  // Returns true if this packet is lost. Advances the channel state.
+  // `altitude_m` applies the altitude-dependent Bad-state boost and
+  // `queue_fill` (0..1, uplink buffer occupancy) the stress boost.
+  bool drops_packet(double altitude_m = 0.0, double queue_fill = 0.0);
+
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+  [[nodiscard]] std::uint64_t total_seen() const { return seen_; }
+  [[nodiscard]] std::uint64_t total_lost() const { return lost_; }
+  [[nodiscard]] double loss_rate() const {
+    return seen_ == 0 ? 0.0 : static_cast<double>(lost_) / static_cast<double>(seen_);
+  }
+
+ private:
+  LossConfig cfg_;
+  sim::Rng rng_;
+  bool bad_ = false;
+  std::uint64_t seen_ = 0;
+  std::uint64_t lost_ = 0;
+};
+
+}  // namespace rpv::cellular

@@ -1,0 +1,126 @@
+#include "cellular/radio_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpv::cellular {
+namespace {
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+double linear_to_db(double lin) { return 10.0 * std::log10(std::max(lin, 1e-30)); }
+
+}  // namespace
+
+RadioModel::RadioModel(RadioConfig cfg, const CellLayout& layout, sim::Rng rng)
+    : cfg_{cfg}, layout_{&layout}, rng_{rng}, states_(layout.size()) {
+  const double cell_sigma =
+      cfg_.shadowing_stddev_db * std::sqrt(1.0 - cfg_.shadowing_common_fraction);
+  for (auto& s : states_) {
+    s.shadowing_db = rng_.normal(0.0, cell_sigma);
+    s.side_lobe_phase = rng_.uniform(0.0, 2.0 * M_PI);
+  }
+  common_shadowing_db_ = rng_.normal(
+      0.0, cfg_.shadowing_stddev_db * std::sqrt(cfg_.shadowing_common_fraction));
+  sorted_.resize(layout.size());
+}
+
+double RadioModel::path_loss_db(const BaseStation& bs, const geo::Vec3& ue) const {
+  const double d = std::max(geo::distance(bs.pos, ue), 10.0);
+  // LoS probability rises with altitude; blend the ground (obstructed) and
+  // free-space exponents accordingly.
+  const double p_los = 1.0 - std::exp(-std::max(ue.z, 0.0) / cfg_.los_altitude_scale_m);
+  const double n = cfg_.exponent_ground * (1.0 - p_los) + cfg_.exponent_los * p_los;
+  return cfg_.pl_ref_db + 10.0 * n * std::log10(d);
+}
+
+double RadioModel::antenna_gain_db(const BaseStation& bs, const geo::Vec3& ue,
+                                   CellState& state) {
+  // Elevation of the UE as seen from the antenna: negative when below the
+  // mast (ground users), positive when the UAV is above it.
+  const double horiz = std::max(geo::distance2d(bs.pos, ue), 1.0);
+  const double elev_deg = std::atan2(ue.z - bs.pos.z, horiz) * 180.0 / M_PI;
+  // Main lobe points `downtilt` below the horizon.
+  const double off_axis = elev_deg + bs.downtilt_deg;
+  const double hw = cfg_.main_beam_halfwidth_deg;
+  // Airborne fast fading: once line-of-sight, ground reflections produce
+  // multipath ripple on every cell, shrinking the ranking margins even when
+  // the UE is still inside a (distant, rural) main lobe.
+  state.side_lobe_phase += rng_.normal(0.0, 0.35);
+  const double p_air = 1.0 - std::exp(-std::max(ue.z, 0.0) /
+                                      cfg_.los_altitude_scale_m);
+  const double ripple = cfg_.side_lobe_ripple_db * std::sin(state.side_lobe_phase);
+  if (off_axis <= hw) {
+    // Inside (or below) the main lobe: quadratic roll-off, floor at -3 dB.
+    const double roll = 3.0 * (off_axis / hw) * (off_axis / hw);
+    return cfg_.main_lobe_gain_db - std::min(roll, 3.0) + 0.6 * p_air * ripple;
+  }
+  // Above the main lobe: fluctuating side-lobe coverage (antenna down-tilt),
+  // the dominant urban airborne HO driver.
+  return cfg_.side_lobe_gain_db + ripple;
+}
+
+void RadioModel::update(const geo::Vec3& ue_pos) {
+  const double moved = first_update_ ? 0.0 : geo::distance(last_pos_, ue_pos);
+  // Gudmundson correlated shadowing: rho = exp(-d / d_corr).
+  const double rho = std::exp(-moved / cfg_.shadowing_corr_distance_m);
+  const double decorr = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  const double cell_sigma =
+      cfg_.shadowing_stddev_db * std::sqrt(1.0 - cfg_.shadowing_common_fraction);
+  const double common_sigma =
+      cfg_.shadowing_stddev_db * std::sqrt(cfg_.shadowing_common_fraction);
+  if (!first_update_) {
+    common_shadowing_db_ =
+        rho * common_shadowing_db_ + rng_.normal(0.0, common_sigma * decorr);
+  }
+
+  const auto& cells = layout_->cells;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    auto& st = states_[i];
+    if (!first_update_) {
+      st.shadowing_db = rho * st.shadowing_db + rng_.normal(0.0, cell_sigma * decorr);
+    }
+    const double gain = antenna_gain_db(cells[i], ue_pos, st);
+    st.rsrp_dbm = cells[i].tx_power_dbm + gain - path_loss_db(cells[i], ue_pos) -
+                  st.shadowing_db - common_shadowing_db_;
+    sorted_[i] = {cells[i].cell_id, st.rsrp_dbm};
+  }
+  std::sort(sorted_.begin(), sorted_.end(),
+            [](const CellMeasurement& a, const CellMeasurement& b) {
+              return a.rsrp_dbm > b.rsrp_dbm;
+            });
+  last_pos_ = ue_pos;
+  first_update_ = false;
+}
+
+double RadioModel::rsrp_of(std::uint32_t cell_id) const {
+  for (const auto& m : sorted_) {
+    if (m.cell_id == cell_id) return m.rsrp_dbm;
+  }
+  return -150.0;
+}
+
+double RadioModel::sinr_db(std::uint32_t serving_cell) const {
+  const double serving = db_to_linear(rsrp_of(serving_cell));
+  double interference = 0.0;
+  for (const auto& m : sorted_) {
+    if (m.cell_id != serving_cell) interference += db_to_linear(m.rsrp_dbm);
+  }
+  // With altitude more interferers are line-of-sight *and* unattenuated by
+  // clutter; the boost models the extra received interference energy.
+  const double p_air =
+      1.0 - std::exp(-std::max(last_pos_.z, 0.0) / cfg_.los_altitude_scale_m);
+  const double load =
+      cfg_.interference_load * (1.0 + (cfg_.interference_air_boost - 1.0) * p_air);
+  const double noise = db_to_linear(cfg_.noise_dbm);
+  return linear_to_db(serving / (interference * load + noise));
+}
+
+double RadioModel::capacity_mbps(std::uint32_t serving_cell) const {
+  const double sinr = db_to_linear(sinr_db(serving_cell));
+  const double ref = db_to_linear(cfg_.reference_sinr_db);
+  const double eff = std::log2(1.0 + sinr) / std::log2(1.0 + ref);
+  const double cap = cfg_.peak_capacity_mbps * std::clamp(eff, 0.0, 1.25);
+  return std::clamp(cap, cfg_.min_capacity_mbps, cfg_.operator_cap_mbps);
+}
+
+}  // namespace rpv::cellular

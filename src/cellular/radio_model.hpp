@@ -1,0 +1,104 @@
+// LTE radio abstraction: per-cell RSRP, serving-cell SINR, and achievable
+// uplink capacity as a function of UE position and altitude.
+//
+// The model encodes the aerial effects the paper identifies (§4.1):
+//  * with altitude, more cells become line-of-sight — received power from
+//    *all* cells rises, so inter-cell interference grows and the RSRP margin
+//    between neighbouring cells shrinks (more A3 handover triggers);
+//  * base-station antennas are down-tilted for ground users — an airborne UE
+//    sits in fluctuating side-lobe coverage, adding fast gain ripple;
+//  * spatially-correlated shadowing makes link quality drift as the UE moves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellular/base_station.hpp"
+#include "geo/vec3.hpp"
+#include "sim/rng.hpp"
+
+namespace rpv::cellular {
+
+struct RadioConfig {
+  // Log-distance path loss: PL(d) = pl_ref_db + 10*n*log10(d / 1 m).
+  double pl_ref_db = 38.0;
+  double exponent_ground = 3.3;   // NLOS-ish at street level (urban default)
+  double exponent_los = 2.1;      // near free-space once airborne LoS
+  double los_altitude_scale_m = 45.0;  // altitude where LoS probability ~63%
+
+  // Antenna vertical pattern.
+  double main_lobe_gain_db = 15.0;
+  double side_lobe_gain_db = 4.0;         // mean gain above the main lobe
+  double side_lobe_ripple_db = 6.0;       // amplitude of airborne gain ripple
+  double main_beam_halfwidth_deg = 10.0;  // vertical half-power beamwidth
+
+  // Correlated shadowing (Gudmundson model). A fraction of the shadowing
+  // variance is common to all cells (obstructions near the UE): it moves the
+  // absolute link quality but cancels in the cell *ranking*, so ground UEs
+  // see stable serving cells while capacity still fluctuates.
+  double shadowing_stddev_db = 6.0;
+  double shadowing_corr_distance_m = 60.0;
+  double shadowing_common_fraction = 0.65;
+
+  // SINR computation.
+  double noise_dbm = -116.0;          // thermal noise over the UL allocation
+  double interference_load = 0.02;    // mean activity factor of other cells
+  double interference_air_boost = 1.2;  // extra interference fully airborne
+
+  // SINR -> capacity mapping.
+  double peak_capacity_mbps = 42.0;  // achievable UL at reference SINR
+  double reference_sinr_db = 18.0;
+  double min_capacity_mbps = 2.0;
+  double operator_cap_mbps = 50.0;   // plan uplink cap (paper: 50 Mbps)
+};
+
+struct CellMeasurement {
+  std::uint32_t cell_id = 0;
+  double rsrp_dbm = -150.0;
+};
+
+class RadioModel {
+ public:
+  RadioModel(RadioConfig cfg, const CellLayout& layout, sim::Rng rng);
+
+  // Advance internal fading state given the UE's new position. Must be
+  // called (monotonically in time/position) before reading measurements.
+  void update(const geo::Vec3& ue_pos);
+
+  // RSRP of every cell at the last update, strongest first.
+  [[nodiscard]] const std::vector<CellMeasurement>& measurements() const {
+    return sorted_;
+  }
+  [[nodiscard]] double rsrp_of(std::uint32_t cell_id) const;
+
+  // Serving-cell SINR (dB) against the aggregate interference of all others.
+  [[nodiscard]] double sinr_db(std::uint32_t serving_cell) const;
+  // Achievable uplink capacity in Mbps for the given serving cell.
+  [[nodiscard]] double capacity_mbps(std::uint32_t serving_cell) const;
+
+  [[nodiscard]] const RadioConfig& config() const { return cfg_; }
+  [[nodiscard]] const CellLayout& layout() const { return *layout_; }
+
+ private:
+  struct CellState {
+    double shadowing_db = 0.0;
+    double side_lobe_phase = 0.0;  // smooth ripple state
+    double rsrp_dbm = -150.0;
+  };
+
+  [[nodiscard]] double path_loss_db(const BaseStation& bs,
+                                    const geo::Vec3& ue) const;
+  [[nodiscard]] double antenna_gain_db(const BaseStation& bs, const geo::Vec3& ue,
+                                       CellState& state);
+
+  RadioConfig cfg_;
+  const CellLayout* layout_;
+  sim::Rng rng_;
+  std::vector<CellState> states_;
+  double common_shadowing_db_ = 0.0;
+  std::vector<CellMeasurement> sorted_;
+  geo::Vec3 last_pos_;
+  bool first_update_ = true;
+};
+
+}  // namespace rpv::cellular

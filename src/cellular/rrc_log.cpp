@@ -1,0 +1,42 @@
+#include "cellular/rrc_log.hpp"
+
+#include <algorithm>
+
+namespace rpv::cellular {
+
+std::string rrc_message_name(RrcMessageType type) {
+  switch (type) {
+    case RrcMessageType::kMeasurementReport:
+      return "MeasurementReport";
+    case RrcMessageType::kConnectionReconfiguration:
+      return "RRCConnectionReconfiguration";
+    case RrcMessageType::kConnectionReconfigurationComplete:
+      return "RRCConnectionReconfigurationComplete";
+  }
+  return "?";
+}
+
+std::size_t RrcLog::count_of(RrcMessageType type) const {
+  return static_cast<std::size_t>(
+      std::count_if(messages_.begin(), messages_.end(),
+                    [type](const RrcMessage& m) { return m.type == type; }));
+}
+
+std::vector<double> RrcLog::derive_het_ms() const {
+  std::vector<double> out;
+  bool in_ho = false;
+  sim::TimePoint start;
+  for (const auto& m : messages_) {
+    if (m.type == RrcMessageType::kConnectionReconfiguration) {
+      in_ho = true;
+      start = m.t;
+    } else if (m.type == RrcMessageType::kConnectionReconfigurationComplete &&
+               in_ho) {
+      out.push_back((m.t - start).ms());
+      in_ho = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace rpv::cellular

@@ -1,0 +1,51 @@
+// RRC message log — the QCSuper analogue.
+//
+// The paper records LTE Radio Resource Control messages with QCSuper to
+// detect the exact start and end of handover events (HET is the span between
+// RRCConnectionReconfiguration at the source cell and
+// RRCConnectionReconfigurationComplete at the target, per 3GPP TR 36.881).
+// The simulator emits the same message-level log so analyses can be written
+// against it exactly as against the real capture.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rpv::cellular {
+
+enum class RrcMessageType : std::uint8_t {
+  kMeasurementReport,                     // UE -> eNB: A3 event fired
+  kConnectionReconfiguration,             // source eNB -> UE: HO command
+  kConnectionReconfigurationComplete,     // UE -> target eNB: HO done
+};
+
+[[nodiscard]] std::string rrc_message_name(RrcMessageType type);
+
+struct RrcMessage {
+  sim::TimePoint t;
+  RrcMessageType type = RrcMessageType::kMeasurementReport;
+  std::uint32_t cell_id = 0;  // the cell the message concerns
+};
+
+class RrcLog {
+ public:
+  void record(sim::TimePoint t, RrcMessageType type, std::uint32_t cell_id) {
+    messages_.push_back({t, type, cell_id});
+  }
+
+  [[nodiscard]] const std::vector<RrcMessage>& messages() const { return messages_; }
+  [[nodiscard]] std::size_t count() const { return messages_.size(); }
+  [[nodiscard]] std::size_t count_of(RrcMessageType type) const;
+
+  // Recompute HET values from the message stream (the paper's method):
+  // every Reconfiguration start paired with the next Complete.
+  [[nodiscard]] std::vector<double> derive_het_ms() const;
+
+ private:
+  std::vector<RrcMessage> messages_;
+};
+
+}  // namespace rpv::cellular

@@ -1,0 +1,101 @@
+#include "experiment/runner.hpp"
+
+namespace rpv::experiment {
+
+std::vector<pipeline::SessionReport> run_campaign(const Campaign& c) {
+  std::vector<pipeline::SessionReport> out;
+  out.reserve(static_cast<std::size_t>(c.runs));
+  for (int i = 0; i < c.runs; ++i) {
+    Scenario s = c.scenario;
+    s.seed = c.scenario.seed + static_cast<std::uint64_t>(i) * 7919;
+    out.push_back(run_scenario(s));
+  }
+  return out;
+}
+
+namespace {
+template <typename Getter>
+metrics::Cdf pool(const std::vector<pipeline::SessionReport>& rs, Getter get) {
+  metrics::Cdf cdf;
+  for (const auto& r : rs) cdf.add_all(get(r));
+  return cdf;
+}
+}  // namespace
+
+metrics::Cdf pool_owd(const std::vector<pipeline::SessionReport>& rs) {
+  return pool(rs, [](const auto& r) { return r.owd_ms; });
+}
+
+metrics::Cdf pool_fps(const std::vector<pipeline::SessionReport>& rs) {
+  return pool(rs, [](const auto& r) { return r.fps_windows; });
+}
+
+metrics::Cdf pool_ssim(const std::vector<pipeline::SessionReport>& rs) {
+  return pool(rs, [](const auto& r) { return r.ssim_samples; });
+}
+
+metrics::Cdf pool_playback_latency(const std::vector<pipeline::SessionReport>& rs) {
+  return pool(rs, [](const auto& r) { return r.playback_latency_ms; });
+}
+
+metrics::Cdf pool_goodput(const std::vector<pipeline::SessionReport>& rs) {
+  return pool(rs, [](const auto& r) { return r.goodput_mbps_windows; });
+}
+
+std::vector<double> pool_het(const std::vector<pipeline::SessionReport>& rs) {
+  std::vector<double> out;
+  for (const auto& r : rs) out.insert(out.end(), r.het_ms.begin(), r.het_ms.end());
+  return out;
+}
+
+std::vector<double> pool_ho_frequency(const std::vector<pipeline::SessionReport>& rs) {
+  std::vector<double> out;
+  out.reserve(rs.size());
+  for (const auto& r : rs) out.push_back(r.ho_frequency_per_s);
+  return out;
+}
+
+std::vector<double> pool_latency_ratio_before(
+    const std::vector<pipeline::SessionReport>& rs) {
+  std::vector<double> out;
+  for (const auto& r : rs) {
+    for (const auto& lr : r.ho_latency_ratios) out.push_back(lr.before);
+  }
+  return out;
+}
+
+std::vector<double> pool_latency_ratio_after(
+    const std::vector<pipeline::SessionReport>& rs) {
+  std::vector<double> out;
+  for (const auto& r : rs) {
+    for (const auto& lr : r.ho_latency_ratios) out.push_back(lr.after);
+  }
+  return out;
+}
+
+double mean_stalls_per_minute(const std::vector<pipeline::SessionReport>& rs) {
+  if (rs.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : rs) total += r.stalls_per_minute;
+  return total / static_cast<double>(rs.size());
+}
+
+double mean_per(const std::vector<pipeline::SessionReport>& rs) {
+  if (rs.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : rs) total += r.per;
+  return total / static_cast<double>(rs.size());
+}
+
+metrics::Cdf pool_rtt_in_band(const std::vector<pipeline::SessionReport>& rs,
+                              double lo, double hi) {
+  metrics::Cdf cdf;
+  for (const auto& r : rs) {
+    for (const auto& [alt, rtt] : r.rtt_by_altitude) {
+      if (alt >= lo && alt < hi) cdf.add(rtt);
+    }
+  }
+  return cdf;
+}
+
+}  // namespace rpv::experiment

@@ -1,0 +1,45 @@
+// Campaign runner: repeats a scenario across seeds (the paper aggregates 130
+// measurement runs over ~90 flights) and pools the per-run reports into the
+// sample sets the figures plot.
+#pragma once
+
+#include <vector>
+
+#include "experiment/scenario.hpp"
+#include "metrics/cdf.hpp"
+#include "metrics/summary.hpp"
+#include "pipeline/report.hpp"
+
+namespace rpv::experiment {
+
+struct Campaign {
+  Scenario scenario;       // seed field is the base seed
+  int runs = 5;
+};
+
+// Run `campaign.runs` sessions with consecutive seeds.
+[[nodiscard]] std::vector<pipeline::SessionReport> run_campaign(const Campaign& c);
+
+// --- Pooling helpers: concatenate a per-run sample set across runs. ---
+[[nodiscard]] metrics::Cdf pool_owd(const std::vector<pipeline::SessionReport>& rs);
+[[nodiscard]] metrics::Cdf pool_fps(const std::vector<pipeline::SessionReport>& rs);
+[[nodiscard]] metrics::Cdf pool_ssim(const std::vector<pipeline::SessionReport>& rs);
+[[nodiscard]] metrics::Cdf pool_playback_latency(
+    const std::vector<pipeline::SessionReport>& rs);
+[[nodiscard]] metrics::Cdf pool_goodput(const std::vector<pipeline::SessionReport>& rs);
+[[nodiscard]] std::vector<double> pool_het(
+    const std::vector<pipeline::SessionReport>& rs);
+[[nodiscard]] std::vector<double> pool_ho_frequency(
+    const std::vector<pipeline::SessionReport>& rs);
+[[nodiscard]] std::vector<double> pool_latency_ratio_before(
+    const std::vector<pipeline::SessionReport>& rs);
+[[nodiscard]] std::vector<double> pool_latency_ratio_after(
+    const std::vector<pipeline::SessionReport>& rs);
+[[nodiscard]] double mean_stalls_per_minute(
+    const std::vector<pipeline::SessionReport>& rs);
+[[nodiscard]] double mean_per(const std::vector<pipeline::SessionReport>& rs);
+// RTT samples restricted to an altitude band [lo, hi) in metres (Fig. 13).
+[[nodiscard]] metrics::Cdf pool_rtt_in_band(
+    const std::vector<pipeline::SessionReport>& rs, double lo, double hi);
+
+}  // namespace rpv::experiment

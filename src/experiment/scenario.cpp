@@ -1,0 +1,117 @@
+#include "experiment/scenario.hpp"
+
+namespace rpv::experiment {
+
+std::string environment_name(Environment env) {
+  switch (env) {
+    case Environment::kUrban: return "urban";
+    case Environment::kRuralP1: return "rural-p1";
+    case Environment::kRuralP2: return "rural-p2";
+  }
+  return "?";
+}
+
+std::string mobility_name(Mobility m) {
+  switch (m) {
+    case Mobility::kAir: return "air";
+    case Mobility::kGround: return "ground";
+    case Mobility::kStatic: return "static";
+  }
+  return "?";
+}
+
+double static_bitrate_bps(Environment env) {
+  // Paper §3.2: 25 Mbps urban, 8 Mbps rural, from trial runs.
+  return env == Environment::kUrban ? 25e6 : 8e6;
+}
+
+pipeline::SessionConfig make_session_config(const Scenario& s) {
+  pipeline::SessionConfig cfg;
+  cfg.cc = s.cc;
+  cfg.seed = s.seed;
+  cfg.static_bitrate_bps = static_bitrate_bps(s.env);
+  cfg.receiver.rfc8888_ack_window = s.rfc8888_ack_window;
+  cfg.receiver.jitter.drop_on_latency = s.drop_on_latency;
+  cfg.probe_interval = s.probe_interval;
+  cfg.fec_group_size = s.fec_group_size;
+  cfg.c2.enabled = s.c2;
+
+  auto& radio = cfg.link.radio;
+  switch (s.env) {
+    case Environment::kUrban:
+      // Dense deployment, abundant uplink: up to ~40 Mbps at good SINR.
+      radio.peak_capacity_mbps = 44.0;
+      radio.exponent_ground = 3.5;   // street-level clutter
+      radio.shadowing_stddev_db = 7.0;
+      radio.interference_load = 0.008;
+      // Packet loss above ~80 m is an urban phenomenon (paper §4.2.1).
+      cfg.link.loss.altitude_boost = 0.4;
+      cfg.link.loss.stress_boost = 110.0;
+      break;
+    case Environment::kRuralP1:
+      // Sparse sites far away: capacity limited to ~8-12 Mbps, fluctuating.
+      radio.peak_capacity_mbps = 15.0;
+      radio.exponent_ground = 2.9;   // open space
+      radio.shadowing_stddev_db = 6.5;
+      radio.interference_load = 0.012;
+      break;
+    case Environment::kRuralP2:
+      // Competing operator: denser rural deployment, more capacity.
+      radio.peak_capacity_mbps = 30.0;
+      radio.exponent_ground = 2.9;
+      radio.shadowing_stddev_db = 5.5;
+      radio.interference_load = 0.015;
+      break;
+  }
+
+  if (s.tech == AccessTech::k5gSa) {
+    // 5G stand-alone: shorter scheduling latency, mostly make-before-break
+    // mobility (no HO latency spikes per the studies the paper cites), and a
+    // substantially larger uplink.
+    cfg.link.uplink_access_latency = sim::Duration::millis(4);
+    cfg.link.uplink_access_jitter_ms = 1.0;
+    cfg.link.downlink_latency = sim::Duration::millis(3);
+    cfg.link.handover.make_before_break = true;
+    cfg.link.het.bulk_median_ms = 10.0;
+    cfg.link.het.outlier_prob_air = 0.04;
+    cfg.link.het.outlier_prob_ground = 0.01;
+    radio.peak_capacity_mbps *= 2.2;
+    radio.operator_cap_mbps = 120.0;
+  }
+  return cfg;
+}
+
+cellular::CellLayout make_layout(const Scenario& s, sim::Rng& rng) {
+  switch (s.env) {
+    case Environment::kUrban: return cellular::make_urban_layout(rng);
+    case Environment::kRuralP1: return cellular::make_rural_layout_p1(rng);
+    case Environment::kRuralP2: return cellular::make_rural_layout_p2(rng);
+  }
+  return cellular::make_urban_layout(rng);
+}
+
+geo::Trajectory make_trajectory(const Scenario& s, sim::Rng& rng) {
+  const geo::Vec3 origin{0.0, 0.0, 0.0};
+  switch (s.mobility) {
+    case Mobility::kAir:
+      return geo::make_flight_profile(origin);
+    case Mobility::kGround:
+      return geo::make_ground_profile(origin, rng);
+    case Mobility::kStatic:
+      return geo::make_static_profile({30.0, 30.0, 1.5},
+                                      sim::Duration::seconds(360.0));
+  }
+  return geo::make_flight_profile(origin);
+}
+
+pipeline::SessionReport run_scenario(const Scenario& s) {
+  sim::Rng rng{s.seed * 0x9E3779B97F4A7C15ULL + 0x1234567};
+  auto layout = make_layout(s, rng);
+  auto trajectory = make_trajectory(s, rng);
+  auto cfg = make_session_config(s);
+  pipeline::Session session{cfg, std::move(layout), &trajectory,
+                            environment_name(s.env) + "/" + mobility_name(s.mobility)};
+  return session.run();
+}
+
+}  // namespace rpv::experiment

@@ -1,0 +1,68 @@
+// Scenario presets reproducing the paper's measurement campaign matrix:
+// {urban, rural} x {air, ground} x {GCC, SCReAM, static} x {operator P1, P2}.
+//
+// Environment tuning targets (from the paper):
+//  * urban (P1/P2 similar): uplink up to ~40 Mbps, dense cells, static
+//    baseline at 25 Mbps;
+//  * rural P1 (default operator): sparse cells, fluctuating 8-12 Mbps
+//    uplink, static baseline at 8 Mbps;
+//  * rural P2 (competing operator): denser deployment, more capacity and
+//    more handovers (Fig. 10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cellular/base_station.hpp"
+#include "geo/flight_profiles.hpp"
+#include "pipeline/session.hpp"
+
+namespace rpv::experiment {
+
+enum class Environment { kUrban, kRuralP1, kRuralP2 };
+enum class Mobility { kAir, kGround, kStatic };
+// Access technology: the campaign ran on LTE; the 5G-SA preset models the
+// stand-alone deployments the paper's Section 5 expects to remove the
+// HO latency spikes (shorter access latency, make-before-break mobility,
+// larger uplink).
+enum class AccessTech { kLte, k5gSa };
+
+[[nodiscard]] std::string environment_name(Environment env);
+[[nodiscard]] std::string mobility_name(Mobility m);
+
+// The static-baseline bitrate the paper hand-picked per environment.
+[[nodiscard]] double static_bitrate_bps(Environment env);
+
+struct Scenario {
+  Environment env = Environment::kUrban;
+  Mobility mobility = Mobility::kAir;
+  pipeline::CcKind cc = pipeline::CcKind::kGcc;
+  std::uint64_t seed = 1;
+  // Optional probe traffic; used by the latency/RTT benches.
+  sim::Duration probe_interval = sim::Duration::zero();
+  // Override the RFC 8888 ack window (paper default 64; mitigation 256).
+  int rfc8888_ack_window = 256;
+  // Appendix A.4 jitter-buffer variant.
+  bool drop_on_latency = false;
+  // LTE (the paper's campaign) or 5G stand-alone (its Section 5 outlook).
+  AccessTech tech = AccessTech::kLte;
+  // XOR FEC group size; 0 disables (Section 5 / reference [9] extension).
+  int fec_group_size = 0;
+  // Enable the command/telemetry channel of the RP scenario (Fig. 1).
+  bool c2 = false;
+};
+
+// Fully wired session config for a scenario (link, radio, video, CC).
+[[nodiscard]] pipeline::SessionConfig make_session_config(const Scenario& s);
+
+// The layout of the scenario's environment.
+[[nodiscard]] cellular::CellLayout make_layout(const Scenario& s, sim::Rng& rng);
+
+// The motion profile: the Appendix A.2 flight, the motorbike ground run, or
+// a static hold.
+[[nodiscard]] geo::Trajectory make_trajectory(const Scenario& s, sim::Rng& rng);
+
+// Run one scenario end to end.
+[[nodiscard]] pipeline::SessionReport run_scenario(const Scenario& s);
+
+}  // namespace rpv::experiment

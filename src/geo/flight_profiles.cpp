@@ -1,0 +1,57 @@
+#include "geo/flight_profiles.hpp"
+
+namespace rpv::geo {
+
+Trajectory make_flight_profile(const Vec3& origin, const FlightProfileConfig& cfg) {
+  Trajectory t;
+  t.move_to(origin, 0.0);
+  t.hover(sim::Duration::seconds(5.0));  // pre-takeoff checks
+
+  double dir = 1.0;
+  Vec3 pos = origin;
+  for (const double alt : {40.0, 80.0, 120.0}) {
+    // Vertical climb to the next level.
+    pos.z = alt;
+    t.move_to(pos, cfg.climb_speed_mps);
+    t.hover(cfg.level_hover);
+    // Horizontal leap; one leg at max speed to exercise the fast regime.
+    const bool fast = cfg.include_fast_leap && alt == 80.0;
+    pos.x += dir * cfg.leap_m;
+    t.move_to(pos, fast ? cfg.max_speed_mps : cfg.cruise_speed_mps);
+    t.hover(cfg.level_hover);
+    dir = -dir;
+  }
+  // Straight descent back to ground level at the final horizontal position.
+  pos.z = 0.0;
+  t.move_to(pos, cfg.climb_speed_mps);
+  return t;
+}
+
+Trajectory make_ground_profile(const Vec3& origin, sim::Rng& rng,
+                               double leg_m, int legs) {
+  Trajectory t;
+  Vec3 pos = origin;
+  pos.z = 1.5;  // handlebar height
+  t.move_to(pos, 0.0);
+  double dir = 1.0;
+  for (int i = 0; i < legs; ++i) {
+    // Riding leg at roughly the UAV's average horizontal speed, with spread.
+    const double speed = rng.uniform(3.0, 9.0);
+    pos.x += dir * leg_m;
+    t.move_to(pos, speed);
+    // Stationary stretches (traffic lights etc.) — the paper notes the ground
+    // dataset likely includes longer stationary durations than the air one.
+    t.hover(sim::Duration::seconds(rng.uniform(10.0, 40.0)));
+    dir = -dir;
+  }
+  return t;
+}
+
+Trajectory make_static_profile(const Vec3& pos, sim::Duration duration) {
+  Trajectory t;
+  t.move_to(pos, 0.0);
+  t.hover(duration);
+  return t;
+}
+
+}  // namespace rpv::geo

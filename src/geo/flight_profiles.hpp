@@ -1,0 +1,36 @@
+// The measurement campaign's motion profiles (paper §3.1 and Appendix A.2).
+//
+// The UAV flight: lift off vertically to 40 m, make a ~200 m horizontal leap,
+// repeat at 80 m and 120 m, then descend straight down. Air time ≈ 6 min,
+// median speed 13 km/h, max 60 km/h. The ground profile mimics the horizontal
+// movements on a motorbike at comparable speeds, including the stationary
+// stretches the paper notes skew the ground handover rate downwards.
+#pragma once
+
+#include "geo/trajectory.hpp"
+#include "sim/rng.hpp"
+
+namespace rpv::geo {
+
+struct FlightProfileConfig {
+  double leap_m = 200.0;          // horizontal leap length (paper: ~200 m)
+  double cruise_speed_mps = 3.6;  // ~13 km/h median
+  double climb_speed_mps = 2.0;
+  double max_speed_mps = 16.7;    // ~60 km/h, used for one fast leap
+  sim::Duration level_hover = sim::Duration::seconds(15.0);
+  bool include_fast_leap = true;  // exercise the max recorded speed
+};
+
+// UAV trajectory per Appendix A.2. `origin` is the take-off point; the leaps
+// alternate direction so the flight stays inside the allowed area.
+Trajectory make_flight_profile(const Vec3& origin, const FlightProfileConfig& cfg = {});
+
+// Ground (motorbike) trajectory covering similar horizontal ground at similar
+// speeds, at z = 1.5 m. `rng` jitters the stop durations between runs.
+Trajectory make_ground_profile(const Vec3& origin, sim::Rng& rng,
+                               double leg_m = 400.0, int legs = 6);
+
+// A stationary "hover" profile (used by calibration/unit tests).
+Trajectory make_static_profile(const Vec3& pos, sim::Duration duration);
+
+}  // namespace rpv::geo

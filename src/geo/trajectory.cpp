@@ -1,0 +1,69 @@
+#include "geo/trajectory.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rpv::geo {
+
+Trajectory::Trajectory(std::vector<Waypoint> points) : points_{std::move(points)} {
+  assert(std::is_sorted(points_.begin(), points_.end(),
+                        [](const Waypoint& a, const Waypoint& b) { return a.t < b.t; }));
+}
+
+Trajectory& Trajectory::move_to(const Vec3& pos, double speed_mps) {
+  if (points_.empty()) {
+    points_.push_back({sim::TimePoint::origin(), pos});
+    return *this;
+  }
+  const Waypoint& last = points_.back();
+  const double dist = distance(last.pos, pos);
+  const auto travel = sim::Duration::seconds(speed_mps > 0 ? dist / speed_mps : 0.0);
+  points_.push_back({last.t + travel, pos});
+  return *this;
+}
+
+Trajectory& Trajectory::hover(sim::Duration d) {
+  if (points_.empty()) {
+    points_.push_back({sim::TimePoint::origin(), {}});
+  }
+  const Waypoint& last = points_.back();
+  points_.push_back({last.t + d, last.pos});
+  return *this;
+}
+
+Vec3 Trajectory::position(sim::TimePoint t) const {
+  if (points_.empty()) return {};
+  if (t <= points_.front().t) return points_.front().pos;
+  if (t >= points_.back().t) return points_.back().pos;
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](sim::TimePoint tp, const Waypoint& w) { return tp < w.t; });
+  const Waypoint& b = *it;
+  const Waypoint& a = *(it - 1);
+  const auto span = b.t - a.t;
+  if (span <= sim::Duration::zero()) return b.pos;
+  const double f = (t - a.t) / span;
+  return a.pos + (b.pos - a.pos) * f;
+}
+
+double Trajectory::speed(sim::TimePoint t) const {
+  if (points_.size() < 2 || t <= points_.front().t || t >= points_.back().t) return 0.0;
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](sim::TimePoint tp, const Waypoint& w) { return tp < w.t; });
+  const Waypoint& b = *it;
+  const Waypoint& a = *(it - 1);
+  const auto span = b.t - a.t;
+  if (span <= sim::Duration::zero()) return 0.0;
+  return distance(a.pos, b.pos) / span.sec();
+}
+
+sim::TimePoint Trajectory::start() const {
+  return points_.empty() ? sim::TimePoint::origin() : points_.front().t;
+}
+
+sim::TimePoint Trajectory::end() const {
+  return points_.empty() ? sim::TimePoint::origin() : points_.back().t;
+}
+
+}  // namespace rpv::geo

@@ -1,0 +1,47 @@
+// Piecewise-linear waypoint trajectories.
+//
+// A Trajectory is a sequence of (time, position) waypoints; position(t)
+// interpolates linearly and clamps outside the defined range. This is the
+// motion substrate for both the UAV flight profile and the motorbike ground
+// profile used for the paper's air-vs-ground comparison.
+#pragma once
+
+#include <vector>
+
+#include "geo/vec3.hpp"
+#include "sim/time.hpp"
+
+namespace rpv::geo {
+
+struct Waypoint {
+  sim::TimePoint t;
+  Vec3 pos;
+};
+
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<Waypoint> points);
+
+  // Append a waypoint reached by moving at `speed_mps` from the last one.
+  // The first appended point defines t=start.
+  Trajectory& move_to(const Vec3& pos, double speed_mps);
+  // Append a hold at the current position for `d`.
+  Trajectory& hover(sim::Duration d);
+
+  [[nodiscard]] Vec3 position(sim::TimePoint t) const;
+  // Instantaneous speed (m/s) on the active segment.
+  [[nodiscard]] double speed(sim::TimePoint t) const;
+  [[nodiscard]] double altitude(sim::TimePoint t) const { return position(t).z; }
+
+  [[nodiscard]] sim::TimePoint start() const;
+  [[nodiscard]] sim::TimePoint end() const;
+  [[nodiscard]] sim::Duration duration() const { return end() - start(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] const std::vector<Waypoint>& waypoints() const { return points_; }
+
+ private:
+  std::vector<Waypoint> points_;
+};
+
+}  // namespace rpv::geo

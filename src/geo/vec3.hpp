@@ -1,0 +1,27 @@
+// Minimal 3D vector for positions in a local East-North-Up frame (metres).
+// z is altitude above ground.
+#pragma once
+
+#include <cmath>
+
+namespace rpv::geo {
+
+struct Vec3 {
+  double x = 0.0;  // east, m
+  double y = 0.0;  // north, m
+  double z = 0.0;  // up (altitude above ground), m
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double f) const { return {x * f, y * f, z * f}; }
+
+  [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y + z * z); }
+  [[nodiscard]] double norm2d() const { return std::sqrt(x * x + y * y); }
+};
+
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+// Horizontal (ground-plane) distance, used by path-loss models that treat
+// altitude separately.
+inline double distance2d(const Vec3& a, const Vec3& b) { return (a - b).norm2d(); }
+
+}  // namespace rpv::geo

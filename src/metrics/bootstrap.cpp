@@ -1,0 +1,41 @@
+#include "metrics/bootstrap.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rpv::metrics {
+
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& samples,
+                                     double level, int resamples,
+                                     std::uint64_t seed) {
+  ConfidenceInterval ci;
+  ci.level = level;
+  if (samples.empty()) return ci;
+  ci.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+            static_cast<double>(samples.size());
+  if (samples.size() == 1) {
+    ci.lo = ci.hi = ci.mean;
+    return ci;
+  }
+
+  sim::Rng rng{seed};
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  const auto n = static_cast<std::int64_t>(samples.size());
+  for (int r = 0; r < resamples; ++r) {
+    double total = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      total += samples[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    means.push_back(total / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - level) / 2.0;
+  const auto lo_idx = static_cast<std::size_t>(alpha * (resamples - 1));
+  const auto hi_idx = static_cast<std::size_t>((1.0 - alpha) * (resamples - 1));
+  ci.lo = means[lo_idx];
+  ci.hi = means[hi_idx];
+  return ci;
+}
+
+}  // namespace rpv::metrics

@@ -1,0 +1,26 @@
+// Bootstrap confidence intervals for campaign aggregates.
+//
+// A measurement study reporting means over a modest number of flights should
+// quote uncertainty; the benches use percentile-bootstrap CIs over the
+// per-run statistics to mirror that practice.
+#pragma once
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace rpv::metrics {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lo = 0.0;  // lower bound
+  double hi = 0.0;  // upper bound
+  double level = 0.95;
+};
+
+// Percentile bootstrap CI of the mean. Deterministic for a given seed.
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& samples,
+                                     double level = 0.95, int resamples = 2000,
+                                     std::uint64_t seed = 0xB007);
+
+}  // namespace rpv::metrics

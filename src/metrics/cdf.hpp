@@ -1,0 +1,46 @@
+// Empirical CDF accumulator.
+//
+// Collects samples and answers quantile / fraction-below queries, and can
+// render the same CDF series the paper plots (Figs. 5, 7, 12, 13).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rpv::metrics {
+
+class Cdf {
+ public:
+  void add(double v) { samples_.push_back(v); sorted_ = false; }
+  void add_all(const std::vector<double>& vs);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  // Quantile q in [0, 1]; linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+  [[nodiscard]] double mean() const;
+
+  // Fraction of samples <= x (the CDF value at x).
+  [[nodiscard]] double fraction_below(double x) const;
+  // Fraction of samples >= x.
+  [[nodiscard]] double fraction_at_least(double x) const;
+
+  // Evaluate the CDF at each of `xs`; returns F(x) per point.
+  [[nodiscard]] std::vector<double> evaluate(const std::vector<double>& xs) const;
+
+  // Render "x f(x)" rows at `points` evenly spaced quantiles, for plotting.
+  [[nodiscard]] std::string to_rows(int points = 20) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace rpv::metrics

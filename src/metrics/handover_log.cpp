@@ -1,0 +1,41 @@
+#include "metrics/handover_log.hpp"
+
+#include <algorithm>
+
+namespace rpv::metrics {
+
+double HandoverLog::frequency(sim::Duration observed) const {
+  if (observed <= sim::Duration::zero()) return 0.0;
+  return static_cast<double>(events_.size()) / observed.sec();
+}
+
+std::vector<double> HandoverLog::het_ms() const {
+  std::vector<double> out;
+  out.reserve(events_.size());
+  for (const auto& e : events_) out.push_back(e.het.ms());
+  return out;
+}
+
+std::size_t HandoverLog::ping_pong_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      events_.begin(), events_.end(),
+      [](const HandoverEvent& e) { return e.ping_pong; }));
+}
+
+std::vector<LatencyRatio> HandoverLog::latency_ratios(const TimeSeries& owd_ms,
+                                                      sim::Duration window) const {
+  std::vector<LatencyRatio> out;
+  for (const auto& e : events_) {
+    const auto end = e.start + e.het;
+    const auto max_b = owd_ms.max_in(e.start - window, e.start);
+    const auto min_b = owd_ms.min_in(e.start - window, e.start);
+    const auto max_a = owd_ms.max_in(end, end + window);
+    const auto min_a = owd_ms.min_in(end, end + window);
+    if (!max_b || !min_b || !max_a || !min_a) continue;
+    if (*min_b <= 0.0 || *min_a <= 0.0) continue;
+    out.push_back({*max_b / *min_b, *max_a / *min_a});
+  }
+  return out;
+}
+
+}  // namespace rpv::metrics

@@ -1,0 +1,25 @@
+// Fixed-width text table renderer for bench/example output. Columns size
+// themselves to the widest cell; numeric formatting is the caller's job.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rpv::metrics {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string render() const;
+
+  // Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rpv::metrics

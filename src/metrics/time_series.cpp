@@ -1,0 +1,45 @@
+#include "metrics/time_series.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rpv::metrics {
+
+std::vector<double> TimeSeries::values_in(sim::TimePoint from,
+                                          sim::TimePoint to) const {
+  std::vector<double> out;
+  const auto lo = std::lower_bound(
+      samples_.begin(), samples_.end(), from,
+      [](const Sample& s, sim::TimePoint t) { return s.t < t; });
+  for (auto it = lo; it != samples_.end() && it->t <= to; ++it) {
+    out.push_back(it->value);
+  }
+  return out;
+}
+
+std::optional<double> TimeSeries::max_in(sim::TimePoint from, sim::TimePoint to) const {
+  const auto vs = values_in(from, to);
+  if (vs.empty()) return std::nullopt;
+  return *std::max_element(vs.begin(), vs.end());
+}
+
+std::optional<double> TimeSeries::min_in(sim::TimePoint from, sim::TimePoint to) const {
+  const auto vs = values_in(from, to);
+  if (vs.empty()) return std::nullopt;
+  return *std::min_element(vs.begin(), vs.end());
+}
+
+std::optional<double> TimeSeries::mean_in(sim::TimePoint from, sim::TimePoint to) const {
+  const auto vs = values_in(from, to);
+  if (vs.empty()) return std::nullopt;
+  return std::accumulate(vs.begin(), vs.end(), 0.0) / static_cast<double>(vs.size());
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+}  // namespace rpv::metrics

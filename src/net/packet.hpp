@@ -1,0 +1,39 @@
+// Packet descriptor flowing through the simulated network.
+//
+// The pipeline never carries real payload bytes — only the metadata the
+// receiver, jitter buffer, and congestion controllers act on: sizes, sequence
+// numbers, timestamps, and the frame a packet belongs to.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace rpv::net {
+
+enum class PacketKind : std::uint8_t {
+  kRtpVideo,    // uplink media
+  kRtcpFeedback,  // downlink CC feedback
+  kProbe,       // ICMP-style ping used by the latency benches
+  kFecParity,   // XOR parity protecting a group of media packets
+};
+
+struct Packet {
+  std::uint64_t id = 0;             // unique per-session id
+  PacketKind kind = PacketKind::kRtpVideo;
+  std::size_t size_bytes = 0;
+
+  // RTP metadata (video packets).
+  std::uint16_t rtp_seq = 0;          // RTP sequence number (wraps)
+  std::uint16_t transport_seq = 0;    // transport-wide CC sequence (wraps)
+  std::uint32_t frame_id = 0;         // which video frame this packet carries
+  bool frame_last = false;            // marker bit: last packet of the frame
+  sim::TimePoint rtp_timestamp;       // RTP timestamp: frame capture time
+  std::int32_t fec_group = -1;        // FEC group membership; -1 unprotected
+
+  sim::TimePoint enqueued;   // handed to the sender pacer / link
+  sim::TimePoint sent;       // began transmission on the radio
+  sim::TimePoint received;   // delivered to the far end
+};
+
+}  // namespace rpv::net

@@ -1,0 +1,66 @@
+// Packet-level capture — the tcpdump analogue.
+//
+// The paper collects packet-level data with tcpdump on both ends; sessions
+// can attach this sink to record every delivered (and lost) packet with its
+// timing metadata, for offline analysis or CSV export via rpv::trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace rpv::net {
+
+struct PacketRecord {
+  std::uint64_t id = 0;
+  PacketKind kind = PacketKind::kRtpVideo;
+  std::size_t size_bytes = 0;
+  std::uint16_t transport_seq = 0;
+  std::uint32_t frame_id = 0;
+  sim::TimePoint enqueued;
+  sim::TimePoint received;  // never() for lost packets
+  bool lost = false;
+};
+
+class PacketCapture {
+ public:
+  explicit PacketCapture(std::size_t max_records = 2'000'000)
+      : max_records_{max_records} {}
+
+  void record_delivery(const Packet& p) {
+    if (records_.size() >= max_records_) {
+      ++overflow_;
+      return;
+    }
+    records_.push_back({p.id, p.kind, p.size_bytes, p.transport_seq, p.frame_id,
+                        p.enqueued, p.received, false});
+  }
+
+  void record_loss(const Packet& p) {
+    if (records_.size() >= max_records_) {
+      ++overflow_;
+      return;
+    }
+    records_.push_back({p.id, p.kind, p.size_bytes, p.transport_seq, p.frame_id,
+                        p.enqueued, sim::TimePoint::never(), true});
+  }
+
+  [[nodiscard]] const std::vector<PacketRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t count() const { return records_.size(); }
+  [[nodiscard]] std::uint64_t dropped_records() const { return overflow_; }
+
+  [[nodiscard]] std::size_t lost_count() const {
+    std::size_t n = 0;
+    for (const auto& r : records_) n += r.lost ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::size_t max_records_;
+  std::vector<PacketRecord> records_;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace rpv::net

@@ -1,0 +1,12 @@
+#include "net/wan_path.hpp"
+
+#include <cmath>
+
+namespace rpv::net {
+
+sim::Duration WanPath::sample_delay() {
+  const double jitter = std::abs(rng_.normal(0.0, cfg_.jitter_ms));
+  return cfg_.base_owd + sim::Duration::seconds(jitter / 1e3);
+}
+
+}  // namespace rpv::net

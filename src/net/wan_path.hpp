@@ -1,0 +1,34 @@
+// Wide-area path between the cellular core and the remote receiver.
+//
+// The paper's receiver is an AWS EC2 instance ~1000 km from the measurement
+// site with a minimum UE<->server RTT of ~35 ms; the WAN leg contributes a
+// nearly-fixed propagation delay plus small jitter and negligible loss.
+#pragma once
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace rpv::net {
+
+struct WanConfig {
+  sim::Duration base_owd = sim::Duration::millis(9);  // one-way propagation
+  double jitter_ms = 0.6;        // half-normal jitter added per packet
+  double loss_probability = 1e-6;
+};
+
+class WanPath {
+ public:
+  WanPath(const WanConfig& cfg, sim::Rng rng) : cfg_{cfg}, rng_{rng} {}
+
+  // One-way delay for the next packet; never below base_owd.
+  sim::Duration sample_delay();
+  bool drops_packet() { return rng_.chance(cfg_.loss_probability); }
+
+  [[nodiscard]] const WanConfig& config() const { return cfg_; }
+
+ private:
+  WanConfig cfg_;
+  sim::Rng rng_;
+};
+
+}  // namespace rpv::net

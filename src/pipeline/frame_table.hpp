@@ -1,0 +1,34 @@
+// Shared frame-metadata registry.
+//
+// In the real pipeline the per-frame information the receiver needs (frame
+// number, encode timestamp) travels inside the picture as QR/barcodes and in
+// RTP headers. The simulation keeps payloads virtual, so sender and receiver
+// share this table instead; it carries exactly the data that would have been
+// recovered from the decoded frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "video/frame.hpp"
+
+namespace rpv::pipeline {
+
+class FrameTable {
+ public:
+  void put(const video::Frame& f) { frames_[f.id] = f; }
+
+  [[nodiscard]] std::optional<video::Frame> get(std::uint32_t id) const {
+    const auto it = frames_.find(id);
+    if (it == frames_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return frames_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, video::Frame> frames_;
+};
+
+}  // namespace rpv::pipeline

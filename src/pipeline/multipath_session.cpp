@@ -1,0 +1,214 @@
+#include "pipeline/multipath_session.hpp"
+
+#include "cc/static_rate.hpp"
+#include "cc/gcc/gcc_controller.hpp"
+#include "cc/scream/scream_controller.hpp"
+#include "pipeline/session.hpp"
+
+namespace rpv::pipeline {
+namespace {
+
+std::unique_ptr<cc::RateController> make_controller(const SessionConfig& cfg) {
+  switch (cfg.cc) {
+    case CcKind::kStatic:
+      return std::make_unique<cc::StaticRate>(cfg.static_bitrate_bps);
+    case CcKind::kGcc:
+      return std::make_unique<cc::gcc::GccController>(cfg.gcc);
+    case CcKind::kScream:
+      return std::make_unique<cc::scream::ScreamController>(cfg.scream);
+    case CcKind::kNone:
+      break;
+  }
+  return std::make_unique<cc::StaticRate>(cfg.static_bitrate_bps);
+}
+
+}  // namespace
+
+MultipathSession::MultipathSession(SessionConfig cfg,
+                                   cellular::CellLayout layout_a,
+                                   cellular::CellLayout layout_b,
+                                   const geo::Trajectory* trajectory,
+                                   std::string environment_name,
+                                   MultipathMode mode)
+    : cfg_{cfg},
+      mode_{mode},
+      trajectory_{trajectory},
+      environment_{std::move(environment_name)},
+      rng_{cfg.seed ^ 0xABCDEF12345ULL} {
+  link_a_ = std::make_unique<cellular::CellularLink>(
+      sim_, std::move(layout_a), cfg_.link, trajectory_, rng_.fork());
+  link_b_ = std::make_unique<cellular::CellularLink>(
+      sim_, std::move(layout_b), cfg_.link, trajectory_, rng_.fork());
+  auto count_loss = [this](const net::Packet&) { ++radio_losses_; };
+  link_a_->set_loss_callback(count_loss);
+  link_b_->set_loss_callback(count_loss);
+  wan_up_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
+  wan_down_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
+
+  switch (cfg_.cc) {
+    case CcKind::kGcc:
+      cfg_.receiver.feedback = FeedbackKind::kTwcc;
+      cfg_.sender.discard_queue_ms = -1.0;
+      break;
+    case CcKind::kScream:
+      cfg_.receiver.feedback = FeedbackKind::kRfc8888;
+      cfg_.sender.discard_queue_ms = 100.0;
+      break;
+    default:
+      cfg_.receiver.feedback = FeedbackKind::kNone;
+      cfg_.sender.discard_queue_ms = -1.0;
+      break;
+  }
+
+  receiver_ = std::make_unique<VideoReceiver>(
+      sim_, cfg_.receiver, table_,
+      [this](const rtp::FeedbackReport& report, std::size_t size) {
+        send_feedback(report, size);
+      },
+      rng_.fork());
+
+  sender_ = std::make_unique<VideoSender>(
+      sim_, cfg_.sender, make_controller(cfg_), table_,
+      [this](net::Packet p) {
+        if (mode_ == MultipathMode::kScheduled) {
+          // MPTCP-style: pick the link with the shorter standing queue.
+          const bool use_b =
+              link_b_->queuing_delay_ms() < link_a_->queuing_delay_ms();
+          auto& link = use_b ? *link_b_ : *link_a_;
+          link.send_uplink(std::move(p), [this, use_b](net::Packet q) {
+            deliver_to_receiver(std::move(q), use_b);
+          });
+          return;
+        }
+        // Duplicate onto both uplinks; distinct descriptor ids so the links'
+        // bookkeeping stays independent while the RTP metadata is identical.
+        net::Packet copy = p;
+        copy.id = next_id_++;
+        link_a_->send_uplink(std::move(p), [this](net::Packet q) {
+          deliver_to_receiver(std::move(q), /*via_b=*/false);
+        });
+        link_b_->send_uplink(std::move(copy), [this](net::Packet q) {
+          deliver_to_receiver(std::move(q), /*via_b=*/true);
+        });
+      },
+      rng_.fork());
+}
+
+void MultipathSession::deliver_to_receiver(net::Packet p, bool via_b) {
+  if (wan_up_->drops_packet()) return;
+  const auto delay = wan_up_->sample_delay();
+  sim_.schedule_in(delay, [this, p, via_b]() mutable {
+    // Deduplicate on the RTP identity (transport seq + frame id suffices for
+    // a 16-bit window far larger than any realistic reorder span).
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(p.frame_id) << 16) | p.transport_seq;
+    if (!delivered_ids_.insert(key).second) {
+      ++duplicates_discarded_;
+      return;
+    }
+    // Bound the dedup state by discarding entries for long-played frames;
+    // frame ids are monotone so anything 200+ frames old cannot recur.
+    if (delivered_ids_.size() > 60000) {
+      const std::uint64_t keep_from =
+          p.frame_id > 200 ? (static_cast<std::uint64_t>(p.frame_id - 200) << 16)
+                           : 0;
+      for (auto it = delivered_ids_.begin(); it != delivered_ids_.end();) {
+        it = (*it < keep_from) ? delivered_ids_.erase(it) : std::next(it);
+      }
+    }
+    if (via_b) ++rescued_by_b_;
+    p.received = sim_.now();
+    receiver_->on_packet(p);
+  });
+}
+
+void MultipathSession::send_feedback(const rtp::FeedbackReport& report,
+                                     std::size_t size) {
+  net::Packet fb;
+  fb.kind = net::PacketKind::kRtcpFeedback;
+  fb.size_bytes = size;
+  const auto generated = report.generated;
+  auto forward = [this, report, generated](net::Packet) {
+    // First copy wins; the duplicate is ignored.
+    if (!last_feedback_forwarded_.is_never() &&
+        generated <= last_feedback_forwarded_) {
+      return;
+    }
+    last_feedback_forwarded_ = generated;
+    if (sender_) sender_->on_feedback(report);
+  };
+  const auto delay = wan_down_->sample_delay();
+  sim_.schedule_in(delay, [this, fb, forward] {
+    net::Packet copy_a = fb;
+    net::Packet copy_b = fb;
+    copy_a.id = next_id_++;
+    copy_b.id = next_id_++;
+    link_a_->send_downlink(copy_a, forward);
+    link_b_->send_downlink(copy_b, forward);
+  });
+}
+
+SessionReport MultipathSession::run() {
+  link_a_->start();
+  link_b_->start();
+  const auto start = trajectory_->start();
+  const auto end = trajectory_->end();
+  sender_->start(start, end);
+  receiver_->start(start, end);
+  sim_.run_until(end + sim::Duration::seconds(2.0));
+  receiver_->finish();
+
+  SessionReport r;
+  r.cc_name = cc_name(cfg_.cc) +
+              (mode_ == MultipathMode::kDuplicate ? "+mpdup" : "+mpsched");
+  r.environment = environment_;
+  r.duration = trajectory_->duration();
+
+  const auto& player = receiver_->player();
+  r.goodput_mbps_windows = receiver_->goodput_mbps().values();
+  r.fps_windows = player.fps_windows();
+  r.playback_latency_ms = player.playback_latency_ms().values();
+  r.ssim_samples = player.played_ssim();
+  r.stall_count = player.stall_count();
+  r.stalls_per_minute = player.stalls_per_minute();
+  r.frames_played = player.frames_played();
+  r.frames_corrupted = receiver_->corrupted_frames();
+  r.owd_ms = receiver_->owd_ms().values();
+  r.owd_trace_ms = receiver_->owd_ms();
+  r.playback_latency_trace_ms = player.playback_latency_ms();
+  r.packets_received = receiver_->packets_received();
+  r.frames_encoded = sender_->frames_encoded();
+  r.packets_sent = sender_->packets_sent();
+  r.queue_discard_events = sender_->queue_discard_events();
+  r.target_bitrate_trace_bps = sender_->target_bitrate_trace();
+  double total = 0.0;
+  for (const double g : r.goodput_mbps_windows) total += g;
+  r.avg_goodput_mbps =
+      r.goodput_mbps_windows.empty()
+          ? 0.0
+          : total / static_cast<double>(r.goodput_mbps_windows.size());
+  const std::uint32_t tail_allowance = 15;
+  if (r.frames_encoded > r.frames_played + tail_allowance) {
+    r.ssim_samples.insert(r.ssim_samples.end(),
+                          r.frames_encoded - r.frames_played - tail_allowance,
+                          0.0);
+  }
+  // A packet only counts as lost if BOTH copies died; approximate via the
+  // receiver's view: sent vs delivered-unique.
+  if (r.packets_sent > 0) {
+    const std::uint64_t missing =
+        r.packets_sent > r.packets_received ? r.packets_sent - r.packets_received
+                                            : 0;
+    r.per = static_cast<double>(missing) / static_cast<double>(r.packets_sent);
+  }
+  r.radio_losses = radio_losses_;
+  r.handovers = link_a_->handover_log();
+  r.ho_frequency_per_s = r.handovers.frequency(r.duration);
+  r.het_ms = r.handovers.het_ms();
+  r.cells_seen = link_a_->distinct_cells_seen() + link_b_->distinct_cells_seen();
+  r.capacity_trace_mbps = link_a_->capacity_trace();
+  r.ho_latency_ratios = r.handovers.latency_ratios(receiver_->owd_ms());
+  return r;
+}
+
+}  // namespace rpv::pipeline

@@ -1,0 +1,78 @@
+// Multipath extension (paper Section 5 / reference [9]): stream the video
+// redundantly over TWO cellular operators at once. Each RTP packet is
+// duplicated onto both uplinks and the receiver forwards the first copy to
+// arrive, so an outage (handover stall, deep fade) on one operator is masked
+// whenever the other is healthy — the mechanism the paper proposes for
+// meeting the 99.999% availability requirement.
+//
+// The two links run independent radio/handover state over their own cell
+// layouts (e.g. rural P1 + rural P2) but share the UAV trajectory.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "cellular/cellular_link.hpp"
+#include "geo/trajectory.hpp"
+#include "net/wan_path.hpp"
+#include "pipeline/report.hpp"
+#include "pipeline/session.hpp"
+#include "pipeline/video_receiver.hpp"
+#include "pipeline/video_sender.hpp"
+#include "sim/simulator.hpp"
+
+namespace rpv::pipeline {
+
+// How the two uplinks are used:
+//  * kDuplicate — every packet on both links, first copy wins (reliability;
+//    the paper's reference [9]);
+//  * kScheduled — each packet on the link with the currently shorter uplink
+//    queue (capacity aggregation, MPTCP/MP-QUIC style per Section 5).
+enum class MultipathMode { kDuplicate, kScheduled };
+
+class MultipathSession {
+ public:
+  MultipathSession(SessionConfig cfg, cellular::CellLayout layout_a,
+                   cellular::CellLayout layout_b,
+                   const geo::Trajectory* trajectory,
+                   std::string environment_name,
+                   MultipathMode mode = MultipathMode::kDuplicate);
+
+  SessionReport run();
+
+  [[nodiscard]] cellular::CellularLink& link_a() { return *link_a_; }
+  [[nodiscard]] cellular::CellularLink& link_b() { return *link_b_; }
+  // Packets whose first copy arrived via the secondary link: how often the
+  // redundancy actually rescued delivery.
+  [[nodiscard]] std::uint64_t rescued_by_b() const { return rescued_by_b_; }
+  [[nodiscard]] std::uint64_t duplicates_discarded() const {
+    return duplicates_discarded_;
+  }
+
+ private:
+  void deliver_to_receiver(net::Packet p, bool via_b);
+  void send_feedback(const rtp::FeedbackReport& report, std::size_t size);
+
+  SessionConfig cfg_;
+  MultipathMode mode_;
+  const geo::Trajectory* trajectory_;
+  std::string environment_;
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  std::unique_ptr<cellular::CellularLink> link_a_;
+  std::unique_ptr<cellular::CellularLink> link_b_;
+  std::unique_ptr<net::WanPath> wan_up_;
+  std::unique_ptr<net::WanPath> wan_down_;
+  FrameTable table_;
+  std::unique_ptr<VideoSender> sender_;
+  std::unique_ptr<VideoReceiver> receiver_;
+
+  std::unordered_set<std::uint64_t> delivered_ids_;
+  sim::TimePoint last_feedback_forwarded_ = sim::TimePoint::never();
+  std::uint64_t rescued_by_b_ = 0;
+  std::uint64_t duplicates_discarded_ = 0;
+  std::uint64_t radio_losses_ = 0;
+  std::uint64_t next_id_ = 1ULL << 52;
+};
+
+}  // namespace rpv::pipeline

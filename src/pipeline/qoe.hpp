@@ -1,0 +1,27 @@
+// Remote-piloting Quality-of-Experience score.
+//
+// The paper's related work ([48]) assesses pilot QoE subjectively; for
+// automated comparisons the library provides a deterministic composite on a
+// 1..5 MOS-like scale built from the paper's own requirement thresholds:
+//  * visual quality: fraction of frames at SSIM >= 0.5 (safe to maneuver)
+//    and >= 0.9 (comfortable detail);
+//  * responsiveness: fraction of playback under the 300 ms RP budget;
+//  * smoothness: stall rate (inter-frame gaps > 300 ms).
+// The mapping is intentionally simple and fully documented so downstream
+// studies can substitute their own model.
+#pragma once
+
+#include "pipeline/report.hpp"
+
+namespace rpv::pipeline {
+
+struct QoeBreakdown {
+  double visual = 0.0;          // 0..1
+  double responsiveness = 0.0;  // 0..1
+  double smoothness = 0.0;      // 0..1
+  double mos = 1.0;             // 1..5 composite
+};
+
+QoeBreakdown score_qoe(const SessionReport& report);
+
+}  // namespace rpv::pipeline

@@ -1,0 +1,78 @@
+// Aggregated outcome of one measurement run (one flight / one ground run):
+// every quantity the paper's figures and tables are computed from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/handover_log.hpp"
+#include "metrics/time_series.hpp"
+#include "sim/time.hpp"
+
+namespace rpv::pipeline {
+
+struct SessionReport {
+  std::string cc_name;
+  std::string environment;
+  sim::Duration duration;
+
+  // --- Video delivery ---
+  std::vector<double> goodput_mbps_windows;   // 1 s windows (Fig. 6)
+  std::vector<double> fps_windows;            // 1 s windows (Fig. 7a)
+  std::vector<double> playback_latency_ms;    // per played frame (Fig. 7c)
+  std::vector<double> ssim_samples;           // per frame incl. unplayed zeros (Fig. 7b)
+  double stalls_per_minute = 0.0;             // §4.2.1 table
+  std::uint32_t stall_count = 0;
+  std::uint32_t frames_encoded = 0;
+  std::uint32_t frames_played = 0;
+  std::uint32_t frames_corrupted = 0;
+  double avg_goodput_mbps = 0.0;
+
+  // --- Network ---
+  std::vector<double> owd_ms;                 // per packet (Fig. 5)
+  double per = 0.0;                           // radio + buffer drops / sent
+  double ho_frequency_per_s = 0.0;            // Fig. 4a
+  std::vector<double> het_ms;                 // Fig. 4b
+  std::vector<metrics::LatencyRatio> ho_latency_ratios;  // Fig. 9
+  std::size_t ping_pong_handovers = 0;
+  std::size_t cells_seen = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t radio_losses = 0;
+  std::uint64_t buffer_drops = 0;
+
+  // --- Pipeline internals ---
+  std::uint64_t queue_discard_events = 0;     // SCReAM RTP-queue flushes
+  std::uint64_t jitter_resyncs = 0;
+  std::uint64_t scream_misloss_packets = 0;   // ack-window mislabelled losses
+
+  // --- Traces (Fig. 8 timeline) ---
+  metrics::TimeSeries owd_trace_ms;
+  metrics::TimeSeries playback_latency_trace_ms;
+  metrics::TimeSeries target_bitrate_trace_bps;
+  metrics::TimeSeries capacity_trace_mbps;
+  std::vector<sim::TimePoint> loss_times;
+  metrics::HandoverLog handovers;
+
+  // --- Probes (Fig. 13) ---
+  std::vector<std::pair<double, double>> rtt_by_altitude;  // (altitude m, RTT ms)
+
+  // --- Command & control channel ---
+  std::vector<double> command_latency_ms;    // pilot -> UAV (downlink)
+  std::vector<double> telemetry_latency_ms;  // UAV -> pilot (uplink, shares
+                                             // the video bearer queue)
+  std::uint64_t commands_sent = 0;
+  std::uint64_t telemetry_sent = 0;
+
+  // Seconds until the target bitrate first reached `bps` (ramp-up); negative
+  // if never reached.
+  [[nodiscard]] double ramp_up_seconds(double bps) const {
+    for (const auto& s : target_bitrate_trace_bps.samples()) {
+      if (s.value >= bps) return s.t.sec();
+    }
+    return -1.0;
+  }
+};
+
+}  // namespace rpv::pipeline

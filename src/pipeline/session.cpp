@@ -1,0 +1,263 @@
+#include "pipeline/session.hpp"
+
+#include <algorithm>
+
+#include "cc/static_rate.hpp"
+
+namespace rpv::pipeline {
+
+std::string cc_name(CcKind kind) {
+  switch (kind) {
+    case CcKind::kStatic: return "static";
+    case CcKind::kGcc: return "gcc";
+    case CcKind::kScream: return "scream";
+    case CcKind::kNone: return "probe";
+  }
+  return "?";
+}
+
+Session::Session(SessionConfig cfg, cellular::CellLayout layout,
+                 const geo::Trajectory* trajectory, std::string environment_name)
+    : cfg_{cfg},
+      trajectory_{trajectory},
+      environment_{std::move(environment_name)},
+      rng_{cfg.seed} {
+  link_ = std::make_unique<cellular::CellularLink>(
+      sim_, std::move(layout), cfg_.link, trajectory_, rng_.fork());
+  if (cfg_.capture_packets) capture_ = std::make_unique<net::PacketCapture>();
+  link_->set_loss_callback([this](const net::Packet& p) {
+    ++radio_losses_;
+    loss_times_.push_back(sim_.now());
+    if (capture_) capture_->record_loss(p);
+  });
+  wan_up_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
+  wan_down_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
+
+  if (cfg_.cc != CcKind::kNone) {
+    // Receiver feedback kind and sender queue discard follow the CC choice.
+    switch (cfg_.cc) {
+      case CcKind::kGcc:
+        cfg_.receiver.feedback = FeedbackKind::kTwcc;
+        cfg_.sender.discard_queue_ms = -1.0;
+        break;
+      case CcKind::kScream:
+        cfg_.receiver.feedback = FeedbackKind::kRfc8888;
+        cfg_.sender.discard_queue_ms = 100.0;  // the Ericsson library's flush
+        break;
+      case CcKind::kStatic:
+        cfg_.receiver.feedback = FeedbackKind::kNone;
+        cfg_.sender.discard_queue_ms = -1.0;
+        break;
+      case CcKind::kNone:
+        break;
+    }
+
+    std::shared_ptr<rtp::FecGroupTable> fec_table;
+    if (cfg_.fec_group_size > 0) {
+      cfg_.sender.fec_group_size = cfg_.fec_group_size;
+      fec_table = std::make_shared<rtp::FecGroupTable>();
+    }
+    receiver_ = std::make_unique<VideoReceiver>(
+        sim_, cfg_.receiver, table_,
+        [this](const rtp::FeedbackReport& report, std::size_t size) {
+          // Feedback: WAN back-haul then the cellular downlink.
+          net::Packet p;
+          p.id = next_probe_id_++;
+          p.kind = net::PacketKind::kRtcpFeedback;
+          p.size_bytes = size;
+          const auto wan_delay = wan_down_->sample_delay();
+          sim_.schedule_in(wan_delay, [this, p, report] {
+            link_->send_downlink(p, [this, report](net::Packet) {
+              if (sender_) sender_->on_feedback(report);
+            });
+          });
+        },
+        rng_.fork(), fec_table);
+
+    sender_ = std::make_unique<VideoSender>(
+        sim_, cfg_.sender, make_controller(), table_,
+        [this](net::Packet p) {
+          link_->send_uplink(std::move(p), [this](net::Packet q) {
+            // Radio done; WAN leg to the server.
+            const auto wan_delay = wan_up_->sample_delay();
+            if (wan_up_->drops_packet()) return;
+            sim_.schedule_in(wan_delay, [this, q]() mutable {
+              q.received = sim_.now();
+              if (capture_) capture_->record_delivery(q);
+              receiver_->on_packet(q);
+            });
+          });
+        },
+        rng_.fork(), fec_table);
+  }
+}
+
+std::unique_ptr<cc::RateController> Session::make_controller() {
+  switch (cfg_.cc) {
+    case CcKind::kStatic:
+      return std::make_unique<cc::StaticRate>(cfg_.static_bitrate_bps);
+    case CcKind::kGcc:
+      return std::make_unique<cc::gcc::GccController>(cfg_.gcc);
+    case CcKind::kScream: {
+      auto ctrl = std::make_unique<cc::scream::ScreamController>(cfg_.scream);
+      return ctrl;
+    }
+    case CcKind::kNone:
+      break;
+  }
+  return std::make_unique<cc::StaticRate>(cfg_.static_bitrate_bps);
+}
+
+void Session::send_probe() {
+  const auto now = sim_.now();
+  if (now > trajectory_->end()) return;
+  net::Packet p;
+  p.id = next_probe_id_++;
+  p.kind = net::PacketKind::kProbe;
+  p.size_bytes = 98;  // 64-byte ICMP payload + headers
+  const double altitude = trajectory_->position(now).z;
+  const auto sent_at = now;
+  link_->send_uplink(p, [this, altitude, sent_at](net::Packet) {
+    // Server echoes immediately; pong takes WAN + downlink.
+    const auto wan = wan_up_->sample_delay() + wan_down_->sample_delay();
+    sim_.schedule_in(wan, [this, altitude, sent_at] {
+      net::Packet pong;
+      pong.id = next_probe_id_++;
+      pong.kind = net::PacketKind::kProbe;
+      pong.size_bytes = 98;
+      link_->send_downlink(pong, [this, altitude, sent_at](net::Packet) {
+        rtt_by_altitude_.emplace_back(altitude, (sim_.now() - sent_at).ms());
+      });
+    });
+  });
+  sim_.schedule_in(cfg_.probe_interval, [this] { send_probe(); });
+}
+
+void Session::send_command() {
+  const auto now = sim_.now();
+  if (now > trajectory_->end()) return;
+  // Pilot-side: WAN first, then the cellular downlink to the UAV.
+  net::Packet p;
+  p.id = next_probe_id_++;
+  p.kind = net::PacketKind::kProbe;
+  p.size_bytes = cfg_.c2.command_bytes + 40;
+  ++commands_sent_;
+  const auto sent_at = now;
+  const auto wan = wan_down_->sample_delay();
+  sim_.schedule_in(wan, [this, p, sent_at] {
+    link_->send_downlink(p, [this, sent_at](net::Packet) {
+      command_latency_ms_.add(sim_.now(), (sim_.now() - sent_at).ms());
+    });
+  });
+  sim_.schedule_in(cfg_.c2.command_interval, [this] { send_command(); });
+}
+
+void Session::send_telemetry() {
+  const auto now = sim_.now();
+  if (now > trajectory_->end()) return;
+  // UAV-side: the telemetry packet enters the same uplink queue as the
+  // video stream, then crosses the WAN.
+  net::Packet p;
+  p.id = next_probe_id_++;
+  p.kind = net::PacketKind::kProbe;
+  p.size_bytes = cfg_.c2.telemetry_bytes + 40;
+  ++telemetry_sent_;
+  const auto sent_at = now;
+  link_->send_uplink(p, [this, sent_at](net::Packet) {
+    const auto wan = wan_up_->sample_delay();
+    sim_.schedule_in(wan, [this, sent_at] {
+      telemetry_latency_ms_.add(sim_.now(), (sim_.now() - sent_at).ms());
+    });
+  });
+  sim_.schedule_in(cfg_.c2.telemetry_interval, [this] { send_telemetry(); });
+}
+
+SessionReport Session::run() {
+  link_->start();
+  const auto start = trajectory_->start();
+  const auto end = trajectory_->end();
+  if (sender_) sender_->start(start, end);
+  if (receiver_) receiver_->start(start, end);
+  if (cfg_.probe_interval > sim::Duration::zero()) {
+    sim_.schedule_at(start, [this] { send_probe(); });
+  }
+  if (cfg_.c2.enabled) {
+    sim_.schedule_at(start, [this] { send_command(); });
+    sim_.schedule_at(start, [this] { send_telemetry(); });
+  }
+  sim_.run_until(end + sim::Duration::seconds(2.0));
+  if (receiver_) receiver_->finish();
+
+  SessionReport r;
+  r.cc_name = cc_name(cfg_.cc);
+  r.environment = environment_;
+  r.duration = trajectory_->duration();
+
+  if (receiver_) {
+    const auto& player = receiver_->player();
+    r.goodput_mbps_windows = receiver_->goodput_mbps().values();
+    r.fps_windows = player.fps_windows();
+    r.playback_latency_ms = player.playback_latency_ms().values();
+    r.ssim_samples = player.played_ssim();
+    r.stall_count = player.stall_count();
+    r.stalls_per_minute = player.stalls_per_minute();
+    r.frames_played = player.frames_played();
+    r.frames_corrupted = receiver_->corrupted_frames();
+    r.owd_ms = receiver_->owd_ms().values();
+    r.owd_trace_ms = receiver_->owd_ms();
+    r.playback_latency_trace_ms = player.playback_latency_ms();
+    r.packets_received = receiver_->packets_received();
+    r.jitter_resyncs = receiver_->jitter_buffer().resyncs();
+    double total = 0.0;
+    for (const double g : r.goodput_mbps_windows) total += g;
+    r.avg_goodput_mbps = r.goodput_mbps_windows.empty()
+                             ? 0.0
+                             : total / static_cast<double>(
+                                           r.goodput_mbps_windows.size());
+  }
+  if (sender_) {
+    r.frames_encoded = sender_->frames_encoded();
+    r.packets_sent = sender_->packets_sent();
+    r.queue_discard_events = sender_->queue_discard_events();
+    r.target_bitrate_trace_bps = sender_->target_bitrate_trace();
+    if (const auto* scream = dynamic_cast<const cc::scream::ScreamController*>(
+            &sender_->controller())) {
+      r.scream_misloss_packets = scream->packets_declared_lost();
+    }
+    // Unplayed frames score SSIM 0 (the paper's convention); exclude a small
+    // in-flight tail at the end of the run.
+    const std::uint32_t tail_allowance = 15;
+    if (r.frames_encoded > r.frames_played + tail_allowance) {
+      const std::uint32_t unplayed =
+          r.frames_encoded - r.frames_played - tail_allowance;
+      r.ssim_samples.insert(r.ssim_samples.end(), unplayed, 0.0);
+    }
+  }
+
+  r.radio_losses = radio_losses_;
+  r.buffer_drops = link_->buffer_drops();
+  if (r.packets_sent > 0) {
+    r.per = static_cast<double>(r.radio_losses + r.buffer_drops) /
+            static_cast<double>(r.packets_sent);
+  }
+  r.loss_times = loss_times_;
+
+  const auto& log = link_->handover_log();
+  r.handovers = log;
+  r.ho_frequency_per_s = log.frequency(r.duration);
+  r.het_ms = log.het_ms();
+  r.ping_pong_handovers = log.ping_pong_count();
+  r.cells_seen = link_->distinct_cells_seen();
+  r.capacity_trace_mbps = link_->capacity_trace();
+  if (receiver_) {
+    r.ho_latency_ratios = log.latency_ratios(receiver_->owd_ms());
+  }
+  r.rtt_by_altitude = rtt_by_altitude_;
+  r.command_latency_ms = command_latency_ms_.values();
+  r.telemetry_latency_ms = telemetry_latency_ms_.values();
+  r.commands_sent = commands_sent_;
+  r.telemetry_sent = telemetry_sent_;
+  return r;
+}
+
+}  // namespace rpv::pipeline

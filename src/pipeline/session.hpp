@@ -1,0 +1,109 @@
+// One measurement run: UAV (or ground vehicle) trajectory + cellular link +
+// WAN + video sender/receiver, wired into a single discrete-event simulation.
+//
+// This mirrors the paper's setup (Fig. 2): the sender re-encodes the source
+// video at the CC's target bitrate and streams RTP/UDP over LTE to the
+// remote server; feedback (RTCP) flows back over the same bearer. Probe mode
+// replaces the video workload with ICMP-style pings for the latency-vs-
+// altitude analyses.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "cc/gcc/gcc_controller.hpp"
+#include "cc/scream/scream_controller.hpp"
+#include "cellular/cellular_link.hpp"
+#include "net/packet_capture.hpp"
+#include "geo/trajectory.hpp"
+#include "net/wan_path.hpp"
+#include "pipeline/report.hpp"
+#include "pipeline/video_receiver.hpp"
+#include "pipeline/video_sender.hpp"
+#include "sim/simulator.hpp"
+
+namespace rpv::pipeline {
+
+enum class CcKind { kStatic, kGcc, kScream, kNone /* probe-only */ };
+
+[[nodiscard]] std::string cc_name(CcKind kind);
+
+struct SessionConfig {
+  CcKind cc = CcKind::kGcc;
+  double static_bitrate_bps = 8e6;  // used when cc == kStatic
+
+  SenderConfig sender;
+  ReceiverConfig receiver;
+  cc::gcc::GccConfig gcc;
+  cc::scream::ScreamConfig scream;
+  cellular::CellularLinkConfig link;
+  net::WanConfig wan;
+
+  // Probe traffic (RTT measurement); zero disables.
+  sim::Duration probe_interval = sim::Duration::zero();
+
+  // XOR FEC group size (packets per parity); 0 disables (paper ref [9]).
+  int fec_group_size = 0;
+
+  // Attach a tcpdump-style packet capture (memory cost ~50 B/packet).
+  bool capture_packets = false;
+
+  // Command-and-control channel (the RP scenario of Fig. 1): the pilot sends
+  // command packets downlink at a fixed cadence; the UAV returns telemetry
+  // uplink, sharing the bearer (and its deep queue) with the video stream.
+  struct C2Config {
+    bool enabled = false;
+    sim::Duration command_interval = sim::Duration::millis(50);   // 20 Hz
+    std::size_t command_bytes = 60;
+    sim::Duration telemetry_interval = sim::Duration::millis(100);  // 10 Hz
+    std::size_t telemetry_bytes = 120;
+  } c2;
+
+  std::uint64_t seed = 1;
+};
+
+class Session {
+ public:
+  // `layout` is copied; `trajectory` must outlive the session.
+  Session(SessionConfig cfg, cellular::CellLayout layout,
+          const geo::Trajectory* trajectory, std::string environment_name);
+
+  // Run the full trajectory plus drain time and return the report.
+  SessionReport run();
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] cellular::CellularLink& link() { return *link_; }
+  [[nodiscard]] const net::PacketCapture* capture() const { return capture_.get(); }
+  [[nodiscard]] VideoSender* sender() { return sender_.get(); }
+  [[nodiscard]] VideoReceiver* receiver() { return receiver_.get(); }
+
+ private:
+  void send_probe();
+  void send_command();
+  void send_telemetry();
+  std::unique_ptr<cc::RateController> make_controller();
+
+  SessionConfig cfg_;
+  const geo::Trajectory* trajectory_;
+  std::string environment_;
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  std::unique_ptr<cellular::CellularLink> link_;
+  std::unique_ptr<net::WanPath> wan_up_;
+  std::unique_ptr<net::WanPath> wan_down_;
+  FrameTable table_;
+  std::unique_ptr<VideoSender> sender_;
+  std::unique_ptr<VideoReceiver> receiver_;
+
+  std::unique_ptr<net::PacketCapture> capture_;
+  std::vector<sim::TimePoint> loss_times_;
+  std::uint64_t radio_losses_ = 0;
+  std::vector<std::pair<double, double>> rtt_by_altitude_;
+  metrics::TimeSeries command_latency_ms_;
+  metrics::TimeSeries telemetry_latency_ms_;
+  std::uint64_t commands_sent_ = 0;
+  std::uint64_t telemetry_sent_ = 0;
+  std::uint64_t next_probe_id_ = 1ULL << 48;
+};
+
+}  // namespace rpv::pipeline

@@ -1,0 +1,97 @@
+// Receiver half of the video pipeline (the remote-pilot side on AWS).
+//
+// Packets arriving from the network enter the RTP jitter buffer (150 ms,
+// paper §3.2); released frames are scored by the SSIM model and displayed by
+// the player model. In parallel the receiver generates the congestion
+// feedback the sender's CC consumes: transport-wide-CC reports for GCC or
+// RFC 8888 reports (10 ms clock, bounded ack window) for SCReAM.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "metrics/time_series.hpp"
+#include "net/packet.hpp"
+#include "pipeline/frame_table.hpp"
+#include "rtp/fec.hpp"
+#include "rtp/feedback.hpp"
+#include "rtp/jitter_buffer.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "video/player_model.hpp"
+#include "video/ssim_model.hpp"
+
+namespace rpv::pipeline {
+
+enum class FeedbackKind { kNone, kTwcc, kRfc8888 };
+
+struct ReceiverConfig {
+  rtp::JitterBufferConfig jitter;
+  video::PlayerConfig player;
+  video::SsimConfig ssim;
+  FeedbackKind feedback = FeedbackKind::kTwcc;
+  sim::Duration twcc_interval = sim::Duration::millis(50);
+  sim::Duration rfc8888_interval = sim::Duration::millis(10);
+  int rfc8888_ack_window = 64;  // the paper raises this to 256
+  std::size_t feedback_base_bytes = 60;
+  std::size_t feedback_per_result_bytes = 2;
+};
+
+class VideoReceiver {
+ public:
+  // Sends a feedback report back to the sender over the return path.
+  using FeedbackFn = std::function<void(const rtp::FeedbackReport&, std::size_t)>;
+
+  VideoReceiver(sim::Simulator& simulator, ReceiverConfig cfg,
+                const FrameTable& table, FeedbackFn send_feedback, sim::Rng rng,
+                std::shared_ptr<rtp::FecGroupTable> fec_table = nullptr);
+
+  // Run the feedback clock from `start` until `end`.
+  void start(sim::TimePoint start, sim::TimePoint end);
+
+  void on_packet(const net::Packet& p);
+
+  // Call after the simulation drains to finalize windowed stats.
+  void finish();
+
+  [[nodiscard]] video::PlayerModel& player() { return *player_; }
+  [[nodiscard]] const video::PlayerModel& player() const { return *player_; }
+  [[nodiscard]] const rtp::JitterBuffer& jitter_buffer() const { return *jb_; }
+  [[nodiscard]] const metrics::TimeSeries& owd_ms() const { return owd_ms_; }
+  [[nodiscard]] const metrics::TimeSeries& goodput_mbps() const {
+    return goodput_mbps_;
+  }
+  [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
+  [[nodiscard]] std::uint64_t media_bytes() const { return media_bytes_; }
+  [[nodiscard]] std::uint32_t corrupted_frames() const { return corrupted_frames_; }
+  [[nodiscard]] std::uint64_t fec_recovered() const {
+    return fec_ ? fec_->recovered_packets() : 0;
+  }
+
+ private:
+  void feedback_tick();
+  void goodput_tick();
+  void on_frame_release(const rtp::FrameReleaseEvent& ev);
+
+  sim::Simulator& sim_;
+  ReceiverConfig cfg_;
+  const FrameTable& table_;
+  FeedbackFn send_feedback_;
+  std::unique_ptr<rtp::JitterBuffer> jb_;
+  std::unique_ptr<video::PlayerModel> player_;
+  video::SsimModel ssim_;
+  rtp::TwccCollector twcc_;
+  rtp::Rfc8888Collector rfc8888_;
+  std::unique_ptr<rtp::FecDecoder> fec_;
+
+  sim::TimePoint end_time_;
+  metrics::TimeSeries owd_ms_;
+  metrics::TimeSeries goodput_mbps_;
+  std::uint64_t window_bytes_ = 0;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t media_bytes_ = 0;
+  std::uint32_t corrupted_frames_ = 0;
+};
+
+}  // namespace rpv::pipeline

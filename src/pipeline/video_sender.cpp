@@ -1,0 +1,130 @@
+#include "pipeline/video_sender.hpp"
+
+#include <algorithm>
+
+namespace rpv::pipeline {
+
+VideoSender::VideoSender(sim::Simulator& simulator, SenderConfig cfg,
+                         std::unique_ptr<cc::RateController> controller,
+                         FrameTable& table, TransmitFn transmit, sim::Rng rng,
+                         std::shared_ptr<rtp::FecGroupTable> fec_table)
+    : sim_{simulator},
+      cfg_{cfg},
+      cc_{std::move(controller)},
+      table_{table},
+      transmit_{std::move(transmit)},
+      source_{cfg.source, rng.fork()},
+      encoder_{cfg.encoder, rng.fork()},
+      packetizer_{cfg.packetizer} {
+  if (cfg_.fec_group_size > 0 && fec_table) {
+    fec_ = std::make_unique<rtp::FecEncoder>(
+        rtp::FecConfig{cfg_.fec_group_size}, std::move(fec_table));
+  }
+}
+
+void VideoSender::start(sim::TimePoint start, sim::TimePoint end) {
+  end_time_ = end;
+  sim_.schedule_at(start, [this] { frame_tick(); });
+}
+
+double VideoSender::queue_delay_ms() const {
+  const double rate = std::max(cc_->target_bitrate_bps(), 1e5);
+  return static_cast<double>(queue_bytes_) * 8.0 / rate * 1e3;
+}
+
+void VideoSender::frame_tick() {
+  const auto now = sim_.now();
+  if (now > end_time_) return;
+
+  cc_->on_tick(now);
+  cc_->on_send_queue_delay(queue_delay_ms());
+
+  // SCReAM-style queue discard: flush everything older than the threshold.
+  if (cfg_.discard_queue_ms > 0.0 && queue_delay_ms() > cfg_.discard_queue_ms) {
+    discarded_ += queue_.size();
+    ++discard_events_;
+    queue_.clear();
+    queue_bytes_ = 0;
+    cc_->on_queue_discard(now);
+  }
+
+  encoder_.set_target_bitrate(cc_->target_bitrate_bps());
+  target_trace_.add(now, cc_->target_bitrate_bps());
+
+  const double complexity = source_.next_complexity();
+  const video::Frame frame = encoder_.encode(frames_encoded_, now, complexity,
+                                             source_.at_shot_cut());
+  ++frames_encoded_;
+  table_.put(frame);
+
+  for (auto& p : packetizer_.packetize(frame)) {
+    std::optional<net::Packet> parity;
+    if (fec_) {
+      // Transport-wide sequence numbers must follow the wire order or the
+      // feedback reports misread in-flight parity gaps as losses; with FEC
+      // active the sender numbers every packet (media + parity) itself.
+      p.transport_seq = fec_transport_seq_++;
+      parity = fec_->on_media_packet(p);
+    }
+    queue_bytes_ += p.size_bytes;
+    queue_.push_back(std::move(p));
+    if (parity) {
+      parity->transport_seq = fec_transport_seq_++;
+      queue_bytes_ += parity->size_bytes;
+      queue_.push_back(std::move(*parity));
+    }
+  }
+  pump();
+
+  sim_.schedule_in(cfg_.frame_interval, [this] { frame_tick(); });
+}
+
+void VideoSender::schedule_pump(sim::Duration in) {
+  if (pump_scheduled_) return;
+  pump_scheduled_ = true;
+  sim_.schedule_in(in, [this] {
+    pump_scheduled_ = false;
+    pump();
+  });
+}
+
+void VideoSender::pump() {
+  const auto now = sim_.now();
+  if (queue_.empty()) return;
+  if (now < next_send_allowed_) {
+    schedule_pump(next_send_allowed_ - now);
+    return;
+  }
+  net::Packet& head = queue_.front();
+  if (cc_->window_limited() && !cc_->can_send(head.size_bytes)) {
+    // Self-clocked: wait for acknowledgments (or the blocked poll).
+    schedule_pump(cfg_.blocked_poll);
+    return;
+  }
+
+  net::Packet p = std::move(head);
+  queue_.pop_front();
+  queue_bytes_ -= p.size_bytes;
+  p.enqueued = now;
+
+  cc_->on_packet_sent({p.transport_seq, p.size_bytes, now});
+  ++packets_sent_;
+  bytes_sent_ += p.size_bytes;
+
+  // Pacing clock for the next packet.
+  const double pacing = std::max(cc_->pacing_rate_bps(), 1e5);
+  next_send_allowed_ =
+      now + sim::Duration::seconds(static_cast<double>(p.size_bytes) * 8.0 / pacing);
+
+  transmit_(std::move(p));
+
+  if (!queue_.empty()) schedule_pump(next_send_allowed_ - now);
+}
+
+void VideoSender::on_feedback(const rtp::FeedbackReport& report) {
+  cc_->on_feedback(report, sim_.now());
+  // Feedback may have opened the congestion window.
+  if (!queue_.empty()) pump();
+}
+
+}  // namespace rpv::pipeline

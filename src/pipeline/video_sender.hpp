@@ -1,0 +1,99 @@
+// Sender half of the video pipeline (the drone side).
+//
+// Drives the 30 FPS capture clock, re-encodes the source at the congestion
+// controller's target bitrate, packetizes frames into RTP, and transmits
+// from a sender-side RTP queue — rate-paced for GCC/static, window-limited
+// (self-clocked) for SCReAM. The queue is where the paper's FPS-dip
+// mechanism lives: after a sharp target decrease, frames encoded at the old
+// (higher) bitrate still drain at the new (lower) pace. An optional discard
+// threshold reproduces SCReAM's flush of queues older than 100 ms.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "cc/rate_controller.hpp"
+#include "metrics/time_series.hpp"
+#include "net/packet.hpp"
+#include "pipeline/frame_table.hpp"
+#include "rtp/fec.hpp"
+#include "rtp/packetizer.hpp"
+#include "sim/simulator.hpp"
+#include "video/encoder_model.hpp"
+#include "video/frame_source.hpp"
+
+namespace rpv::pipeline {
+
+struct SenderConfig {
+  sim::Duration frame_interval = sim::Duration::micros(33333);
+  // SCReAM flushes its RTP queue when it exceeds this delay; <=0 disables
+  // (GCC and static never discard).
+  double discard_queue_ms = -1.0;
+  // Re-check interval when the window blocks transmission.
+  sim::Duration blocked_poll = sim::Duration::millis(5);
+  // XOR FEC: one parity packet per this many media packets; 0 disables.
+  int fec_group_size = 0;
+  video::EncoderConfig encoder;
+  video::FrameSourceConfig source;
+  rtp::PacketizerConfig packetizer;
+};
+
+class VideoSender {
+ public:
+  using TransmitFn = std::function<void(net::Packet)>;
+
+  VideoSender(sim::Simulator& simulator, SenderConfig cfg,
+              std::unique_ptr<cc::RateController> controller,
+              FrameTable& table, TransmitFn transmit, sim::Rng rng,
+              std::shared_ptr<rtp::FecGroupTable> fec_table = nullptr);
+
+  // Capture/encode frames from `start` until `end`.
+  void start(sim::TimePoint start, sim::TimePoint end);
+
+  void on_feedback(const rtp::FeedbackReport& report);
+
+  [[nodiscard]] cc::RateController& controller() { return *cc_; }
+  [[nodiscard]] const cc::RateController& controller() const { return *cc_; }
+  [[nodiscard]] std::uint32_t frames_encoded() const { return frames_encoded_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t packets_discarded() const { return discarded_; }
+  [[nodiscard]] std::uint64_t queue_discard_events() const { return discard_events_; }
+  [[nodiscard]] double queue_delay_ms() const;
+  [[nodiscard]] const metrics::TimeSeries& target_bitrate_trace() const {
+    return target_trace_;
+  }
+
+ private:
+  void frame_tick();
+  void pump();
+  void schedule_pump(sim::Duration in);
+
+  sim::Simulator& sim_;
+  SenderConfig cfg_;
+  std::unique_ptr<cc::RateController> cc_;
+  FrameTable& table_;
+  TransmitFn transmit_;
+  video::FrameSource source_;
+  video::EncoderModel encoder_;
+  rtp::Packetizer packetizer_;
+  std::unique_ptr<rtp::FecEncoder> fec_;
+
+  sim::TimePoint end_time_;
+  std::deque<net::Packet> queue_;
+  std::size_t queue_bytes_ = 0;
+  bool pump_scheduled_ = false;
+  sim::TimePoint next_send_allowed_ = sim::TimePoint::origin();
+
+  std::uint16_t fec_transport_seq_ = 0;  // wire-order seqs when FEC is on
+  std::uint32_t frames_encoded_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t discarded_ = 0;
+  std::uint64_t discard_events_ = 0;
+  metrics::TimeSeries target_trace_;
+};
+
+}  // namespace rpv::pipeline

@@ -1,0 +1,74 @@
+#include "rtp/fec.hpp"
+
+#include <algorithm>
+
+namespace rpv::rtp {
+
+std::optional<net::Packet> FecEncoder::on_media_packet(net::Packet& media) {
+  if (slots_.empty()) slots_.resize(static_cast<std::size_t>(cfg_.interleave_depth));
+  Slot& slot = slots_[next_slot_];
+  next_slot_ = (next_slot_ + 1) % slots_.size();
+
+  if (slot.group < 0) slot.group = next_group_++;
+  media.fec_group = slot.group;
+  slot.members.push_back(media);
+  slot.max_size = std::max(slot.max_size, media.size_bytes);
+  if (static_cast<int>(slot.members.size()) < cfg_.group_size) return std::nullopt;
+
+  net::Packet parity;
+  parity.id = next_id_++;
+  parity.kind = net::PacketKind::kFecParity;
+  parity.size_bytes = slot.max_size;  // the XOR is as big as the largest member
+  parity.fec_group = slot.group;
+  parity.rtp_timestamp = slot.members.back().rtp_timestamp;
+  table_->put(slot.group, std::move(slot.members));
+  slot = Slot{};
+  ++parity_count_;
+  return parity;
+}
+
+std::optional<net::Packet> FecDecoder::on_media_packet(const net::Packet& p,
+                                                        sim::TimePoint now) {
+  if (p.fec_group < 0) return std::nullopt;
+  auto& st = states_[p.fec_group];
+  st.seen_transport_seqs.push_back(p.transport_seq);
+  // Bound state.
+  while (states_.size() > 512) states_.erase(states_.begin());
+  return try_repair(p.fec_group, now);
+}
+
+std::optional<net::Packet> FecDecoder::on_parity_packet(const net::Packet& parity,
+                                                        sim::TimePoint now) {
+  if (parity.fec_group < 0) return std::nullopt;
+  auto& st = states_[parity.fec_group];
+  st.parity_seen = true;
+  return try_repair(parity.fec_group, now);
+}
+
+std::optional<net::Packet> FecDecoder::try_repair(std::int32_t group,
+                                                  sim::TimePoint now) {
+  auto& st = states_[group];
+  if (!st.parity_seen || st.repaired) return std::nullopt;
+  const auto* members = table_->get(group);
+  if (members == nullptr) return std::nullopt;
+  // Exactly one member missing: the XOR yields it.
+  const net::Packet* missing = nullptr;
+  int missing_count = 0;
+  for (const auto& m : *members) {
+    const bool seen =
+        std::find(st.seen_transport_seqs.begin(), st.seen_transport_seqs.end(),
+                  m.transport_seq) != st.seen_transport_seqs.end();
+    if (!seen) {
+      ++missing_count;
+      missing = &m;
+    }
+  }
+  if (missing_count != 1) return std::nullopt;
+  st.repaired = true;
+  ++recovered_;
+  net::Packet rebuilt = *missing;
+  rebuilt.received = now;
+  return rebuilt;
+}
+
+}  // namespace rpv::rtp

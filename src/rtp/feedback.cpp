@@ -1,0 +1,78 @@
+#include "rtp/feedback.hpp"
+
+#include "rtp/sequence.hpp"
+
+namespace rpv::rtp {
+namespace {
+
+std::uint16_t rewrap(std::int64_t unwrapped) {
+  return static_cast<std::uint16_t>(unwrapped & 0xFFFF);
+}
+
+}  // namespace
+
+void TwccCollector::on_packet(std::uint16_t transport_seq, sim::TimePoint arrival) {
+  pending_.emplace(unwrapper_.unwrap(transport_seq), arrival);
+}
+
+FeedbackReport TwccCollector::build_report(sim::TimePoint now) {
+  FeedbackReport report;
+  report.generated = now;
+  if (pending_.empty()) return report;
+
+  std::int64_t first = last_reported_ >= 0 ? last_reported_ + 1
+                                           : pending_.begin()->first;
+  const std::int64_t last = pending_.rbegin()->first;
+  // Defensive: a pathological unwrap (or a very long radio silence) must not
+  // produce a giant or negative report range.
+  if (first > last || last - first > 20000) first = pending_.begin()->first;
+  report.results.reserve(static_cast<std::size_t>(last - first + 1));
+  for (std::int64_t s = first; s <= last; ++s) {
+    PacketResult r;
+    r.transport_seq = rewrap(s);
+    const auto it = pending_.find(s);
+    if (it != pending_.end()) {
+      r.received = true;
+      r.arrival = it->second;
+    }
+    report.results.push_back(r);
+  }
+  last_reported_ = last;
+  pending_.clear();
+  return report;
+}
+
+void Rfc8888Collector::on_packet(std::uint16_t transport_seq, sim::TimePoint arrival) {
+  const std::int64_t s = unwrapper_.unwrap(transport_seq);
+  arrivals_.emplace(s, arrival);
+  any_seen_ = true;
+  if (s > highest_) highest_ = s;
+  // Trim state well behind any feedback window we could still report.
+  const std::int64_t keep_from = highest_ - 4 * ack_window_;
+  while (!arrivals_.empty() && arrivals_.begin()->first < keep_from) {
+    arrivals_.erase(arrivals_.begin());
+  }
+}
+
+FeedbackReport Rfc8888Collector::build_report(sim::TimePoint now) const {
+  FeedbackReport report;
+  report.generated = now;
+  if (!any_seen_) return report;
+  const std::int64_t first = std::max<std::int64_t>(
+      arrivals_.empty() ? highest_ : arrivals_.begin()->first,
+      highest_ - ack_window_ + 1);
+  report.results.reserve(static_cast<std::size_t>(highest_ - first + 1));
+  for (std::int64_t s = first; s <= highest_; ++s) {
+    PacketResult r;
+    r.transport_seq = rewrap(s);
+    const auto it = arrivals_.find(s);
+    if (it != arrivals_.end()) {
+      r.received = true;
+      r.arrival = it->second;
+    }
+    report.results.push_back(r);
+  }
+  return report;
+}
+
+}  // namespace rpv::rtp

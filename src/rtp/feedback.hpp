@@ -1,0 +1,75 @@
+// RTCP congestion-control feedback formats.
+//
+// The paper's two CC algorithms use different RTCP extensions:
+//  * GCC consumes transport-wide-CC feedback
+//    (draft-holmer-rmcat-transport-wide-cc-extensions-01): the receiver
+//    reports the arrival time of every transport sequence number since the
+//    previous report;
+//  * SCReAM consumes RFC 8888 congestion control feedback: reports are
+//    generated on a fixed clock (10 ms in the Ericsson library) and cover
+//    the packet with the highest received sequence number plus a *bounded
+//    window* of preceding packets. At rates above ~7 Mbps more packets
+//    arrive between two reports than the default 64-packet window covers,
+//    so received packets go unacknowledged and SCReAM misreads them as
+//    lost — the pathology of §4.2.1. The window is configurable (64 or the
+//    paper's mitigation, 256).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rtp/sequence.hpp"
+#include "sim/time.hpp"
+
+namespace rpv::rtp {
+
+struct PacketResult {
+  std::uint16_t transport_seq = 0;
+  bool received = false;
+  sim::TimePoint arrival;  // valid when received
+};
+
+struct FeedbackReport {
+  sim::TimePoint generated;
+  std::vector<PacketResult> results;  // ascending transport_seq
+};
+
+// Receiver-side collector for transport-wide-CC feedback (GCC).
+class TwccCollector {
+ public:
+  void on_packet(std::uint16_t transport_seq, sim::TimePoint arrival);
+
+  // Build a report covering everything received since the last report,
+  // including explicit "lost" entries for gaps.
+  [[nodiscard]] FeedbackReport build_report(sim::TimePoint now);
+  [[nodiscard]] bool has_data() const { return !pending_.empty(); }
+
+ private:
+  std::map<std::int64_t, sim::TimePoint> pending_;  // unwrapped seq -> arrival
+  std::int64_t last_reported_ = -1;
+  SeqUnwrapper unwrapper_;
+};
+
+// Receiver-side collector for RFC 8888 feedback (SCReAM).
+class Rfc8888Collector {
+ public:
+  explicit Rfc8888Collector(int ack_window = 64) : ack_window_{ack_window} {}
+
+  void on_packet(std::uint16_t transport_seq, sim::TimePoint arrival);
+
+  // Report covering [highest - window + 1, highest]: the bounded window is
+  // what loses acknowledgments at high rates (see file comment).
+  [[nodiscard]] FeedbackReport build_report(sim::TimePoint now) const;
+  [[nodiscard]] bool has_data() const { return any_seen_; }
+  [[nodiscard]] int ack_window() const { return ack_window_; }
+
+ private:
+  int ack_window_;
+  std::map<std::int64_t, sim::TimePoint> arrivals_;  // unwrapped seq -> arrival
+  std::int64_t highest_ = -1;
+  bool any_seen_ = false;
+  SeqUnwrapper unwrapper_;
+};
+
+}  // namespace rpv::rtp

@@ -1,0 +1,223 @@
+#include <cstdio>
+#include "rtp/jitter_buffer.hpp"
+
+#include <algorithm>
+
+#include "rtp/sequence.hpp"
+
+namespace rpv::rtp {
+
+JitterBuffer::JitterBuffer(sim::Simulator& simulator, JitterBufferConfig cfg,
+                           ReleaseFn release)
+    : sim_{simulator}, cfg_{cfg}, release_{std::move(release)} {}
+
+sim::TimePoint JitterBuffer::deadline_of(const PendingFrame& f) const {
+  return f.rtp_timestamp + base_offset_ + extra_offset_ + cfg_.latency;
+}
+
+double JitterBuffer::extra_offset_ms() const { return extra_offset_.ms(); }
+
+void JitterBuffer::on_packet(const net::Packet& p) {
+  const auto now = sim_.now();
+  const std::int64_t seq = unwrapper_.unwrap(p.rtp_seq);
+
+  // Packets for frames already delivered or abandoned arrive too late.
+  if (static_cast<std::int64_t>(p.frame_id) <= last_delivered_frame_) {
+    ++late_packets_;
+    return;
+  }
+
+  if (!offset_valid_) {
+    base_offset_ = now - p.rtp_timestamp;
+    offset_valid_ = true;
+  }
+
+  // Large sequence jump (sender-side queue discard): resync the timeline to
+  // the new packet. Whatever delay the stream carries at that moment is
+  // folded into extra_offset_, which then only decays slowly — the elevated
+  // playback-latency plateau of §4.2.2.
+  if (any_seq_ && seq > highest_seq_ + cfg_.resync_gap_packets) {
+    const auto fresh = now - p.rtp_timestamp;
+    if (fresh > base_offset_ + extra_offset_) {
+      // Gap followed by *delayed* packets: a bufferbloat drain after loss.
+      // The timeline follows the observed delay.
+      extra_offset_ = fresh - base_offset_;
+    } else {
+      // Gap followed by *prompt* packets: a sender-side queue flush (SCReAM
+      // discard). The jitter buffer re-synchronizes its clock mapping and
+      // playback holds at an elevated latency for a while — the ~1 s
+      // plateaus the paper observes with SCReAM in the urban tests.
+      extra_offset_ = std::max(extra_offset_, cfg_.resync_stall);
+    }
+    ++resyncs_;
+  }
+  if (!any_seq_ || seq > highest_seq_) highest_seq_ = seq;
+  any_seq_ = true;
+
+  auto [it, inserted] = frames_.try_emplace(p.frame_id);
+  PendingFrame& f = it->second;
+  if (inserted) {
+    f.rtp_timestamp = p.rtp_timestamp;
+    f.min_seq = seq;
+    f.max_seq = seq;
+  }
+  f.min_seq = std::min(f.min_seq, seq);
+  f.max_seq = std::max(f.max_seq, seq);
+  f.last_arrival = now;
+  f.received.insert(seq);
+  if (p.frame_last) {
+    f.marker_seq = seq;
+    f.has_marker = true;
+  }
+
+  if (!f.timer_armed) {
+    f.timer_armed = true;
+    const auto fire_at = std::max(deadline_of(f), now);
+    const std::uint32_t id = p.frame_id;
+    f.timer = sim_.schedule_at(fire_at, [this, id] { try_release(id, true); });
+  }
+
+  try_release(p.frame_id, false);
+  // New packets may be the loss evidence an older pending frame waits for.
+  if (!frames_.empty() && frames_.begin()->first < p.frame_id) {
+    try_release(frames_.begin()->first, false);
+  }
+}
+
+void JitterBuffer::try_release(std::uint32_t frame_id, bool timer_fired) {
+  const auto it = frames_.find(frame_id);
+  if (it == frames_.end()) return;
+  PendingFrame& f = it->second;
+  const auto now = sim_.now();
+  const auto deadline = deadline_of(f);
+
+  // Head of the frame: inferred from the previous frame's marker when the
+  // frames are contiguous, otherwise the smallest sequence we saw.
+  const std::int64_t first_seq =
+      (have_expected_next_ && expected_next_seq_ <= f.min_seq &&
+       f.min_seq - expected_next_seq_ < cfg_.resync_gap_packets)
+          ? expected_next_seq_
+          : f.min_seq;
+
+  const bool know_extent = f.has_marker;
+  const std::int64_t expected = know_extent ? f.marker_seq - first_seq + 1 : 0;
+  const bool complete =
+      know_extent && static_cast<std::int64_t>(f.received.size()) >= expected;
+
+  if (complete) {
+    if (now < deadline) {
+      // The deadline may have moved (resync raised the offset) after the
+      // timer was armed: re-arm at the current deadline.
+      if (timer_fired) {
+        f.timer = sim_.schedule_at(deadline,
+                                   [this, frame_id] { try_release(frame_id, true); });
+        f.timer_armed = true;
+      }
+      return;
+    }
+    // Strictly in-order release: a complete frame waits for older pending
+    // frames to resolve (conceal or time out) first.
+    if (!frames_.empty() && frames_.begin()->first < frame_id) {
+      if (timer_fired) {
+        f.timer = sim_.schedule_in(sim::Duration::millis(5),
+                                   [this, frame_id] { try_release(frame_id, true); });
+        f.timer_armed = true;
+      }
+      return;
+    }
+    release_frame(frame_id, f, false);
+    return;
+  }
+
+  // Incomplete. The uplink delivers in order, so packets newer than this
+  // frame's highest arriving means the missing ones were genuinely lost;
+  // a short grace absorbs residual reordering across the WAN.
+  const bool overtaken = highest_seq_ > f.max_seq;
+  const bool quiescent = now - f.last_arrival >= cfg_.reorder_wait;
+  const bool evidence = overtaken && quiescent &&
+                        now >= deadline + cfg_.incomplete_grace;
+  const bool timed_out = now >= deadline + cfg_.hard_timeout;
+  if (evidence || timed_out) {
+    release_frame(frame_id, f, true);
+    return;
+  }
+
+  if (timer_fired) {
+    // Keep polling: next decision point is the grace boundary, then
+    // quiescence, then the hard timeout. Packet arrivals re-evaluate earlier.
+    auto next = deadline + cfg_.hard_timeout;
+    if (now < deadline + cfg_.incomplete_grace) {
+      next = deadline + cfg_.incomplete_grace;
+    } else if (overtaken && !quiescent) {
+      next = f.last_arrival + cfg_.reorder_wait;
+    }
+    f.timer = sim_.schedule_at(std::max(next, now + sim::Duration::millis(1)),
+                               [this, frame_id] { try_release(frame_id, true); });
+    f.timer_armed = true;
+  }
+}
+
+void JitterBuffer::release_frame(std::uint32_t frame_id, PendingFrame& f,
+                                 bool corrupted) {
+#ifdef RPV_JB_DEBUG
+  static int dbg = 0;
+  if (corrupted && dbg < 15 && sim_.now().sec() > 60) {
+    ++dbg;
+    std::fprintf(stderr,
+                 "[jb] corrupt frame=%u recv=%zu min=%lld max=%lld marker=%lld exp_next=%lld "
+                 "highest=%lld now=%.1f deadline=%.1f\n",
+                 frame_id, f.received.size(), (long long)f.min_seq, (long long)f.max_seq,
+                 (long long)f.marker_seq, (long long)expected_next_seq_,
+                 (long long)highest_seq_, sim_.now().ms(), deadline_of(f).ms());
+  }
+#endif
+  if (f.timer_armed) sim_.cancel(f.timer);
+
+  FrameReleaseEvent ev;
+  ev.frame_id = frame_id;
+  ev.release_time = sim_.now();
+  ev.rtp_timestamp = f.rtp_timestamp;
+  ev.corrupted = corrupted;
+  ev.packets_received = static_cast<int>(f.received.size());
+  ev.packets_expected =
+      f.has_marker ? static_cast<int>(f.marker_seq - f.min_seq + 1) : 0;
+  if (f.has_marker) {
+    expected_next_seq_ = f.marker_seq + 1;
+    have_expected_next_ = true;
+  }
+  last_delivered_frame_ =
+      std::max<std::int64_t>(last_delivered_frame_, frame_id);
+
+  // Frames older than the one being released can no longer be played in
+  // order; flush them.
+  for (auto older = frames_.begin();
+       older != frames_.end() && older->first < frame_id;) {
+    if (older->second.timer_armed) sim_.cancel(older->second.timer);
+    older = frames_.erase(older);
+    ++dropped_;
+  }
+
+  const bool drop = cfg_.drop_on_latency &&
+                    sim_.now() > deadline_of(f) + cfg_.incomplete_grace;
+  frames_.erase(frame_id);
+
+  // On-time deliveries let the resync plateau decay.
+  extra_offset_ = extra_offset_ * (1.0 - cfg_.offset_decay);
+  if (extra_offset_ < sim::Duration::millis(1)) extra_offset_ = sim::Duration::zero();
+
+  // A newer complete frame may be waiting on this release; poke it.
+  if (!frames_.empty()) {
+    const std::uint32_t next = frames_.begin()->first;
+    sim_.schedule_in(sim::Duration::micros(1),
+                     [this, next] { try_release(next, true); });
+  }
+
+  if (drop) {
+    ++dropped_;
+    return;
+  }
+  ++released_;
+  release_(ev);
+}
+
+}  // namespace rpv::rtp

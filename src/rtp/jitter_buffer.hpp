@@ -1,0 +1,119 @@
+// RTP jitter buffer (GStreamer rtpjitterbuffer analogue, paper §3.2).
+//
+// Packets are buffered for a configurable latency (the paper uses 150 ms) to
+// cushion variable arrival rates and reorderings. Frames are released at
+//   release(frame) = rtp_timestamp + stream_offset + latency,
+// where stream_offset is established from the first packet's arrival. Two
+// behaviours matter for reproducing the paper:
+//  * when packets arrive *later* than their release deadline (network-latency
+//    spike beyond the buffer), the buffer re-bases its offset upward — the
+//    playback latency stays on an elevated plateau and only decays slowly
+//    once packets arrive with headroom again (the SCReAM plateau of §4.2.2);
+//  * the optional drop-on-latency mode from Appendix A.4 instead discards
+//    frames that missed their deadline so the pilot always sees the newest
+//    picture.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "net/packet.hpp"
+#include "rtp/sequence.hpp"
+#include "sim/simulator.hpp"
+
+namespace rpv::rtp {
+
+struct JitterBufferConfig {
+  sim::Duration latency = sim::Duration::millis(150);
+  // Reorder grace past the deadline before loss evidence (newer sequence
+  // numbers already arrived) lets an incomplete frame be concealed.
+  sim::Duration incomplete_grace = sim::Duration::millis(40);
+  // Absolute bound past the deadline after which an incomplete frame is
+  // released no matter what (stream silence, tail loss).
+  sim::Duration hard_timeout = sim::Duration::millis(2500);
+  // Quiescence required before loss evidence counts: while packets of the
+  // frame are still streaming in (a post-handover drain burst arrives
+  // heavily reordered) the buffer keeps waiting.
+  sim::Duration reorder_wait = sim::Duration::millis(25);
+  // Appendix A.4: drop frames that missed their deadline instead of playing
+  // them late.
+  bool drop_on_latency = false;
+  // Relative decay of the accumulated extra offset per released frame.
+  double offset_decay = 0.012;
+  // An RTP sequence jump at least this large (SCReAM queue discard) forces a
+  // timing resync on the next packet.
+  int resync_gap_packets = 100;
+  // Playback-timeline stall applied on a resync: GStreamer's rtpjitterbuffer
+  // handles large sequence/timestamp discontinuities by re-synchronizing its
+  // clock mapping, during which playback holds at an elevated latency — the
+  // ~1 s plateaus the paper observes with SCReAM in the urban tests (§4.2.2).
+  sim::Duration resync_stall = sim::Duration::millis(750);
+};
+
+struct FrameReleaseEvent {
+  std::uint32_t frame_id = 0;
+  sim::TimePoint release_time;
+  sim::TimePoint rtp_timestamp;
+  bool corrupted = false;  // released with missing packets
+  int packets_received = 0;
+  int packets_expected = 0;  // 0 if unknown (head loss)
+};
+
+class JitterBuffer {
+ public:
+  using ReleaseFn = std::function<void(const FrameReleaseEvent&)>;
+
+  JitterBuffer(sim::Simulator& simulator, JitterBufferConfig cfg, ReleaseFn release);
+
+  void on_packet(const net::Packet& p);
+
+  [[nodiscard]] std::uint64_t frames_released() const { return released_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t late_packets() const { return late_packets_; }
+  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
+  // Extra buffering above the configured latency, in ms (the plateau level).
+  [[nodiscard]] double extra_offset_ms() const;
+  [[nodiscard]] std::size_t pending_frames() const { return frames_.size(); }
+
+ private:
+  struct PendingFrame {
+    sim::TimePoint rtp_timestamp;
+    sim::TimePoint last_arrival;
+    std::set<std::int64_t> received;  // unwrapped rtp seq
+    std::int64_t min_seq = 0;
+    std::int64_t max_seq = 0;
+    std::int64_t marker_seq = 0;  // unwrapped seq of the frame's last packet
+    bool has_marker = false;
+    bool timer_armed = false;
+    sim::EventId timer = 0;
+  };
+
+  void try_release(std::uint32_t frame_id, bool timer_fired);
+  void release_frame(std::uint32_t frame_id, PendingFrame& f, bool corrupted);
+  [[nodiscard]] sim::TimePoint deadline_of(const PendingFrame& f) const;
+
+  sim::Simulator& sim_;
+  JitterBufferConfig cfg_;
+  ReleaseFn release_;
+
+  std::map<std::uint32_t, PendingFrame> frames_;
+  bool offset_valid_ = false;
+  sim::Duration base_offset_ = sim::Duration::zero();   // arrival - rtp_ts, nominal
+  sim::Duration extra_offset_ = sim::Duration::zero();  // plateau component
+  std::int64_t last_delivered_frame_ = -1;
+  std::int64_t expected_next_seq_ = 0;  // marker of last frame + 1
+  bool have_expected_next_ = false;
+
+  SeqUnwrapper unwrapper_;
+  std::int64_t highest_seq_ = 0;
+  bool any_seq_ = false;
+
+  std::uint64_t released_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t late_packets_ = 0;
+  std::uint64_t resyncs_ = 0;
+};
+
+}  // namespace rpv::rtp

@@ -1,0 +1,28 @@
+#include "rtp/packetizer.hpp"
+
+namespace rpv::rtp {
+
+std::vector<net::Packet> Packetizer::packetize(const video::Frame& frame) {
+  std::vector<net::Packet> out;
+  const std::size_t payload = cfg_.mtu_payload_bytes;
+  const std::size_t n = frame.size_bytes == 0 ? 1 : (frame.size_bytes + payload - 1) / payload;
+  out.reserve(n);
+  std::size_t remaining = frame.size_bytes;
+  for (std::size_t i = 0; i < n; ++i) {
+    net::Packet p;
+    p.id = next_id_++;
+    p.kind = net::PacketKind::kRtpVideo;
+    const std::size_t chunk = remaining > payload ? payload : remaining;
+    p.size_bytes = chunk + cfg_.header_overhead_bytes;
+    remaining -= chunk;
+    p.rtp_seq = rtp_seq_++;
+    p.transport_seq = transport_seq_++;
+    p.frame_id = frame.id;
+    p.frame_last = (i + 1 == n);
+    p.rtp_timestamp = frame.capture_time;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace rpv::rtp

@@ -1,0 +1,44 @@
+// RTP packetization of encoded frames.
+//
+// Splits each encoded frame into MTU-sized RTP packets, assigning the RTP
+// sequence number, the transport-wide sequence number used by GCC feedback,
+// the RTP timestamp (capture time) and the marker bit on the frame's last
+// packet — the wire format the paper's GStreamer pipeline produces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "video/frame.hpp"
+
+namespace rpv::rtp {
+
+struct PacketizerConfig {
+  std::size_t mtu_payload_bytes = 1200;
+  std::size_t header_overhead_bytes = 40;  // RTP + UDP + IP
+};
+
+class Packetizer {
+ public:
+  explicit Packetizer(PacketizerConfig cfg = {}) : cfg_{cfg} {}
+
+  // Produce the RTP packets of one frame. Sizes include header overhead.
+  std::vector<net::Packet> packetize(const video::Frame& frame);
+
+  // Consume one transport-wide sequence number (FEC parity packets share
+  // the congestion-control sequence space but not the RTP one).
+  std::uint16_t allocate_transport_seq() { return transport_seq_++; }
+
+  [[nodiscard]] std::uint16_t next_rtp_seq() const { return rtp_seq_; }
+  [[nodiscard]] std::uint16_t next_transport_seq() const { return transport_seq_; }
+  [[nodiscard]] std::uint64_t packets_produced() const { return next_id_; }
+
+ private:
+  PacketizerConfig cfg_;
+  std::uint16_t rtp_seq_ = 0;
+  std::uint16_t transport_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace rpv::rtp

@@ -1,0 +1,45 @@
+// Wrap-aware 16-bit RTP sequence number arithmetic (RFC 3550 semantics).
+#pragma once
+
+#include <cstdint>
+
+namespace rpv::rtp {
+
+// Signed distance a - b in sequence space, correct across wrap.
+inline int seq_diff(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(a - b));
+}
+
+inline bool seq_newer(std::uint16_t a, std::uint16_t b) { return seq_diff(a, b) > 0; }
+
+// Extends 16-bit sequence numbers to monotone 64-bit values. Robust against
+// reordering around the wrap point: out-of-order packets are mapped relative
+// to the highest value seen without perturbing the internal state.
+class SeqUnwrapper {
+ public:
+  std::int64_t unwrap(std::uint16_t seq) {
+    if (!any_) {
+      any_ = true;
+      highest_unwrapped_ = seq;
+      highest_seq16_ = seq;
+      return highest_unwrapped_;
+    }
+    const int d = seq_diff(seq, highest_seq16_);
+    const std::int64_t v = highest_unwrapped_ + d;
+    if (d > 0) {
+      highest_unwrapped_ = v;
+      highest_seq16_ = seq;
+    }
+    return v;
+  }
+
+  [[nodiscard]] bool started() const { return any_; }
+  [[nodiscard]] std::int64_t highest() const { return highest_unwrapped_; }
+
+ private:
+  bool any_ = false;
+  std::int64_t highest_unwrapped_ = 0;
+  std::uint16_t highest_seq16_ = 0;
+};
+
+}  // namespace rpv::rtp

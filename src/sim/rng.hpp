@@ -1,0 +1,47 @@
+// Deterministic, seedable random number generation for simulations.
+//
+// Wraps a splitmix64-seeded xoshiro256** generator. All stochastic models in
+// the library draw from an Rng instance owned by the scenario so runs are
+// reproducible from a single seed, and independent streams can be forked
+// per subsystem without correlation.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace rpv::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Fork an independent stream; deterministic function of current state.
+  [[nodiscard]] Rng fork();
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Standard normal via Box-Muller (cached spare).
+  double normal();
+  double normal(double mean, double stddev);
+  // Log-normal with parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+  // Exponential with given mean (mean > 0).
+  double exponential(double mean);
+  // Bernoulli trial.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4]{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace rpv::sim

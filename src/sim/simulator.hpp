@@ -1,0 +1,75 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns the virtual clock and a priority queue of events. Events
+// are arbitrary callables scheduled at absolute or relative virtual times;
+// the engine pops them in timestamp order (FIFO among equal timestamps) and
+// advances the clock to each event's time. Handles returned by schedule()
+// allow cancellation, which the cellular and congestion-control timers use.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rpv::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  // Schedule `fn` at absolute virtual time `at`. Times in the past run at
+  // the current time (never move the clock backwards).
+  EventId schedule_at(TimePoint at, EventFn fn);
+  // Schedule `fn` after a relative delay.
+  EventId schedule_in(Duration delay, EventFn fn);
+
+  // Cancel a pending event. Cancelling an already-fired or unknown id is a
+  // no-op; returns whether the event was pending.
+  bool cancel(EventId id);
+
+  // Run until the queue drains or the clock passes `until`.
+  void run_until(TimePoint until);
+  // Run until the queue is empty.
+  void run_all();
+  // Pop and execute a single event; returns false if the queue is empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const {
+    return queue_.size() - cancelled_.size();
+  }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;  // FIFO tiebreaker for equal timestamps
+    EventId id;
+    // Ordered as a min-heap via std::greater.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, EventFn> handlers_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace rpv::sim

@@ -1,0 +1,82 @@
+// Strong time types for the discrete-event simulator.
+//
+// All simulation time is kept as a signed 64-bit count of microseconds.
+// Duration is a relative span, TimePoint an absolute instant since the start
+// of the simulation. Keeping these distinct prevents the classic bug of
+// adding two absolute timestamps.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+
+namespace rpv::sim {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration micros(std::int64_t us) { return Duration{us}; }
+  static constexpr Duration millis(std::int64_t ms) { return Duration{ms * 1000}; }
+  static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration infinity() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{us_ + o.us_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{us_ - o.us_}; }
+  constexpr Duration operator*(double f) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(us_) * f)};
+  }
+  constexpr Duration operator/(std::int64_t d) const { return Duration{us_ / d}; }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+  constexpr Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  constexpr Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+  constexpr Duration operator-() const { return Duration{-us_}; }
+
+ private:
+  explicit constexpr Duration(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+  static constexpr TimePoint from_us(std::int64_t us) { return TimePoint{us}; }
+  static constexpr TimePoint never() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
+  [[nodiscard]] constexpr bool is_never() const { return *this == never(); }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{us_ + d.us()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{us_ - d.us()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::micros(us_ - o.us_); }
+  constexpr TimePoint& operator+=(Duration d) { us_ += d.us(); return *this; }
+
+ private:
+  explicit constexpr TimePoint(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+constexpr Duration operator*(double f, Duration d) { return d * f; }
+
+}  // namespace rpv::sim

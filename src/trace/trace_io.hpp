@@ -1,0 +1,39 @@
+// Trace export/import.
+//
+// The paper releases its collected traces plus parsing scripts; this module
+// is the equivalent for the simulator: every SessionReport can be dumped as
+// a set of CSV files (one per signal, same shapes an analysis notebook would
+// consume) and time series can be loaded back for offline processing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "metrics/time_series.hpp"
+#include "pipeline/report.hpp"
+
+namespace rpv::trace {
+
+// Write one "t_sec,value" CSV. Returns false on I/O failure.
+bool write_time_series_csv(const std::string& path,
+                           const metrics::TimeSeries& series,
+                           const std::string& value_name);
+
+// Write a plain vector as "index,value".
+bool write_samples_csv(const std::string& path, const std::vector<double>& samples,
+                       const std::string& value_name);
+
+// Load a "t_sec,value" CSV written by write_time_series_csv.
+std::optional<metrics::TimeSeries> load_time_series_csv(const std::string& path);
+
+// Dump every signal of a session report into `dir` with the given prefix:
+//   <prefix>_owd.csv, <prefix>_playback_latency.csv, <prefix>_target_bitrate.csv,
+//   <prefix>_capacity.csv, <prefix>_goodput.csv, <prefix>_fps.csv,
+//   <prefix>_ssim.csv, <prefix>_handovers.csv, <prefix>_summary.csv
+// Returns the list of files written (empty on failure).
+std::vector<std::string> export_session(const pipeline::SessionReport& report,
+                                        const std::string& dir,
+                                        const std::string& prefix);
+
+}  // namespace rpv::trace

@@ -1,0 +1,51 @@
+#include "video/encoder_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpv::video {
+
+void EncoderModel::set_target_bitrate(double bps) {
+  target_bps_ = std::clamp(bps, cfg_.min_bitrate_bps, cfg_.max_bitrate_bps);
+}
+
+Frame EncoderModel::encode(std::uint32_t frame_id, sim::TimePoint capture,
+                           double complexity, bool scene_cut) {
+  Frame f;
+  f.id = frame_id;
+  f.capture_time = capture;
+  f.complexity = complexity;
+  f.encoded_bitrate_bps = target_bps_;
+
+  const bool idr = scene_cut || frames_since_idr_ >= cfg_.gop_frames;
+  f.keyframe = idr;
+  frames_since_idr_ = idr ? 0 : frames_since_idr_ + 1;
+
+  // Bits budget per frame. With one IDR of size k*P every G frames the
+  // average stays on target when P = budget * G / (G - 1 + k).
+  const double budget_bits = target_bps_ / kFps;
+  const double g = static_cast<double>(cfg_.gop_frames);
+  const double p_bits = budget_bits * g / (g - 1.0 + cfg_.keyframe_ratio);
+  double bits = idr ? p_bits * cfg_.keyframe_ratio : p_bits;
+
+  // Complexity scales the bits needed at constant quantizer; ABR rate
+  // control claws back accumulated debt.
+  bits *= complexity;
+  bits -= rate_debt_bits_ * cfg_.rate_tracking_gain;
+  bits *= rng_.lognormal(0.0, cfg_.size_jitter);
+  bits = std::max(bits, budget_bits * 0.1);
+
+  rate_debt_bits_ += bits - budget_bits;
+  // Debt decays: x264 ABR forgets old overshoot.
+  rate_debt_bits_ *= 0.995;
+
+  f.size_bytes = static_cast<std::size_t>(bits / 8.0);
+
+  const double lat_ms = cfg_.encode_latency_ms_mean +
+                        std::abs(rng_.normal(0.0, cfg_.encode_latency_ms_jitter));
+  last_latency_ = sim::Duration::seconds(lat_ms / 1e3);
+  f.encode_time = capture + last_latency_;
+  return f;
+}
+
+}  // namespace rpv::video

@@ -1,0 +1,58 @@
+// x264-like real-time software encoder model (paper §3.2 uses VideoLAN x264
+// in low-latency mode on the Intel NUCs).
+//
+// The model produces per-frame encoded sizes that track a target bitrate:
+//  * GoP structure: an IDR keyframe every `gop_frames` (or on scene cut),
+//    several times larger than P-frames;
+//  * a rate-control debt loop so the realized bitrate converges on the
+//    target even with complexity/jitter noise (x264's ABR behaviour);
+//  * bounded per-frame encoding latency (software x264 zerolatency).
+// Target bitrate changes apply to frames encoded *after* the change — the
+// lag that, combined with the send queue, causes the paper's counter-
+// intuitive FPS dips when a CC drops its rate sharply (§4.2.1).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "video/frame.hpp"
+
+namespace rpv::video {
+
+struct EncoderConfig {
+  int gop_frames = 60;          // 2 s GoP at 30 FPS
+  double keyframe_ratio = 2.5;  // IDR vs P-frame; low-latency VBV caps IDR size
+  double size_jitter = 0.12;    // lognormal sigma of per-frame size noise
+  double rate_tracking_gain = 0.08;  // debt correction per frame
+  double min_bitrate_bps = 2e6;      // paper's encoding range: 2..25 Mbps
+  double max_bitrate_bps = 25e6;
+  double encode_latency_ms_mean = 8.0;
+  double encode_latency_ms_jitter = 3.0;
+};
+
+class EncoderModel {
+ public:
+  EncoderModel(EncoderConfig cfg, sim::Rng rng) : cfg_{cfg}, rng_{rng} {}
+
+  // Clamped to the configured [min, max] encoding range.
+  void set_target_bitrate(double bps);
+  [[nodiscard]] double target_bitrate() const { return target_bps_; }
+
+  // Encode one frame captured at `capture`, with the given complexity and
+  // scene-cut flag. Returns the frame with size and encode timestamp set
+  // relative to `capture` (capture + encoding latency).
+  Frame encode(std::uint32_t frame_id, sim::TimePoint capture, double complexity,
+               bool scene_cut);
+
+  [[nodiscard]] sim::Duration last_encode_latency() const { return last_latency_; }
+
+ private:
+  EncoderConfig cfg_;
+  sim::Rng rng_;
+  double target_bps_ = 8e6;
+  double rate_debt_bits_ = 0.0;  // positive: we have been over budget
+  int frames_since_idr_ = 1 << 20;  // force an IDR first
+  sim::Duration last_latency_ = sim::Duration::zero();
+};
+
+}  // namespace rpv::video

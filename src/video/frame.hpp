@@ -1,0 +1,30 @@
+// Video frame descriptor.
+//
+// The real pipeline embeds a QR code (frame number) and a barcode (encoding
+// timestamp) in every frame so the receiver can compute per-frame delivery
+// metrics; here the same information travels as plain metadata.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace rpv::video {
+
+struct Frame {
+  std::uint32_t id = 0;              // the QR-code frame number
+  sim::TimePoint capture_time;       // source timestamp (30 FPS grid)
+  sim::TimePoint encode_time;        // the barcode timestamp
+  std::size_t size_bytes = 0;        // encoded size
+  bool keyframe = false;             // IDR
+  double encoded_bitrate_bps = 0.0;  // encoder target when this frame was coded
+  double complexity = 1.0;           // scene complexity when captured
+};
+
+// Fixed workload parameters (paper §3.2): 30 FPS full-HD H.264.
+inline constexpr double kFps = 30.0;
+inline constexpr int kWidth = 1920;
+inline constexpr int kHeight = 1080;
+inline constexpr double kPixelsPerSecond = kWidth * kHeight * kFps;
+
+}  // namespace rpv::video

@@ -1,0 +1,21 @@
+#include "video/frame_source.hpp"
+
+#include <algorithm>
+
+namespace rpv::video {
+
+double FrameSource::next_complexity() {
+  shot_cut_ = rng_.chance(cfg_.shot_cut_probability);
+  if (shot_cut_) {
+    complexity_ = rng_.uniform(cfg_.min_complexity, cfg_.max_complexity);
+  } else {
+    // Mean-reverting random walk keeps complexity near the clip average.
+    complexity_ += rng_.normal(0.0, cfg_.drift_stddev) +
+                   0.01 * (cfg_.mean_complexity - complexity_);
+    complexity_ = std::clamp(complexity_, cfg_.min_complexity, cfg_.max_complexity);
+  }
+  ++produced_;
+  return complexity_;
+}
+
+}  // namespace rpv::video

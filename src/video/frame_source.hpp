@@ -1,0 +1,42 @@
+// Source video model: a 30 FPS pre-recorded clip "with considerable detail
+// and motion" (paper §3.2). Instead of pixels we generate a per-frame scene
+// complexity signal: smooth drift within shots plus occasional scene cuts.
+// Complexity scales how many bits the encoder needs for a given quality.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace rpv::video {
+
+struct FrameSourceConfig {
+  double mean_complexity = 1.0;
+  double drift_stddev = 0.02;        // per-frame random walk within a shot
+  double shot_cut_probability = 0.004;  // ~one cut every ~8 s
+  double min_complexity = 0.55;
+  double max_complexity = 1.8;
+};
+
+class FrameSource {
+ public:
+  FrameSource(FrameSourceConfig cfg, sim::Rng rng)
+      : cfg_{cfg}, rng_{rng}, complexity_{cfg.mean_complexity} {}
+
+  // Complexity of the next frame; advances the internal state.
+  double next_complexity();
+  // True if the frame just produced started a new shot (forces a keyframe
+  // in encoders configured with scene-cut detection).
+  [[nodiscard]] bool at_shot_cut() const { return shot_cut_; }
+  [[nodiscard]] std::uint32_t frames_produced() const { return produced_; }
+
+ private:
+  FrameSourceConfig cfg_;
+  sim::Rng rng_;
+  double complexity_;
+  bool shot_cut_ = false;
+  std::uint32_t produced_ = 0;
+};
+
+}  // namespace rpv::video

@@ -1,0 +1,28 @@
+#include "video/ssim_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpv::video {
+
+double SsimModel::clean_ssim(double bitrate_bps, double complexity) const {
+  const double bpp = bitrate_bps / kPixelsPerSecond;
+  const double c = std::max(complexity, 0.1);
+  const double s = cfg_.ceiling - cfg_.span * std::exp(-cfg_.steepness * bpp / c);
+  return std::clamp(s, 0.0, 1.0);
+}
+
+double SsimModel::score_frame(const Frame& f, bool corrupted) {
+  if (f.keyframe) damage_ = 0.0;  // IDR fully refreshes the picture
+  if (corrupted) {
+    damage_ = std::min(1.0, damage_ + cfg_.corrupt_penalty);
+  } else {
+    damage_ *= (1.0 - cfg_.recovery_per_frame);
+  }
+  double s = clean_ssim(f.encoded_bitrate_bps, f.complexity);
+  s *= (1.0 - damage_);
+  s += rng_.normal(0.0, cfg_.measurement_noise);
+  return std::clamp(s, 0.0, 1.0);
+}
+
+}  // namespace rpv::video

@@ -1,0 +1,48 @@
+// Structural SIMilarity model.
+//
+// The paper computes SSIM by comparing received frames against the source in
+// post-processing; frames that were never played score 0 and the RP quality
+// threshold is 0.5. We model SSIM as a saturating function of bits-per-pixel
+// (the dominant effect of the encoder's rate target, §4.2.3), degraded by
+// packet-loss artifacts that propagate through the GoP until the next IDR —
+// which is exactly how H.264 error concealment behaves visually.
+#pragma once
+
+#include "sim/rng.hpp"
+#include "video/frame.hpp"
+
+namespace rpv::video {
+
+struct SsimConfig {
+  // ssim(bpp) = ceiling - span * exp(-steepness * bpp / complexity).
+  double ceiling = 0.985;
+  double span = 0.32;
+  double steepness = 9.0;
+  double measurement_noise = 0.008;
+  // Artifact from a loss-corrupted frame, and how much of the damage each
+  // subsequent P-frame repairs (intra refresh / concealment).
+  double corrupt_penalty = 0.75;     // fraction of SSIM lost on the hit frame
+  double recovery_per_frame = 0.20;  // exponential healing toward clean
+};
+
+class SsimModel {
+ public:
+  SsimModel(SsimConfig cfg, sim::Rng rng) : cfg_{cfg}, rng_{rng} {}
+
+  // Clean (loss-free) SSIM from encode parameters only.
+  [[nodiscard]] double clean_ssim(double bitrate_bps, double complexity) const;
+
+  // Score one decoded frame. `corrupted` marks a frame whose packets were
+  // partially lost this frame; keyframes reset propagated damage.
+  double score_frame(const Frame& f, bool corrupted);
+
+  // The RP quality threshold the paper applies.
+  static constexpr double kThreshold = 0.5;
+
+ private:
+  SsimConfig cfg_;
+  sim::Rng rng_;
+  double damage_ = 0.0;  // residual artifact level in (0,1)
+};
+
+}  // namespace rpv::video

@@ -1,0 +1,307 @@
+#include "cc/gcc/gcc_controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::cc::gcc {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at_ms(double ms) {
+  return TimePoint::from_us(static_cast<std::int64_t>(ms * 1000));
+}
+
+// --- ArrivalFilter ---
+
+TEST(ArrivalFilter, NoSignalUntilTwoGroups) {
+  ArrivalFilter f;
+  EXPECT_FALSE(f.on_packet(at_ms(0), at_ms(30)).has_value());
+  // Same burst (within 5 ms) extends the group.
+  EXPECT_FALSE(f.on_packet(at_ms(2), at_ms(31)).has_value());
+}
+
+TEST(ArrivalFilter, StableDelayYieldsNearZeroGradient) {
+  ArrivalFilter f;
+  for (int i = 0; i < 200; ++i) {
+    f.on_packet(at_ms(i * 10), at_ms(i * 10 + 30));
+  }
+  EXPECT_NEAR(f.gradient_ms(), 0.0, 0.3);
+  EXPECT_GT(f.groups_seen(), 100);
+}
+
+TEST(ArrivalFilter, GrowingDelayYieldsPositiveGradient) {
+  ArrivalFilter f;
+  // Delay grows 2 ms per 10 ms group: queue building.
+  for (int i = 0; i < 200; ++i) {
+    f.on_packet(at_ms(i * 10), at_ms(i * 10 + 30 + i * 2));
+  }
+  EXPECT_GT(f.gradient_ms(), 0.5);
+}
+
+TEST(ArrivalFilter, DrainingQueueYieldsNegativeGradient) {
+  ArrivalFilter f;
+  // Continuously draining queue: delay falls 2 ms per group throughout.
+  for (int i = 0; i < 200; ++i) {
+    f.on_packet(at_ms(i * 10), at_ms(i * 10 + 500.0 - i * 2.0));
+  }
+  EXPECT_LT(f.gradient_ms(), -0.05);
+}
+
+TEST(ArrivalFilter, BurstPacketsGroupTogether) {
+  ArrivalFilter f;
+  int signals = 0;
+  // Ten packets per 5 ms burst, bursts every 20 ms.
+  for (int burst = 0; burst < 50; ++burst) {
+    for (int k = 0; k < 10; ++k) {
+      if (f.on_packet(at_ms(burst * 20 + k * 0.4),
+                      at_ms(burst * 20 + k * 0.4 + 30))) {
+        ++signals;
+      }
+    }
+  }
+  // One gradient per group boundary, not per packet.
+  EXPECT_LE(signals, 50);
+  EXPECT_GT(signals, 30);
+}
+
+// --- OveruseDetector ---
+
+TEST(OveruseDetector, NormalForSmallGradient) {
+  OveruseDetector d;
+  EXPECT_EQ(d.update(0.05, at_ms(0)), BandwidthSignal::kNormal);
+}
+
+TEST(OveruseDetector, OveruseForSustainedLargeGradient) {
+  OveruseDetector d;
+  BandwidthSignal sig = BandwidthSignal::kNormal;
+  for (int i = 0; i < 10; ++i) {
+    sig = d.update(2.0, at_ms(i * 50));  // amplified well above threshold
+  }
+  EXPECT_EQ(sig, BandwidthSignal::kOveruse);
+}
+
+TEST(OveruseDetector, UnderuseForNegativeGradient) {
+  OveruseDetector d;
+  EXPECT_EQ(d.update(-2.0, at_ms(0)), BandwidthSignal::kUnderuse);
+}
+
+TEST(OveruseDetector, MomentaryBlipDoesNotTrigger) {
+  OveruseDetector d;
+  d.update(0.0, at_ms(0));
+  // A single large sample at the very first over-threshold instant: the
+  // 10 ms sustain requirement prevents an immediate overuse signal.
+  const auto sig = d.update(2.0, at_ms(1));
+  EXPECT_NE(sig, BandwidthSignal::kOveruse);
+}
+
+TEST(OveruseDetector, ThresholdAdaptsUpUnderNoise) {
+  OveruseDetectorConfig cfg;
+  OveruseDetector d{cfg};
+  const double t0 = d.threshold_ms();
+  for (int i = 0; i < 100; ++i) {
+    d.update((i % 2 == 0 ? 1.0 : -1.0), at_ms(i * 50));
+  }
+  EXPECT_GT(d.threshold_ms(), t0);
+}
+
+TEST(OveruseDetector, ThresholdBounded) {
+  OveruseDetectorConfig cfg;
+  OveruseDetector d{cfg};
+  for (int i = 0; i < 2000; ++i) d.update(100.0, at_ms(i * 50));
+  EXPECT_LE(d.threshold_ms(), cfg.max_threshold_ms);
+}
+
+// --- AimdController ---
+
+TEST(Aimd, IncreasesUnderNormalSignal) {
+  AimdController a{AimdConfig{}, 2e6};
+  double rate = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    rate = a.update(BandwidthSignal::kNormal, 50e6, at_ms(i * 100));
+  }
+  EXPECT_GT(rate, 10e6);
+}
+
+TEST(Aimd, DecreaseSetsBetaTimesIncomingRate) {
+  AimdController a{AimdConfig{}, 20e6};
+  a.update(BandwidthSignal::kNormal, 20e6, at_ms(0));
+  const double rate = a.update(BandwidthSignal::kOveruse, 16e6, at_ms(100));
+  EXPECT_NEAR(rate, 0.85 * 16e6, 1e4);
+}
+
+TEST(Aimd, HoldKeepsRateOnUnderuse) {
+  AimdController a{AimdConfig{}, 10e6};
+  const double before = a.update(BandwidthSignal::kNormal, 20e6, at_ms(0));
+  const double held = a.update(BandwidthSignal::kUnderuse, 20e6, at_ms(100));
+  EXPECT_DOUBLE_EQ(held, before);
+}
+
+TEST(Aimd, RampReachesPaperTargetInTime) {
+  // The paper measures GCC taking ~12 s from 2 to 25 Mbps.
+  AimdController a{AimdConfig{}, 2e6};
+  double t_reach = -1.0;
+  for (int i = 0; i < 600; ++i) {
+    const double t = i * 0.1;
+    const double rate = a.update(BandwidthSignal::kNormal, 40e6, at_ms(t * 1000));
+    if (rate >= 25e6 && t_reach < 0) t_reach = t;
+  }
+  ASSERT_GT(t_reach, 0.0);
+  EXPECT_GT(t_reach, 6.0);
+  EXPECT_LT(t_reach, 25.0);
+}
+
+TEST(Aimd, RateBounded) {
+  AimdConfig cfg;
+  AimdController a{cfg, 2e6};
+  for (int i = 0; i < 2000; ++i) {
+    a.update(BandwidthSignal::kNormal, 1e9, at_ms(i * 100));
+  }
+  EXPECT_LE(a.rate_bps(), cfg.max_rate_bps);
+  AimdController b{cfg, 2e6};
+  for (int i = 0; i < 200; ++i) {
+    b.update(BandwidthSignal::kOveruse, 1e3, at_ms(i * 100));
+  }
+  EXPECT_GE(b.rate_bps(), cfg.min_rate_bps);
+}
+
+TEST(Aimd, AdditiveNearConvergence) {
+  AimdConfig cfg;
+  AimdController a{cfg, 20e6};
+  // Establish a congestion point at ~20 Mbps.
+  a.update(BandwidthSignal::kNormal, 20e6, at_ms(0));
+  a.update(BandwidthSignal::kOveruse, 20e6, at_ms(100));
+  a.update(BandwidthSignal::kNormal, 20e6, at_ms(200));
+  const double r0 = a.rate_bps();
+  const double r1 = a.update(BandwidthSignal::kNormal, 20e6, at_ms(1200));
+  // Near the congestion point growth is additive: bounded by the configured
+  // slope, far below multiplicative growth.
+  EXPECT_LE(r1 - r0, cfg.additive_bps_per_sec * 1.1);
+}
+
+// --- LossController ---
+
+TEST(LossController, HighLossCutsRate) {
+  LossController l{LossControllerConfig{}, 10e6};
+  const double rate = l.update(0.2, at_ms(0));
+  EXPECT_NEAR(rate, 10e6 * 0.9, 1e4);  // 1 - 0.5*0.2
+}
+
+TEST(LossController, LowLossGrowsRate) {
+  LossController l{LossControllerConfig{}, 10e6};
+  const double rate = l.update(0.001, at_ms(0));
+  EXPECT_NEAR(rate, 10.5e6, 1e4);
+}
+
+TEST(LossController, MidBandHolds) {
+  LossController l{LossControllerConfig{}, 10e6};
+  const double rate = l.update(0.05, at_ms(0));
+  EXPECT_DOUBLE_EQ(rate, 10e6);
+}
+
+TEST(LossController, UpdateIntervalThrottles) {
+  LossController l{LossControllerConfig{}, 10e6};
+  l.update(0.001, at_ms(0));
+  const double r1 = l.rate_bps();
+  l.update(0.001, at_ms(10));  // within the 200 ms guard
+  EXPECT_DOUBLE_EQ(l.rate_bps(), r1);
+}
+
+// --- GccController integration ---
+
+// Drive the full controller over a synthetic bottleneck: packets sent at the
+// target rate, arrivals delayed by a queue of fixed capacity.
+double run_gcc_over_bottleneck(double capacity_bps, double seconds) {
+  GccController gcc;
+  double queue_bits = 0.0;
+  std::uint16_t seq = 0;
+  double t_ms = 0.0;
+  double last_feedback_ms = 0.0;
+  std::vector<rtp::PacketResult> results;
+  while (t_ms < seconds * 1000) {
+    // One packet per iteration at the current rate.
+    const double bits = 1200 * 8;
+    const double interval_ms = bits / gcc.target_bitrate_bps() * 1000;
+    t_ms += interval_ms;
+    gcc.on_packet_sent({seq, 1200, at_ms(t_ms)});
+    queue_bits = std::max(0.0, queue_bits - capacity_bps * interval_ms / 1000);
+    queue_bits += bits;
+    const double delay_ms = 30.0 + queue_bits / capacity_bps * 1000;
+    results.push_back({seq, true, at_ms(t_ms + delay_ms)});
+    ++seq;
+    if (t_ms - last_feedback_ms >= 50.0) {
+      rtp::FeedbackReport report;
+      report.generated = at_ms(t_ms);
+      report.results = results;
+      results.clear();
+      gcc.on_feedback(report, at_ms(t_ms));
+      last_feedback_ms = t_ms;
+    }
+  }
+  return gcc.target_bitrate_bps();
+}
+
+TEST(GccController, ConvergesBelowBottleneck) {
+  const double rate = run_gcc_over_bottleneck(10e6, 30.0);
+  EXPECT_LT(rate, 13e6);
+  EXPECT_GT(rate, 4e6);
+}
+
+TEST(GccController, RampsOnWideLink) {
+  const double rate = run_gcc_over_bottleneck(100e6, 30.0);
+  EXPECT_GT(rate, 25e6);
+}
+
+TEST(GccController, LossFeedbackDrivesLossController) {
+  GccController gcc;
+  std::uint16_t seq = 0;
+  const double loss_rate_start = gcc.loss_based_rate_bps();
+  // Sustained 50% loss: the loss-based controller must cut its estimate and
+  // the smoothed loss must reflect the reports.
+  for (int r = 0; r < 40; ++r) {
+    rtp::FeedbackReport report;
+    report.generated = at_ms(r * 50);
+    for (int k = 0; k < 10; ++k) {
+      gcc.on_packet_sent({seq, 1200, at_ms(r * 50 + k * 5)});
+      report.results.push_back({seq, k % 2 == 0, at_ms(r * 50 + k * 5 + 30)});
+      ++seq;
+    }
+    gcc.on_feedback(report, at_ms(r * 50 + 40));
+  }
+  EXPECT_GT(gcc.smoothed_loss(), 0.2);
+  EXPECT_LT(gcc.loss_based_rate_bps(), loss_rate_start);
+  // The combined target honours the loss-based bound.
+  EXPECT_LE(gcc.target_bitrate_bps(), gcc.loss_based_rate_bps() + 1.0);
+}
+
+TEST(GccController, EmptyFeedbackIgnored) {
+  GccController gcc;
+  const double before = gcc.target_bitrate_bps();
+  gcc.on_feedback(rtp::FeedbackReport{}, at_ms(100));
+  EXPECT_DOUBLE_EQ(gcc.target_bitrate_bps(), before);
+}
+
+TEST(GccController, IncomingRateEstimated) {
+  GccController gcc;
+  std::uint16_t seq = 0;
+  // 1200 B per 1 ms = 9.6 Mbps.
+  for (int r = 0; r < 20; ++r) {
+    rtp::FeedbackReport report;
+    for (int k = 0; k < 50; ++k) {
+      const double t = r * 50 + k;
+      gcc.on_packet_sent({seq, 1200, at_ms(t)});
+      report.results.push_back({seq, true, at_ms(t + 30)});
+      ++seq;
+    }
+    gcc.on_feedback(report, at_ms(r * 50 + 80));
+  }
+  EXPECT_NEAR(gcc.incoming_rate_bps(), 9.6e6, 1.5e6);
+}
+
+TEST(GccController, PacingRateAboveTarget) {
+  GccController gcc;
+  EXPECT_GT(gcc.pacing_rate_bps(), gcc.target_bitrate_bps());
+}
+
+}  // namespace
+}  // namespace rpv::cc::gcc

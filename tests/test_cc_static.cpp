@@ -1,0 +1,37 @@
+#include "cc/static_rate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::cc {
+namespace {
+
+TEST(StaticRate, HoldsConfiguredBitrate) {
+  StaticRate s{25e6};
+  EXPECT_DOUBLE_EQ(s.target_bitrate_bps(), 25e6);
+}
+
+TEST(StaticRate, IgnoresFeedback) {
+  StaticRate s{8e6};
+  rtp::FeedbackReport report;
+  report.results.push_back({0, false, {}});
+  s.on_feedback(report, sim::TimePoint::from_us(1000));
+  EXPECT_DOUBLE_EQ(s.target_bitrate_bps(), 8e6);
+}
+
+TEST(StaticRate, NotWindowLimited) {
+  StaticRate s{8e6};
+  EXPECT_FALSE(s.window_limited());
+  EXPECT_TRUE(s.can_send(1'000'000));
+}
+
+TEST(StaticRate, PacingRateHasHeadroom) {
+  StaticRate s{8e6};
+  EXPECT_GT(s.pacing_rate_bps(), 8e6);
+}
+
+TEST(StaticRate, Name) {
+  EXPECT_EQ(StaticRate{1e6}.name(), "static");
+}
+
+}  // namespace
+}  // namespace rpv::cc

@@ -1,0 +1,202 @@
+#include "cellular/handover.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::cellular {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+HandoverConfig fast_config() {
+  HandoverConfig cfg;
+  cfg.hysteresis_db = 3.0;
+  cfg.time_to_trigger = Duration::millis(200);
+  return cfg;
+}
+
+HetModel fixed_het() {
+  HetConfig cfg;
+  cfg.outlier_prob_ground = 0.0;
+  cfg.outlier_prob_air = 0.0;
+  cfg.bulk_sigma = 1e-6;  // effectively deterministic at the median
+  return HetModel{cfg, sim::Rng{1}};
+}
+
+std::vector<CellMeasurement> meas(double serving, double neighbour) {
+  std::vector<CellMeasurement> m{{1, serving}, {2, neighbour}};
+  std::sort(m.begin(), m.end(), [](const auto& a, const auto& b) {
+    return a.rsrp_dbm > b.rsrp_dbm;
+  });
+  return m;
+}
+
+TEST(HandoverController, NoTriggerBelowHysteresis) {
+  HandoverController hc{fast_config(), fixed_het(), 1};
+  for (int i = 0; i < 20; ++i) {
+    const auto het = hc.on_measurement(
+        TimePoint::from_us(i * 100'000), meas(-80.0, -78.0), 0.0);
+    EXPECT_FALSE(het.has_value());  // only 2 dB better: below 3 dB hysteresis
+  }
+  EXPECT_EQ(hc.serving_cell(), 1u);
+}
+
+TEST(HandoverController, TriggersAfterTimeToTrigger) {
+  HandoverController hc{fast_config(), fixed_het(), 1};
+  std::optional<Duration> het;
+  int ticks = 0;
+  for (int i = 0; i < 20 && !het; ++i) {
+    het = hc.on_measurement(TimePoint::from_us(i * 100'000),
+                            meas(-85.0, -78.0), 0.0);
+    ++ticks;
+  }
+  ASSERT_TRUE(het.has_value());
+  EXPECT_EQ(hc.serving_cell(), 2u);
+  // 200 ms TTT at 100 ms ticks: the condition must persist >= 3 ticks.
+  EXPECT_GE(ticks, 3);
+}
+
+TEST(HandoverController, TttResetsWhenConditionDrops) {
+  HandoverController hc{fast_config(), fixed_het(), 1};
+  // Alternate between A3-true and A3-false: the timer must never complete.
+  for (int i = 0; i < 40; ++i) {
+    const bool strong = (i % 2) == 0;
+    const auto het = hc.on_measurement(
+        TimePoint::from_us(i * 150'000),
+        strong ? meas(-85.0, -78.0) : meas(-80.0, -80.5), 0.0);
+    EXPECT_FALSE(het.has_value());
+  }
+  EXPECT_EQ(hc.serving_cell(), 1u);
+}
+
+TEST(HandoverController, InHandoverDuringExecution) {
+  HandoverController hc{fast_config(), fixed_het(), 1};
+  std::optional<Duration> het;
+  TimePoint t;
+  for (int i = 0; i < 20 && !het; ++i) {
+    t = TimePoint::from_us(i * 100'000);
+    het = hc.on_measurement(t, meas(-85.0, -78.0), 0.0);
+  }
+  ASSERT_TRUE(het.has_value());
+  EXPECT_TRUE(hc.in_handover(t + Duration::micros(1)));
+  EXPECT_FALSE(hc.in_handover(t + *het + Duration::micros(1)));
+}
+
+TEST(HandoverController, NoMeasurementProcessedDuringHandover) {
+  HandoverController hc{fast_config(), fixed_het(), 1};
+  std::optional<Duration> het;
+  TimePoint t;
+  for (int i = 0; i < 20 && !het; ++i) {
+    t = TimePoint::from_us(i * 100'000);
+    het = hc.on_measurement(t, meas(-85.0, -78.0), 0.0);
+  }
+  ASSERT_TRUE(het.has_value());
+  // While executing, further A3 conditions are ignored.
+  const auto during = hc.on_measurement(t + Duration::micros(100),
+                                        meas(-90.0, -60.0), 0.0);
+  EXPECT_FALSE(during.has_value());
+}
+
+TEST(HandoverController, PingPongDetected) {
+  HandoverConfig cfg = fast_config();
+  cfg.ping_pong_window = Duration::seconds(5.0);
+  HandoverController hc{cfg, fixed_het(), 1};
+  TimePoint t = TimePoint::origin();
+  auto drive = [&](double serving, double neighbour,
+                   std::uint32_t serving_id) {
+    // Serving id decides which measurement is "serving".
+    std::vector<CellMeasurement> m{{1, serving_id == 1 ? serving : neighbour},
+                                   {2, serving_id == 1 ? neighbour : serving}};
+    std::sort(m.begin(), m.end(), [](const auto& a, const auto& b) {
+      return a.rsrp_dbm > b.rsrp_dbm;
+    });
+    std::optional<Duration> het;
+    for (int i = 0; i < 30 && !het; ++i) {
+      t += Duration::millis(100);
+      het = hc.on_measurement(t, m, 0.0);
+      if (het) t += *het;
+    }
+    return het;
+  };
+  ASSERT_TRUE(drive(-85.0, -78.0, 1).has_value());  // 1 -> 2
+  ASSERT_TRUE(drive(-85.0, -78.0, 2).has_value());  // 2 -> 1 quickly: ping-pong
+  EXPECT_EQ(hc.log().ping_pong_count(), 1u);
+}
+
+TEST(HandoverController, EdgeCapacityFactorWhilePending) {
+  HandoverConfig cfg = fast_config();
+  cfg.time_to_trigger = Duration::seconds(100.0);  // never completes
+  HandoverController hc{cfg, fixed_het(), 1};
+  const auto t0 = TimePoint::origin();
+  EXPECT_DOUBLE_EQ(hc.capacity_factor(t0), 1.0);
+  hc.on_measurement(t0, meas(-85.0, -78.0), 0.0);
+  hc.on_measurement(t0 + Duration::millis(100), meas(-85.0, -78.0), 0.0);
+  EXPECT_DOUBLE_EQ(hc.capacity_factor(t0 + Duration::millis(150)),
+                   cfg.edge_capacity_factor);
+}
+
+TEST(HandoverController, LogRecordsSourceAndTarget) {
+  HandoverController hc{fast_config(), fixed_het(), 1};
+  std::optional<Duration> het;
+  for (int i = 0; i < 20 && !het; ++i) {
+    het = hc.on_measurement(TimePoint::from_us(i * 100'000),
+                            meas(-85.0, -78.0), 0.0);
+  }
+  ASSERT_EQ(hc.log().count(), 1u);
+  EXPECT_EQ(hc.log().events()[0].source_cell, 1u);
+  EXPECT_EQ(hc.log().events()[0].target_cell, 2u);
+}
+
+TEST(HetModel, BulkMostlyUnderThreshold) {
+  HetConfig cfg;
+  cfg.outlier_prob_ground = 0.0;
+  cfg.outlier_prob_air = 0.0;
+  HetModel het{cfg, sim::Rng{3}};
+  int under = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (het.sample(0.0) < Duration::millis(49)) ++under;
+  }
+  // 3GPP successful-HO threshold of 49.5 ms holds for the bulk (paper Fig 4b).
+  EXPECT_GT(static_cast<double>(under) / n, 0.9);
+}
+
+TEST(HetModel, AirHasHeavierTail) {
+  HetModel het{HetConfig{}, sim::Rng{5}};
+  int air_outliers = 0, ground_outliers = 0;
+  const int n = 20000;
+  HetModel het2{HetConfig{}, sim::Rng{5}};
+  for (int i = 0; i < n; ++i) {
+    if (het.sample(1.0) > Duration::millis(100)) ++air_outliers;
+    if (het2.sample(0.0) > Duration::millis(100)) ++ground_outliers;
+  }
+  EXPECT_GT(air_outliers, 2 * ground_outliers);
+}
+
+TEST(HetModel, CappedAtConfiguredMax) {
+  HetConfig cfg;
+  cfg.outlier_prob_air = 1.0;
+  cfg.outlier_median_ms = 5000.0;
+  cfg.max_het_ms = 4000.0;  // the paper's observed ceiling
+  HetModel het{cfg, sim::Rng{7}};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(het.sample(1.0), Duration::millis(4000));
+  }
+}
+
+TEST(HetModel, AirborneFractionInterpolatesOutlierRate) {
+  HetConfig cfg;
+  cfg.outlier_prob_ground = 0.0;
+  cfg.outlier_prob_air = 1.0;
+  cfg.outlier_median_ms = 1000.0;
+  HetModel het{cfg, sim::Rng{9}};
+  int mid_outliers = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (het.sample(0.5) > Duration::millis(200)) ++mid_outliers;
+  }
+  EXPECT_NEAR(static_cast<double>(mid_outliers) / n, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace rpv::cellular

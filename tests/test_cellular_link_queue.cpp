@@ -1,0 +1,160 @@
+#include "cellular/link_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rpv::cellular {
+namespace {
+
+using sim::Duration;
+using sim::Simulator;
+using sim::TimePoint;
+
+net::Packet make_packet(std::uint64_t id, std::size_t bytes) {
+  net::Packet p;
+  p.id = id;
+  p.size_bytes = bytes;
+  return p;
+}
+
+struct Fixture {
+  Simulator sim;
+  double rate_bps = 8e6;
+  std::vector<net::Packet> delivered;
+  std::vector<std::uint64_t> dropped;
+  LinkQueue queue;
+
+  explicit Fixture(LinkQueueConfig cfg = {})
+      : queue{sim, cfg, [this] { return rate_bps; },
+              [this](net::Packet p) { delivered.push_back(std::move(p)); },
+              [this](const net::Packet& p) { dropped.push_back(p.id); }} {}
+};
+
+TEST(LinkQueue, DeliversInFifoOrder) {
+  Fixture f;
+  for (std::uint64_t i = 1; i <= 5; ++i) f.queue.enqueue(make_packet(i, 1000));
+  f.sim.run_all();
+  ASSERT_EQ(f.delivered.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(f.delivered[i].id, i + 1);
+}
+
+TEST(LinkQueue, SerializationTimeMatchesRate) {
+  Fixture f;
+  f.rate_bps = 1e6;  // 1000-byte packet -> 8 ms
+  f.queue.enqueue(make_packet(1, 1000));
+  f.sim.run_all();
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_NEAR(f.delivered[0].sent.ms(), 8.0, 1e-6);
+}
+
+TEST(LinkQueue, BackToBackPacketsQueueBehindEachOther) {
+  Fixture f;
+  f.rate_bps = 1e6;
+  f.queue.enqueue(make_packet(1, 1000));
+  f.queue.enqueue(make_packet(2, 1000));
+  f.sim.run_all();
+  ASSERT_EQ(f.delivered.size(), 2u);
+  EXPECT_NEAR(f.delivered[1].sent.ms(), 16.0, 1e-6);
+}
+
+TEST(LinkQueue, OverflowDropsAndReports) {
+  LinkQueueConfig cfg;
+  cfg.buffer_bytes = 2500;
+  Fixture f{cfg};
+  f.queue.enqueue(make_packet(1, 1000));
+  f.queue.enqueue(make_packet(2, 1000));
+  f.queue.enqueue(make_packet(3, 1000));  // 3000 > 2500: dropped
+  EXPECT_EQ(f.queue.drops(), 1u);
+  ASSERT_EQ(f.dropped.size(), 1u);
+  EXPECT_EQ(f.dropped[0], 3u);
+  f.sim.run_all();
+  EXPECT_EQ(f.delivered.size(), 2u);
+}
+
+TEST(LinkQueue, PauseHaltsService) {
+  Fixture f;
+  f.queue.enqueue(make_packet(1, 1000));
+  f.queue.pause();
+  f.sim.run_until(TimePoint::from_us(1'000'000));
+  EXPECT_TRUE(f.delivered.empty());
+  EXPECT_EQ(f.queue.queued_packets(), 1u);
+}
+
+TEST(LinkQueue, ResumeRestartsService) {
+  Fixture f;
+  f.queue.enqueue(make_packet(1, 1000));
+  f.queue.pause();
+  f.sim.run_until(TimePoint::from_us(500'000));
+  f.queue.resume();
+  f.sim.run_all();
+  ASSERT_EQ(f.delivered.size(), 1u);
+  EXPECT_GT(f.delivered[0].sent, TimePoint::from_us(500'000));
+}
+
+TEST(LinkQueue, PauseMidServiceReserializesHead) {
+  Fixture f;
+  f.rate_bps = 1e6;  // 8 ms per 1000 B
+  f.queue.enqueue(make_packet(1, 1000));
+  f.sim.run_until(TimePoint::from_us(4000));  // half-way through
+  f.queue.pause();
+  f.queue.resume();
+  f.sim.run_all();
+  ASSERT_EQ(f.delivered.size(), 1u);
+  // Full serialization restarts after the pause: 4 ms + 8 ms = 12 ms.
+  EXPECT_NEAR(f.delivered[0].sent.ms(), 12.0, 0.01);
+}
+
+TEST(LinkQueue, EnqueueWhilePausedAccumulates) {
+  Fixture f;
+  f.queue.pause();
+  for (std::uint64_t i = 1; i <= 3; ++i) f.queue.enqueue(make_packet(i, 500));
+  EXPECT_EQ(f.queue.queued_packets(), 3u);
+  EXPECT_EQ(f.queue.queued_bytes(), 1500u);
+  f.queue.resume();
+  f.sim.run_all();
+  EXPECT_EQ(f.delivered.size(), 3u);
+}
+
+TEST(LinkQueue, QueuingDelayEstimate) {
+  Fixture f;
+  f.rate_bps = 8e6;
+  f.queue.pause();
+  f.queue.enqueue(make_packet(1, 100000));  // 100 KB at 8 Mbps = 100 ms
+  EXPECT_NEAR(f.queue.queuing_delay_sec(), 0.1, 1e-9);
+}
+
+TEST(LinkQueue, FillFractionTracksOccupancy) {
+  LinkQueueConfig cfg;
+  cfg.buffer_bytes = 10000;
+  Fixture f{cfg};
+  f.queue.pause();
+  f.queue.enqueue(make_packet(1, 2500));
+  EXPECT_NEAR(f.queue.fill_fraction(), 0.25, 1e-9);
+}
+
+TEST(LinkQueue, DoublePauseAndResumeIdempotent) {
+  Fixture f;
+  f.queue.enqueue(make_packet(1, 1000));
+  f.queue.pause();
+  f.queue.pause();
+  f.queue.resume();
+  f.queue.resume();
+  f.sim.run_all();
+  EXPECT_EQ(f.delivered.size(), 1u);
+}
+
+TEST(LinkQueue, RateChangeAffectsSubsequentPackets) {
+  Fixture f;
+  f.rate_bps = 1e6;
+  f.queue.enqueue(make_packet(1, 1000));
+  f.sim.run_all();
+  f.rate_bps = 2e6;
+  f.queue.enqueue(make_packet(2, 1000));
+  f.sim.run_all();
+  const double second_tx_ms = (f.delivered[1].sent - f.delivered[0].sent).ms();
+  EXPECT_NEAR(second_tx_ms, 4.0, 0.01);
+}
+
+}  // namespace
+}  // namespace rpv::cellular

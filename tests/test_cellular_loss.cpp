@@ -1,0 +1,113 @@
+#include "cellular/loss_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::cellular {
+namespace {
+
+TEST(LossModel, OverallRateNearPaperBand) {
+  // The paper reports a PER of 0.06-0.07% on the radio; the default config
+  // should land in that neighbourhood.
+  LossModel lm{LossConfig{}, sim::Rng{1}};
+  const int n = 2'000'000;
+  for (int i = 0; i < n; ++i) lm.drops_packet();
+  EXPECT_GT(lm.loss_rate(), 2e-4);
+  EXPECT_LT(lm.loss_rate(), 1.5e-3);
+}
+
+TEST(LossModel, DropsAreBursty) {
+  // The paper: "Most of the observed packet drops occurred consecutively."
+  LossModel lm{LossConfig{}, sim::Rng{2}};
+  int losses = 0, consecutive_pairs = 0;
+  bool prev_lost = false;
+  for (int i = 0; i < 5'000'000; ++i) {
+    const bool lost = lm.drops_packet();
+    if (lost) {
+      ++losses;
+      if (prev_lost) ++consecutive_pairs;
+    }
+    prev_lost = lost;
+  }
+  ASSERT_GT(losses, 100);
+  // Under independent losses at this rate, consecutive pairs would be
+  // essentially zero; burstiness makes them a large fraction.
+  EXPECT_GT(static_cast<double>(consecutive_pairs) / losses, 0.2);
+}
+
+TEST(LossModel, BadStateLossRateHigher) {
+  LossConfig cfg;
+  cfg.p_good_to_bad = 1.0;  // enter immediately
+  cfg.p_bad_to_good = 0.0;  // stay
+  LossModel lm{cfg, sim::Rng{3}};
+  int losses = 0;
+  for (int i = 0; i < 10000; ++i) losses += lm.drops_packet() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(losses) / 10000, cfg.loss_bad, 0.03);
+}
+
+TEST(LossModel, AltitudeBoostRaisesRate) {
+  LossConfig cfg;
+  cfg.altitude_boost = 5.0;
+  LossModel ground{cfg, sim::Rng{4}};
+  LossModel air{cfg, sim::Rng{4}};
+  const int n = 3'000'000;
+  for (int i = 0; i < n; ++i) {
+    ground.drops_packet(0.0);
+    air.drops_packet(120.0);
+  }
+  EXPECT_GT(air.loss_rate(), 1.5 * ground.loss_rate());
+}
+
+TEST(LossModel, StressBoostRaisesRate) {
+  LossConfig cfg;
+  cfg.stress_boost = 50.0;
+  LossModel calm{cfg, sim::Rng{5}};
+  LossModel stressed{cfg, sim::Rng{5}};
+  const int n = 3'000'000;
+  for (int i = 0; i < n; ++i) {
+    calm.drops_packet(0.0, 0.0);
+    stressed.drops_packet(0.0, 1.0);
+  }
+  EXPECT_GT(stressed.loss_rate(), 3.0 * calm.loss_rate());
+}
+
+TEST(LossModel, CountersConsistent) {
+  LossModel lm{LossConfig{}, sim::Rng{6}};
+  for (int i = 0; i < 1000; ++i) lm.drops_packet();
+  EXPECT_EQ(lm.total_seen(), 1000u);
+  EXPECT_LE(lm.total_lost(), lm.total_seen());
+}
+
+TEST(LossModel, ZeroConfigNeverLoses) {
+  LossConfig cfg;
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 0.0;
+  LossModel lm{cfg, sim::Rng{7}};
+  for (int i = 0; i < 100000; ++i) EXPECT_FALSE(lm.drops_packet());
+}
+
+TEST(LossModel, BurstLengthMatchesTransitionProbability) {
+  LossConfig cfg;
+  cfg.p_good_to_bad = 0.01;
+  cfg.p_bad_to_good = 0.1;  // mean dwell ~10 packets
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 1.0;
+  LossModel lm{cfg, sim::Rng{8}};
+  std::vector<int> bursts;
+  int current = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    if (lm.drops_packet()) {
+      ++current;
+    } else if (current > 0) {
+      bursts.push_back(current);
+      current = 0;
+    }
+  }
+  ASSERT_GT(bursts.size(), 100u);
+  double mean = 0.0;
+  for (const int b : bursts) mean += b;
+  mean /= static_cast<double>(bursts.size());
+  EXPECT_NEAR(mean, 10.0, 1.5);
+}
+
+}  // namespace
+}  // namespace rpv::cellular

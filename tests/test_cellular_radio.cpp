@@ -1,0 +1,181 @@
+#include "cellular/radio_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::cellular {
+namespace {
+
+CellLayout two_cell_layout() {
+  CellLayout l;
+  l.name = "test";
+  l.cells.push_back({1, {0, 0, 30}, 43.0, 6.0});
+  l.cells.push_back({2, {1000, 0, 30}, 43.0, 6.0});
+  return l;
+}
+
+RadioConfig quiet_config() {
+  RadioConfig cfg;
+  cfg.shadowing_stddev_db = 0.0;   // deterministic for unit checks
+  cfg.side_lobe_ripple_db = 0.0;
+  return cfg;
+}
+
+TEST(RadioModel, NearCellIsStrongest) {
+  const auto layout = two_cell_layout();
+  RadioModel radio{quiet_config(), layout, sim::Rng{1}};
+  radio.update({100, 0, 1.5});
+  EXPECT_EQ(radio.measurements().front().cell_id, 1u);
+  radio.update({900, 0, 1.5});
+  EXPECT_EQ(radio.measurements().front().cell_id, 2u);
+}
+
+TEST(RadioModel, RsrpDecreasesWithDistance) {
+  const auto layout = two_cell_layout();
+  RadioModel radio{quiet_config(), layout, sim::Rng{1}};
+  radio.update({100, 0, 1.5});
+  const double near = radio.rsrp_of(1);
+  radio.update({400, 0, 1.5});
+  const double far = radio.rsrp_of(1);
+  EXPECT_GT(near, far);
+}
+
+TEST(RadioModel, MeasurementsSortedDescending) {
+  sim::Rng rng{2};
+  const auto layout = make_urban_layout(rng);
+  RadioModel radio{RadioConfig{}, layout, sim::Rng{1}};
+  radio.update({0, 0, 50});
+  const auto& ms = radio.measurements();
+  for (std::size_t i = 1; i < ms.size(); ++i) {
+    EXPECT_GE(ms[i - 1].rsrp_dbm, ms[i].rsrp_dbm);
+  }
+}
+
+TEST(RadioModel, UnknownCellRsrpIsFloor) {
+  const auto layout = two_cell_layout();
+  RadioModel radio{quiet_config(), layout, sim::Rng{1}};
+  radio.update({0, 0, 1.5});
+  EXPECT_EQ(radio.rsrp_of(999), -150.0);
+}
+
+TEST(RadioModel, AltitudeReducesPathLossExponent) {
+  // With LoS at altitude, a *distant* cell attenuates less: its RSRP at
+  // 120 m should beat its RSRP at ground for the same horizontal distance.
+  const auto layout = two_cell_layout();
+  auto cfg = quiet_config();
+  RadioModel radio{cfg, layout, sim::Rng{1}};
+  radio.update({800, 0, 1.5});
+  const double ground = radio.rsrp_of(1);  // cell 1 is 800 m away
+  radio.update({800, 0, 120.0});
+  const double air = radio.rsrp_of(1);
+  EXPECT_GT(air, ground);
+}
+
+TEST(RadioModel, RankingMarginShrinksInAir) {
+  // The airborne regime compresses the RSRP gap between serving and
+  // neighbour cells — the paper's HO-frequency driver.
+  const auto layout = two_cell_layout();
+  RadioModel radio{quiet_config(), layout, sim::Rng{1}};
+  radio.update({200, 0, 1.5});
+  const double margin_ground =
+      radio.rsrp_of(1) - radio.rsrp_of(2);
+  radio.update({200, 0, 120.0});
+  const double margin_air = radio.rsrp_of(1) - radio.rsrp_of(2);
+  EXPECT_GT(margin_ground, margin_air);
+}
+
+TEST(RadioModel, SinrPositiveNearServingCell) {
+  const auto layout = two_cell_layout();
+  RadioModel radio{quiet_config(), layout, sim::Rng{1}};
+  radio.update({50, 0, 1.5});
+  EXPECT_GT(radio.sinr_db(1), 10.0);
+}
+
+TEST(RadioModel, CapacityWithinConfiguredBounds) {
+  sim::Rng rng{4};
+  const auto layout = make_urban_layout(rng);
+  RadioConfig cfg;
+  RadioModel radio{cfg, layout, sim::Rng{5}};
+  for (double x = -600; x <= 600; x += 100) {
+    radio.update({x, 0.0, 60.0});
+    const double cap = radio.capacity_mbps(radio.measurements().front().cell_id);
+    EXPECT_GE(cap, cfg.min_capacity_mbps);
+    EXPECT_LE(cap, cfg.operator_cap_mbps);
+  }
+}
+
+TEST(RadioModel, CapacityHigherAtBetterSinr) {
+  const auto layout = two_cell_layout();
+  RadioModel radio{quiet_config(), layout, sim::Rng{1}};
+  radio.update({50, 0, 1.5});
+  const double near_cap = radio.capacity_mbps(1);
+  radio.update({850, 0, 1.5});  // serving still cell 1, now weak + interfered
+  const double far_cap = radio.capacity_mbps(1);
+  EXPECT_GT(near_cap, far_cap);
+}
+
+TEST(RadioModel, ShadowingIsSpatiallyCorrelated) {
+  const auto layout = two_cell_layout();
+  RadioConfig cfg;
+  cfg.side_lobe_ripple_db = 0.0;
+  cfg.shadowing_stddev_db = 8.0;
+  cfg.shadowing_corr_distance_m = 50.0;
+  RadioModel radio{cfg, layout, sim::Rng{7}};
+  radio.update({500, 0, 1.5});
+  const double r0 = radio.rsrp_of(1);
+  radio.update({500.5, 0, 1.5});  // 0.5 m step: shadowing barely moves
+  const double r1 = radio.rsrp_of(1);
+  EXPECT_NEAR(r0, r1, 2.0);
+}
+
+TEST(RadioModel, DeterministicGivenSeed) {
+  const auto layout = two_cell_layout();
+  RadioModel a{RadioConfig{}, layout, sim::Rng{42}};
+  RadioModel b{RadioConfig{}, layout, sim::Rng{42}};
+  for (int i = 0; i < 20; ++i) {
+    const geo::Vec3 p{i * 10.0, 0.0, 60.0};
+    a.update(p);
+    b.update(p);
+    EXPECT_DOUBLE_EQ(a.measurements().front().rsrp_dbm,
+                     b.measurements().front().rsrp_dbm);
+  }
+}
+
+TEST(Layouts, MatchPaperCellCounts) {
+  sim::Rng rng{1};
+  EXPECT_EQ(make_urban_layout(rng).size(), 32u);
+  EXPECT_EQ(make_rural_layout_p1(rng).size(), 18u);
+  EXPECT_GT(make_rural_layout_p2(rng).size(),
+            make_rural_layout_p1(rng).size());
+}
+
+TEST(Layouts, RuralIsSparserThanUrban) {
+  sim::Rng rng{1};
+  const auto urban = make_urban_layout(rng);
+  const auto rural = make_rural_layout_p1(rng);
+  auto mean_nearest = [](const CellLayout& l) {
+    double total = 0.0;
+    for (const auto& a : l.cells) {
+      double best = 1e12;
+      for (const auto& b : l.cells) {
+        if (a.cell_id == b.cell_id) continue;
+        best = std::min(best, geo::distance2d(a.pos, b.pos));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(l.size());
+  };
+  EXPECT_GT(mean_nearest(rural), 3.0 * mean_nearest(urban));
+}
+
+TEST(Layouts, DistinctCellIds) {
+  sim::Rng rng{1};
+  for (const auto& layout : {make_urban_layout(rng), make_rural_layout_p1(rng),
+                             make_rural_layout_p2(rng)}) {
+    std::set<std::uint32_t> ids;
+    for (const auto& c : layout.cells) ids.insert(c.cell_id);
+    EXPECT_EQ(ids.size(), layout.size());
+  }
+}
+
+}  // namespace
+}  // namespace rpv::cellular

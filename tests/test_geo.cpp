@@ -1,0 +1,167 @@
+#include "geo/flight_profiles.hpp"
+#include "geo/trajectory.hpp"
+#include "geo/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::geo {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  const Vec3 sum = a + b;
+  EXPECT_EQ(sum.x, 5);
+  EXPECT_EQ(sum.y, 7);
+  EXPECT_EQ(sum.z, 9);
+  const Vec3 diff = b - a;
+  EXPECT_EQ(diff.x, 3);
+  const Vec3 scaled = a * 2.0;
+  EXPECT_EQ(scaled.z, 6);
+}
+
+TEST(Vec3, Norms) {
+  const Vec3 v{3, 4, 12};
+  EXPECT_DOUBLE_EQ(v.norm(), 13.0);
+  EXPECT_DOUBLE_EQ(v.norm2d(), 5.0);
+}
+
+TEST(Vec3, DistanceHelpers) {
+  const Vec3 a{0, 0, 0}, b{3, 4, 12};
+  EXPECT_DOUBLE_EQ(distance(a, b), 13.0);
+  EXPECT_DOUBLE_EQ(distance2d(a, b), 5.0);
+}
+
+TEST(Trajectory, EmptyReturnsOrigin) {
+  Trajectory t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.position(sim::TimePoint::from_us(123)).x, 0.0);
+}
+
+TEST(Trajectory, MoveToComputesTravelTime) {
+  Trajectory t;
+  t.move_to({0, 0, 0}, 0.0);
+  t.move_to({100, 0, 0}, 10.0);  // 100 m at 10 m/s = 10 s
+  EXPECT_DOUBLE_EQ(t.duration().sec(), 10.0);
+}
+
+TEST(Trajectory, LinearInterpolation) {
+  Trajectory t;
+  t.move_to({0, 0, 0}, 0.0);
+  t.move_to({100, 0, 0}, 10.0);
+  const auto mid = t.position(sim::TimePoint::origin() + sim::Duration::seconds(5.0));
+  EXPECT_NEAR(mid.x, 50.0, 1e-9);
+}
+
+TEST(Trajectory, ClampsOutsideRange) {
+  Trajectory t;
+  t.move_to({0, 0, 0}, 0.0);
+  t.move_to({100, 0, 0}, 10.0);
+  EXPECT_EQ(t.position(sim::TimePoint::from_us(-100)).x, 0.0);
+  EXPECT_EQ(t.position(t.end() + sim::Duration::seconds(100.0)).x, 100.0);
+}
+
+TEST(Trajectory, HoverKeepsPosition) {
+  Trajectory t;
+  t.move_to({5, 5, 5}, 0.0);
+  t.hover(sim::Duration::seconds(10.0));
+  const auto p = t.position(sim::TimePoint::origin() + sim::Duration::seconds(5.0));
+  EXPECT_EQ(p.x, 5.0);
+  EXPECT_EQ(p.z, 5.0);
+  EXPECT_DOUBLE_EQ(t.duration().sec(), 10.0);
+}
+
+TEST(Trajectory, SpeedOnSegment) {
+  Trajectory t;
+  t.move_to({0, 0, 0}, 0.0);
+  t.move_to({100, 0, 0}, 10.0);
+  const auto mid = sim::TimePoint::origin() + sim::Duration::seconds(5.0);
+  EXPECT_NEAR(t.speed(mid), 10.0, 1e-9);
+}
+
+TEST(Trajectory, SpeedZeroWhileHovering) {
+  Trajectory t;
+  t.move_to({0, 0, 0}, 0.0);
+  t.hover(sim::Duration::seconds(10.0));
+  const auto mid = sim::TimePoint::origin() + sim::Duration::seconds(5.0);
+  EXPECT_EQ(t.speed(mid), 0.0);
+}
+
+TEST(FlightProfile, ReachesAllPaperAltitudes) {
+  const auto t = make_flight_profile({0, 0, 0});
+  bool saw40 = false, saw80 = false, saw120 = false;
+  for (auto tp = t.start(); tp < t.end(); tp += sim::Duration::seconds(1.0)) {
+    const double z = t.altitude(tp);
+    if (std::abs(z - 40.0) < 0.5) saw40 = true;
+    if (std::abs(z - 80.0) < 0.5) saw80 = true;
+    if (std::abs(z - 120.0) < 0.5) saw120 = true;
+    EXPECT_LE(z, 120.5);  // European regulatory ceiling
+  }
+  EXPECT_TRUE(saw40);
+  EXPECT_TRUE(saw80);
+  EXPECT_TRUE(saw120);
+}
+
+TEST(FlightProfile, StartsAndEndsOnGround) {
+  const auto t = make_flight_profile({0, 0, 0});
+  EXPECT_EQ(t.altitude(t.start()), 0.0);
+  EXPECT_EQ(t.altitude(t.end()), 0.0);
+}
+
+TEST(FlightProfile, AirTimeRoughlySixMinutes) {
+  const auto t = make_flight_profile({0, 0, 0});
+  // Paper: air time per flight ~6 min; accept a generous band.
+  EXPECT_GT(t.duration().sec(), 180.0);
+  EXPECT_LT(t.duration().sec(), 600.0);
+}
+
+TEST(FlightProfile, HorizontalLeapsCoverConfiguredDistance) {
+  FlightProfileConfig cfg;
+  cfg.leap_m = 200.0;
+  const auto t = make_flight_profile({0, 0, 0}, cfg);
+  double max_x = 0.0;
+  for (auto tp = t.start(); tp < t.end(); tp += sim::Duration::seconds(1.0)) {
+    max_x = std::max(max_x, std::abs(t.position(tp).x));
+  }
+  EXPECT_NEAR(max_x, 200.0, 1.0);
+}
+
+TEST(FlightProfile, MaxSpeedRespectsConfig) {
+  FlightProfileConfig cfg;
+  const auto t = make_flight_profile({0, 0, 0}, cfg);
+  double vmax = 0.0;
+  for (auto tp = t.start(); tp < t.end(); tp += sim::Duration::millis(500)) {
+    vmax = std::max(vmax, t.speed(tp));
+  }
+  EXPECT_LE(vmax, cfg.max_speed_mps + 0.1);
+  EXPECT_GT(vmax, cfg.cruise_speed_mps);  // the fast leap exercised
+}
+
+TEST(GroundProfile, StaysNearGround) {
+  sim::Rng rng{3};
+  const auto t = make_ground_profile({0, 0, 0}, rng);
+  for (auto tp = t.start(); tp < t.end(); tp += sim::Duration::seconds(2.0)) {
+    EXPECT_LT(t.altitude(tp), 2.0);
+  }
+}
+
+TEST(GroundProfile, IncludesStationaryStretches) {
+  sim::Rng rng{3};
+  const auto t = make_ground_profile({0, 0, 0}, rng);
+  int stationary = 0, total = 0;
+  for (auto tp = t.start(); tp < t.end(); tp += sim::Duration::seconds(1.0)) {
+    ++total;
+    if (t.speed(tp) < 0.01) ++stationary;
+  }
+  EXPECT_GT(stationary, total / 10);  // the paper notes stopped stretches
+}
+
+TEST(StaticProfile, HoldsPositionForDuration) {
+  const auto t = make_static_profile({1, 2, 3}, sim::Duration::seconds(60.0));
+  EXPECT_DOUBLE_EQ(t.duration().sec(), 60.0);
+  const auto p = t.position(t.start() + sim::Duration::seconds(30.0));
+  EXPECT_EQ(p.x, 1.0);
+  EXPECT_EQ(p.z, 3.0);
+}
+
+}  // namespace
+}  // namespace rpv::geo

@@ -1,0 +1,60 @@
+#include "net/packet.hpp"
+#include "net/wan_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::net {
+namespace {
+
+TEST(WanPath, DelayNeverBelowBase) {
+  WanConfig cfg;
+  cfg.base_owd = sim::Duration::millis(9);
+  WanPath wan{cfg, sim::Rng{1}};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(wan.sample_delay(), cfg.base_owd);
+  }
+}
+
+TEST(WanPath, JitterIsSmall) {
+  WanConfig cfg;
+  WanPath wan{cfg, sim::Rng{2}};
+  double max_ms = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    max_ms = std::max(max_ms, wan.sample_delay().ms());
+  }
+  EXPECT_LT(max_ms, cfg.base_owd.ms() + 10.0 * cfg.jitter_ms);
+}
+
+TEST(WanPath, ZeroJitterIsDeterministic) {
+  WanConfig cfg;
+  cfg.jitter_ms = 0.0;
+  WanPath wan{cfg, sim::Rng{3}};
+  EXPECT_EQ(wan.sample_delay(), cfg.base_owd);
+}
+
+TEST(WanPath, LossFollowsProbability) {
+  WanConfig cfg;
+  cfg.loss_probability = 0.1;
+  WanPath wan{cfg, sim::Rng{4}};
+  int drops = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) drops += wan.drops_packet() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.1, 0.01);
+}
+
+TEST(WanPath, DefaultLossNegligible) {
+  WanPath wan{WanConfig{}, sim::Rng{5}};
+  int drops = 0;
+  for (int i = 0; i < 100000; ++i) drops += wan.drops_packet() ? 1 : 0;
+  EXPECT_LE(drops, 2);
+}
+
+TEST(Packet, DefaultsAreSane) {
+  Packet p;
+  EXPECT_EQ(p.kind, PacketKind::kRtpVideo);
+  EXPECT_EQ(p.size_bytes, 0u);
+  EXPECT_FALSE(p.frame_last);
+}
+
+}  // namespace
+}  // namespace rpv::net

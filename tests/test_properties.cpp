@@ -1,0 +1,262 @@
+// Property-style parameterized sweeps across seeds, rates, and module
+// configurations: invariants that must hold for any input in the domain.
+#include <gtest/gtest.h>
+
+#include "cc/gcc/gcc_controller.hpp"
+#include "cc/scream/scream_controller.hpp"
+#include "cellular/link_queue.hpp"
+#include "cellular/loss_model.hpp"
+#include "rtp/jitter_buffer.hpp"
+#include "rtp/packetizer.hpp"
+#include "rtp/sequence.hpp"
+#include "video/encoder_model.hpp"
+#include "video/ssim_model.hpp"
+
+namespace rpv {
+namespace {
+
+using sim::Duration;
+using sim::Simulator;
+using sim::TimePoint;
+
+// --- Encoder rate tracking across the paper's full bitrate range ---
+
+class EncoderRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EncoderRateSweep, RealizedWithinTenPercent) {
+  const double target = GetParam();
+  video::EncoderModel enc{video::EncoderConfig{}, sim::Rng{99}};
+  enc.set_target_bitrate(target);
+  std::size_t total = 0;
+  const int frames = 1800;  // one minute
+  for (int i = 0; i < frames; ++i) {
+    total += enc.encode(i, TimePoint::from_us(i * 33'333), 1.0, false).size_bytes;
+  }
+  const double realized = static_cast<double>(total) * 8.0 * 30.0 / frames;
+  EXPECT_NEAR(realized, target, target * 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, EncoderRateSweep,
+                         ::testing::Values(2e6, 4e6, 8e6, 12e6, 16e6, 20e6, 25e6));
+
+// --- SSIM monotonicity across the whole rate sweep ---
+
+class SsimRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SsimRateSweep, CleanScoreAboveThresholdAndBelowCeiling) {
+  const double rate = GetParam();
+  video::SsimModel m{video::SsimConfig{}, sim::Rng{1}};
+  const double s = m.clean_ssim(rate, 1.0);
+  EXPECT_GT(s, video::SsimModel::kThreshold);
+  EXPECT_LT(s, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, SsimRateSweep,
+                         ::testing::Values(2e6, 4e6, 8e6, 12e6, 16e6, 20e6, 25e6));
+
+// --- Packetizer conservation across frame sizes ---
+
+class PacketizerSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PacketizerSweep, BytesAndMarkersConserved) {
+  const std::size_t bytes = GetParam();
+  rtp::PacketizerConfig cfg;
+  rtp::Packetizer pk{cfg};
+  video::Frame f;
+  f.id = 1;
+  f.size_bytes = bytes;
+  const auto packets = pk.packetize(f);
+  std::size_t payload = 0;
+  int markers = 0;
+  for (const auto& p : packets) {
+    payload += p.size_bytes - cfg.header_overhead_bytes;
+    markers += p.frame_last ? 1 : 0;
+    EXPECT_LE(p.size_bytes, cfg.mtu_payload_bytes + cfg.header_overhead_bytes);
+  }
+  EXPECT_EQ(payload, bytes);
+  EXPECT_EQ(markers, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PacketizerSweep,
+                         ::testing::Values(1, 100, 1199, 1200, 1201, 5000,
+                                           33'000, 104'000, 1'000'000));
+
+// --- Sequence unwrapper: random reorder fuzz across seeds ---
+
+class UnwrapperFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnwrapperFuzz, ValuesConsistentUnderBoundedReorder) {
+  sim::Rng rng{GetParam()};
+  rtp::SeqUnwrapper u;
+  // Generate 50k sequential numbers delivered with bounded reorder (window
+  // of 16) and verify every unwrapped value equals the true index.
+  const int n = 50'000;
+  std::vector<int> pendings;
+  int next_emit = 0;
+  std::vector<std::pair<std::uint16_t, std::int64_t>> stream;
+  for (int i = 0; i < n; ++i) pendings.push_back(i);
+  // Bounded shuffle.
+  for (int i = 0; i < n; ++i) {
+    const int j = std::min<int>(n - 1, i + static_cast<int>(rng.uniform_int(0, 15)));
+    std::swap(pendings[i], pendings[j]);
+  }
+  (void)next_emit;
+  for (const int idx : pendings) {
+    stream.emplace_back(static_cast<std::uint16_t>(idx & 0xFFFF), idx);
+  }
+  for (const auto& [seq16, truth] : stream) {
+    EXPECT_EQ(u.unwrap(seq16), truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnwrapperFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Link queue work conservation across service rates ---
+
+class LinkQueueRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinkQueueRateSweep, AllAcceptedPacketsEventuallyDeliver) {
+  const double rate = GetParam();
+  Simulator sim;
+  int delivered = 0;
+  int dropped = 0;
+  cellular::LinkQueue q{
+      sim, cellular::LinkQueueConfig{}, [rate] { return rate; },
+      [&](net::Packet) { ++delivered; },
+      [&](const net::Packet&) { ++dropped; }};
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    net::Packet p;
+    p.id = static_cast<std::uint64_t>(i) + 1;
+    p.size_bytes = 1240;
+    sim.schedule_at(TimePoint::from_us(i * 1000), [&q, p] { q.enqueue(p); });
+  }
+  sim.run_all();
+  EXPECT_EQ(delivered + dropped, n);
+  if (rate > 12e6) EXPECT_EQ(dropped, 0);  // above the offered load
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LinkQueueRateSweep,
+                         ::testing::Values(1e6, 5e6, 15e6, 50e6));
+
+// --- Loss model PER scales sanely across loads ---
+
+class LossSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossSeedSweep, RateStableAcrossSeeds) {
+  cellular::LossModel lm{cellular::LossConfig{}, sim::Rng{GetParam()}};
+  for (int i = 0; i < 1'000'000; ++i) lm.drops_packet();
+  EXPECT_GT(lm.loss_rate(), 1e-4);
+  EXPECT_LT(lm.loss_rate(), 3e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossSeedSweep, ::testing::Values(10, 20, 30, 40));
+
+// --- GCC never exceeds configured bounds under arbitrary feedback ---
+
+class GccFeedbackFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GccFeedbackFuzz, TargetStaysInBounds) {
+  sim::Rng rng{GetParam()};
+  cc::gcc::GccConfig cfg;
+  cc::gcc::GccController gcc{cfg};
+  std::uint16_t seq = 0;
+  double t_ms = 0.0;
+  for (int round = 0; round < 300; ++round) {
+    rtp::FeedbackReport report;
+    const int pkts = static_cast<int>(rng.uniform_int(1, 30));
+    for (int k = 0; k < pkts; ++k) {
+      t_ms += rng.uniform(0.1, 5.0);
+      gcc.on_packet_sent({seq, 1240,
+                          TimePoint::from_us(static_cast<std::int64_t>(t_ms * 1000))});
+      const bool received = rng.chance(0.9);
+      const double arrival = t_ms + rng.uniform(20.0, 400.0);
+      report.results.push_back(
+          {seq, received,
+           TimePoint::from_us(static_cast<std::int64_t>(arrival * 1000))});
+      ++seq;
+    }
+    gcc.on_feedback(report,
+                    TimePoint::from_us(static_cast<std::int64_t>((t_ms + 50) * 1000)));
+    EXPECT_GE(gcc.target_bitrate_bps(), cfg.aimd.min_rate_bps * 0.99);
+    EXPECT_LE(gcc.target_bitrate_bps(), cfg.aimd.max_rate_bps * 1.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GccFeedbackFuzz,
+                         ::testing::Values(101, 102, 103, 104, 105));
+
+// --- SCReAM accounting never goes negative under arbitrary feedback ---
+
+class ScreamFeedbackFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScreamFeedbackFuzz, FlightAccountingConsistent) {
+  sim::Rng rng{GetParam()};
+  cc::scream::ScreamController sc;
+  std::uint16_t seq = 0;
+  double t_ms = 0.0;
+  for (int round = 0; round < 300; ++round) {
+    const int pkts = static_cast<int>(rng.uniform_int(0, 20));
+    std::uint16_t first = seq;
+    for (int k = 0; k < pkts; ++k) {
+      t_ms += rng.uniform(0.1, 3.0);
+      if (!sc.can_send(1240)) break;
+      sc.on_packet_sent({seq++, 1240,
+                         TimePoint::from_us(static_cast<std::int64_t>(t_ms * 1000))});
+    }
+    if (seq != first && rng.chance(0.8)) {
+      rtp::FeedbackReport report;
+      for (std::uint16_t s = first; s != seq; ++s) {
+        report.results.push_back(
+            {s, rng.chance(0.95),
+             TimePoint::from_us(static_cast<std::int64_t>((t_ms + 40) * 1000))});
+      }
+      sc.on_feedback(report,
+                     TimePoint::from_us(static_cast<std::int64_t>((t_ms + 45) * 1000)));
+    }
+    sc.on_tick(TimePoint::from_us(static_cast<std::int64_t>(t_ms * 1000)));
+    EXPECT_GE(sc.cwnd_bytes(), 2u * 1240u);
+    EXPECT_GE(sc.target_bitrate_bps(), 2e6 * 0.99);
+    EXPECT_LE(sc.target_bitrate_bps(), 30e6 * 1.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScreamFeedbackFuzz,
+                         ::testing::Values(201, 202, 203, 204, 205));
+
+// --- Jitter buffer: releases are always frame-ordered, any loss pattern ---
+
+class JitterBufferFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JitterBufferFuzz, ReleasesMonotoneInFrameId) {
+  sim::Rng rng{GetParam()};
+  Simulator sim;
+  std::vector<std::uint32_t> released;
+  rtp::JitterBuffer jb{sim, rtp::JitterBufferConfig{},
+                       [&](const rtp::FrameReleaseEvent& ev) {
+                         released.push_back(ev.frame_id);
+                       }};
+  rtp::Packetizer pk;
+  for (std::uint32_t i = 0; i < 120; ++i) {
+    video::Frame f;
+    f.id = i;
+    f.size_bytes = 2000 + static_cast<std::size_t>(rng.uniform_int(0, 4000));
+    f.capture_time = TimePoint::from_us(i * 33'333);
+    for (const auto& p : pk.packetize(f)) {
+      if (rng.chance(0.03)) continue;  // random loss
+      const auto arrival =
+          f.capture_time +
+          Duration::millis(static_cast<std::int64_t>(rng.uniform(30.0, 90.0)));
+      sim.schedule_at(arrival, [&jb, p] { jb.on_packet(p); });
+    }
+  }
+  sim.run_all();
+  EXPECT_TRUE(std::is_sorted(released.begin(), released.end()));
+  EXPECT_GT(released.size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitterBufferFuzz,
+                         ::testing::Values(301, 302, 303, 304, 305, 306));
+
+}  // namespace
+}  // namespace rpv

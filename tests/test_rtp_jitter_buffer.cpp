@@ -1,0 +1,259 @@
+#include "rtp/jitter_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtp/packetizer.hpp"
+
+namespace rpv::rtp {
+namespace {
+
+using sim::Duration;
+using sim::Simulator;
+using sim::TimePoint;
+
+struct Fixture {
+  Simulator sim;
+  std::vector<FrameReleaseEvent> released;
+  JitterBuffer jb;
+
+  explicit Fixture(JitterBufferConfig cfg = {})
+      : jb{sim, cfg, [this](const FrameReleaseEvent& ev) { released.push_back(ev); }} {}
+
+  // Deliver all packets of a frame at `arrival`, capture at `capture`.
+  void deliver_frame(Packetizer& pktzr, std::uint32_t id, std::size_t bytes,
+                     TimePoint capture, TimePoint arrival,
+                     int drop_index = -1) {
+    video::Frame f;
+    f.id = id;
+    f.size_bytes = bytes;
+    f.capture_time = capture;
+    auto packets = pktzr.packetize(f);
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      if (static_cast<int>(i) == drop_index) continue;
+      auto p = packets[i];
+      sim.schedule_at(arrival + Duration::micros(static_cast<std::int64_t>(i)),
+                      [this, p] { jb.on_packet(p); });
+    }
+  }
+};
+
+TEST(JitterBuffer, ReleasesAtLatencyDeadline) {
+  Fixture f;
+  Packetizer pk;
+  // First packet arrives 40 ms after capture -> offset 40 ms; release at
+  // capture + 40 + 150 = 190 ms.
+  f.deliver_frame(pk, 0, 3000, TimePoint::origin(), TimePoint::from_us(40'000));
+  f.sim.run_all();
+  ASSERT_EQ(f.released.size(), 1u);
+  EXPECT_FALSE(f.released[0].corrupted);
+  EXPECT_NEAR(f.released[0].release_time.ms(), 190.0, 1.0);
+}
+
+TEST(JitterBuffer, CompleteFrameNotHeldThroughGrace) {
+  Fixture f;
+  Packetizer pk;
+  f.deliver_frame(pk, 0, 1200, TimePoint::origin(), TimePoint::from_us(30'000));
+  f.sim.run_all();
+  ASSERT_EQ(f.released.size(), 1u);
+  EXPECT_LT(f.released[0].release_time.ms(), 185.0);
+}
+
+TEST(JitterBuffer, InOrderReleaseAcrossFrames) {
+  Fixture f;
+  Packetizer pk;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    f.deliver_frame(pk, i, 2500, TimePoint::from_us(i * 33'333),
+                    TimePoint::from_us(i * 33'333 + 40'000));
+  }
+  f.sim.run_all();
+  ASSERT_EQ(f.released.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(f.released[i].frame_id, i);
+}
+
+TEST(JitterBuffer, LostMiddlePacketConcealedWithEvidence) {
+  Fixture f;
+  Packetizer pk;
+  // Frame 0 misses its middle packet; frame 1 arrives complete afterwards,
+  // providing the loss evidence.
+  f.deliver_frame(pk, 0, 3600, TimePoint::origin(), TimePoint::from_us(40'000),
+                  /*drop_index=*/1);
+  f.deliver_frame(pk, 1, 3600, TimePoint::from_us(33'333),
+                  TimePoint::from_us(73'333));
+  f.sim.run_all();
+  ASSERT_EQ(f.released.size(), 2u);
+  EXPECT_TRUE(f.released[0].corrupted);
+  EXPECT_EQ(f.released[0].packets_received, 2);
+  EXPECT_FALSE(f.released[1].corrupted);
+}
+
+TEST(JitterBuffer, LostMarkerStillConceals) {
+  Fixture f;
+  Packetizer pk;
+  f.deliver_frame(pk, 0, 3600, TimePoint::origin(), TimePoint::from_us(40'000),
+                  /*drop_index=*/2);  // the marker packet
+  f.deliver_frame(pk, 1, 3600, TimePoint::from_us(33'333),
+                  TimePoint::from_us(73'333));
+  f.sim.run_all();
+  ASSERT_EQ(f.released.size(), 2u);
+  EXPECT_TRUE(f.released[0].corrupted);
+}
+
+TEST(JitterBuffer, ReorderedPacketsWithinFrameTolerated) {
+  Fixture f;
+  Packetizer pk;
+  video::Frame fr;
+  fr.id = 0;
+  fr.size_bytes = 3600;
+  fr.capture_time = TimePoint::origin();
+  auto packets = pk.packetize(fr);
+  // Deliver in reverse order.
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const auto p = packets[packets.size() - 1 - i];
+    f.sim.schedule_at(TimePoint::from_us(40'000 + static_cast<std::int64_t>(i) * 100),
+                      [&f, p] { f.jb.on_packet(p); });
+  }
+  f.sim.run_all();
+  ASSERT_EQ(f.released.size(), 1u);
+  EXPECT_FALSE(f.released[0].corrupted);
+}
+
+TEST(JitterBuffer, HardTimeoutReleasesTailLoss) {
+  JitterBufferConfig cfg;
+  cfg.hard_timeout = Duration::millis(400);
+  Fixture f{cfg};
+  Packetizer pk;
+  // Only frame 0 exists and its marker is lost: no evidence ever arrives,
+  // so the hard timeout must fire.
+  f.deliver_frame(pk, 0, 3600, TimePoint::origin(), TimePoint::from_us(40'000),
+                  /*drop_index=*/2);
+  f.sim.run_all();
+  ASSERT_EQ(f.released.size(), 1u);
+  EXPECT_TRUE(f.released[0].corrupted);
+  EXPECT_NEAR(f.released[0].release_time.ms(), 190.0 + 400.0, 50.0);
+}
+
+TEST(JitterBuffer, LateFrameReleasedOnCompletion) {
+  Fixture f;
+  Packetizer pk;
+  // First frame sets the timeline.
+  f.deliver_frame(pk, 0, 1200, TimePoint::origin(), TimePoint::from_us(40'000));
+  // Second frame arrives 500 ms late (network spike), after its deadline.
+  f.deliver_frame(pk, 1, 1200, TimePoint::from_us(33'333),
+                  TimePoint::from_us(533'333));
+  f.sim.run_all();
+  ASSERT_EQ(f.released.size(), 2u);
+  EXPECT_FALSE(f.released[1].corrupted);
+  EXPECT_GE(f.released[1].release_time, TimePoint::from_us(533'333));
+}
+
+TEST(JitterBuffer, SenderDiscardGapTriggersResyncPlateau) {
+  JitterBufferConfig cfg;
+  cfg.resync_gap_packets = 50;
+  cfg.resync_stall = Duration::millis(700);
+  Fixture f{cfg};
+  Packetizer pk;
+  f.deliver_frame(pk, 0, 1200, TimePoint::origin(), TimePoint::from_us(40'000));
+  // Simulate a sender-side flush: burn 100 sequence numbers.
+  video::Frame burned;
+  burned.id = 1;
+  burned.size_bytes = 1200 * 100;
+  burned.capture_time = TimePoint::from_us(33'333);
+  pk.packetize(burned);  // never delivered
+  // Next frame arrives promptly (sender queue now empty).
+  f.deliver_frame(pk, 2, 1200, TimePoint::from_us(66'666),
+                  TimePoint::from_us(106'666));
+  f.sim.run_all();
+  EXPECT_EQ(f.jb.resyncs(), 1u);
+  ASSERT_EQ(f.released.size(), 2u);
+  // The post-resync frame is held on the elevated plateau.
+  EXPECT_GT((f.released[1].release_time - f.released[1].rtp_timestamp).ms(),
+            600.0);
+}
+
+TEST(JitterBuffer, PlateauDecaysOverFrames) {
+  JitterBufferConfig cfg;
+  cfg.resync_stall = Duration::millis(700);
+  cfg.offset_decay = 0.05;
+  Fixture f{cfg};
+  Packetizer pk;
+  f.deliver_frame(pk, 0, 1200, TimePoint::origin(), TimePoint::from_us(40'000));
+  video::Frame burned;
+  burned.id = 1;
+  burned.size_bytes = 1200 * 200;
+  burned.capture_time = TimePoint::from_us(33'333);
+  pk.packetize(burned);
+  for (std::uint32_t i = 2; i < 80; ++i) {
+    f.deliver_frame(pk, i, 1200, TimePoint::from_us(i * 33'333),
+                    TimePoint::from_us(i * 33'333 + 40'000));
+  }
+  f.sim.run_all();
+  ASSERT_GT(f.released.size(), 60u);
+  const auto early = f.released[2];
+  const auto late = f.released.back();
+  const double early_lat = (early.release_time - early.rtp_timestamp).ms();
+  const double late_lat = (late.release_time - late.rtp_timestamp).ms();
+  EXPECT_GT(early_lat, 500.0);
+  EXPECT_LT(late_lat, early_lat * 0.5);  // decayed substantially
+}
+
+TEST(JitterBuffer, DropOnLatencyDiscardsLateFrames) {
+  JitterBufferConfig cfg;
+  cfg.drop_on_latency = true;  // Appendix A.4 mode
+  Fixture f{cfg};
+  Packetizer pk;
+  f.deliver_frame(pk, 0, 1200, TimePoint::origin(), TimePoint::from_us(40'000));
+  // 500 ms late: past deadline + grace, dropped instead of played.
+  f.deliver_frame(pk, 1, 1200, TimePoint::from_us(33'333),
+                  TimePoint::from_us(533'333));
+  f.sim.run_all();
+  ASSERT_EQ(f.released.size(), 1u);
+  EXPECT_EQ(f.released[0].frame_id, 0u);
+  EXPECT_GE(f.jb.frames_dropped(), 1u);
+}
+
+TEST(JitterBuffer, PacketsForReleasedFrameCountLate) {
+  Fixture f;
+  Packetizer pk;
+  video::Frame fr;
+  fr.id = 0;
+  fr.size_bytes = 1200;
+  fr.capture_time = TimePoint::origin();
+  const auto packets = pk.packetize(fr);
+  f.sim.schedule_at(TimePoint::from_us(40'000),
+                    [&f, p = packets[0]] { f.jb.on_packet(p); });
+  f.sim.run_all();
+  ASSERT_EQ(f.released.size(), 1u);
+  // A duplicate / straggler for the already-released frame.
+  f.jb.on_packet(packets[0]);
+  EXPECT_EQ(f.jb.late_packets(), 1u);
+  EXPECT_EQ(f.released.size(), 1u);
+}
+
+TEST(JitterBuffer, OlderPendingFramesFlushedOnRelease) {
+  Fixture f;
+  Packetizer pk;
+  // Frame 0 incomplete forever (head loss, no marker); frame 1 completes.
+  f.deliver_frame(pk, 0, 3600, TimePoint::origin(), TimePoint::from_us(40'000),
+                  /*drop_index=*/2);
+  f.deliver_frame(pk, 1, 1200, TimePoint::from_us(33'333),
+                  TimePoint::from_us(73'333));
+  f.sim.run_all();
+  // Frame 0 released corrupted (evidence), frame 1 clean; nothing pending.
+  EXPECT_EQ(f.jb.pending_frames(), 0u);
+}
+
+TEST(JitterBuffer, StatsCountersConsistent) {
+  Fixture f;
+  Packetizer pk;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    f.deliver_frame(pk, i, 2500, TimePoint::from_us(i * 33'333),
+                    TimePoint::from_us(i * 33'333 + 40'000));
+  }
+  f.sim.run_all();
+  EXPECT_EQ(f.jb.frames_released(), 20u);
+  EXPECT_EQ(f.jb.frames_dropped(), 0u);
+  EXPECT_EQ(f.jb.extra_offset_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace rpv::rtp

@@ -1,0 +1,113 @@
+#include "rtp/packetizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::rtp {
+namespace {
+
+video::Frame make_frame(std::uint32_t id, std::size_t bytes) {
+  video::Frame f;
+  f.id = id;
+  f.size_bytes = bytes;
+  f.capture_time = sim::TimePoint::from_us(id * 33333);
+  return f;
+}
+
+TEST(Packetizer, SplitsAtMtu) {
+  Packetizer p;
+  const auto packets = p.packetize(make_frame(0, 3000));
+  ASSERT_EQ(packets.size(), 3u);  // 1200 + 1200 + 600
+}
+
+TEST(Packetizer, SingleSmallPacket) {
+  Packetizer p;
+  const auto packets = p.packetize(make_frame(0, 100));
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_TRUE(packets[0].frame_last);
+}
+
+TEST(Packetizer, EmptyFrameStillEmitsOnePacket) {
+  Packetizer p;
+  const auto packets = p.packetize(make_frame(0, 0));
+  ASSERT_EQ(packets.size(), 1u);
+}
+
+TEST(Packetizer, HeaderOverheadIncluded) {
+  PacketizerConfig cfg;
+  Packetizer p{cfg};
+  const auto packets = p.packetize(make_frame(0, 1200));
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].size_bytes, 1200 + cfg.header_overhead_bytes);
+}
+
+TEST(Packetizer, PayloadBytesConserved) {
+  PacketizerConfig cfg;
+  Packetizer p{cfg};
+  const std::size_t frame_bytes = 54321;
+  const auto packets = p.packetize(make_frame(0, frame_bytes));
+  std::size_t payload = 0;
+  for (const auto& pkt : packets) payload += pkt.size_bytes - cfg.header_overhead_bytes;
+  EXPECT_EQ(payload, frame_bytes);
+}
+
+TEST(Packetizer, MarkerOnlyOnLastPacket) {
+  Packetizer p;
+  const auto packets = p.packetize(make_frame(0, 5000));
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].frame_last, i + 1 == packets.size());
+  }
+}
+
+TEST(Packetizer, SequenceNumbersContinuousAcrossFrames) {
+  Packetizer p;
+  const auto a = p.packetize(make_frame(0, 2500));
+  const auto b = p.packetize(make_frame(1, 2500));
+  EXPECT_EQ(b.front().rtp_seq, static_cast<std::uint16_t>(a.back().rtp_seq + 1));
+  EXPECT_EQ(b.front().transport_seq,
+            static_cast<std::uint16_t>(a.back().transport_seq + 1));
+}
+
+TEST(Packetizer, SequenceWrapsAt16Bits) {
+  Packetizer p;
+  // Burn through the full sequence space: 65 packets x 1008 frames > 65536.
+  for (int i = 0; i < 1008; ++i) p.packetize(make_frame(i, 1200 * 65));
+  const auto packets = p.packetize(make_frame(1008, 1200 * 65));
+  // 1008*65 = 65520; the wrap falls inside this frame's 65 packets.
+  bool wrapped = false;
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    if (packets[i].rtp_seq < packets[i - 1].rtp_seq) wrapped = true;
+  }
+  EXPECT_TRUE(wrapped);
+}
+
+TEST(Packetizer, FrameMetadataPropagated) {
+  Packetizer p;
+  const auto f = make_frame(77, 3000);
+  const auto packets = p.packetize(f);
+  for (const auto& pkt : packets) {
+    EXPECT_EQ(pkt.frame_id, 77u);
+    EXPECT_EQ(pkt.rtp_timestamp, f.capture_time);
+    EXPECT_EQ(pkt.kind, net::PacketKind::kRtpVideo);
+  }
+}
+
+TEST(Packetizer, UniquePacketIds) {
+  Packetizer p;
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& pkt : p.packetize(make_frame(i, 4000))) {
+      EXPECT_TRUE(ids.insert(pkt.id).second);
+    }
+  }
+}
+
+TEST(Packetizer, CustomMtuRespected) {
+  PacketizerConfig cfg;
+  cfg.mtu_payload_bytes = 500;
+  Packetizer p{cfg};
+  const auto packets = p.packetize(make_frame(0, 1600));
+  EXPECT_EQ(packets.size(), 4u);  // 500*3 + 100
+}
+
+}  // namespace
+}  // namespace rpv::rtp

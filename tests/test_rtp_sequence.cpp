@@ -1,0 +1,100 @@
+#include "rtp/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::rtp {
+namespace {
+
+TEST(SeqDiff, Basic) {
+  EXPECT_EQ(seq_diff(10, 5), 5);
+  EXPECT_EQ(seq_diff(5, 10), -5);
+  EXPECT_EQ(seq_diff(7, 7), 0);
+}
+
+TEST(SeqDiff, AcrossWrap) {
+  EXPECT_EQ(seq_diff(2, 65534), 4);
+  EXPECT_EQ(seq_diff(65534, 2), -4);
+}
+
+TEST(SeqNewer, Semantics) {
+  EXPECT_TRUE(seq_newer(1, 0));
+  EXPECT_TRUE(seq_newer(0, 65535));  // wrapped
+  EXPECT_FALSE(seq_newer(65535, 0));
+}
+
+TEST(SeqUnwrapper, MonotoneWithoutWrap) {
+  SeqUnwrapper u;
+  for (std::uint16_t s = 0; s < 1000; ++s) {
+    EXPECT_EQ(u.unwrap(s), s);
+  }
+}
+
+TEST(SeqUnwrapper, CrossesWrapForward) {
+  SeqUnwrapper u;
+  std::int64_t prev = u.unwrap(65530);
+  for (int i = 0; i < 20; ++i) {
+    const auto s = static_cast<std::uint16_t>(65531 + i);
+    const std::int64_t v = u.unwrap(s);
+    EXPECT_EQ(v, prev + 1);
+    prev = v;
+  }
+}
+
+TEST(SeqUnwrapper, ReorderedPacketMapsBackwards) {
+  SeqUnwrapper u;
+  u.unwrap(100);
+  u.unwrap(101);
+  u.unwrap(102);
+  EXPECT_EQ(u.unwrap(99), u.highest() - 3);
+  // State untouched by the reorder: next in-order value continues.
+  const std::int64_t v103 = u.unwrap(103);
+  EXPECT_EQ(v103, 103);
+  EXPECT_EQ(u.highest(), v103);
+}
+
+TEST(SeqUnwrapper, ReorderAroundWrapDoesNotCorruptState) {
+  // Regression: the old implementation shifted its base permanently when an
+  // out-of-order pre-wrap packet arrived after the wrap, throwing every
+  // subsequent value off by 65536.
+  SeqUnwrapper u;
+  std::int64_t v = 0;
+  for (std::uint16_t s = 65500; s != 0; ++s) v = u.unwrap(s);  // up to 65535
+  v = u.unwrap(0);
+  v = u.unwrap(1);
+  const std::int64_t at_one = v;
+  // Late, reordered pre-wrap packet.
+  EXPECT_EQ(u.unwrap(65534), at_one - 3);
+  // In-order continuation must be exactly +1 from seq 1's value.
+  EXPECT_EQ(u.unwrap(2), at_one + 1);
+  EXPECT_EQ(u.unwrap(3), at_one + 2);
+}
+
+TEST(SeqUnwrapper, MultipleWraps) {
+  SeqUnwrapper u;
+  std::int64_t expected = 0;
+  std::uint16_t s = 0;
+  u.unwrap(0);
+  for (std::int64_t i = 1; i <= 200000; ++i) {
+    ++s;
+    ++expected;
+    EXPECT_EQ(u.unwrap(s), expected);
+  }
+}
+
+TEST(SeqUnwrapper, LargeForwardJumpFollowed) {
+  SeqUnwrapper u;
+  u.unwrap(0);
+  // A 1000-packet gap (sender-side discard) still unwraps forward.
+  EXPECT_EQ(u.unwrap(1000), 1000);
+}
+
+TEST(SeqUnwrapper, StartedFlag) {
+  SeqUnwrapper u;
+  EXPECT_FALSE(u.started());
+  u.unwrap(5);
+  EXPECT_TRUE(u.started());
+  EXPECT_EQ(u.highest(), 5);
+}
+
+}  // namespace
+}  // namespace rpv::rtp

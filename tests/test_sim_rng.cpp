@@ -1,0 +1,149 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rpv::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng r{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r{99};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r{5};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    if (v == 1) saw_lo = true;
+    if (v == 6) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r{11};
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalParameterized) {
+  Rng r{13};
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng r{17};
+  std::vector<double> xs;
+  for (int i = 0; i < 50001; ++i) xs.push_back(r.lognormal(std::log(20.0), 0.5));
+  std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], 20.0, 1.0);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng r{19};
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(3.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng r{23};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r{29};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{31};
+  Rng child = parent.fork();
+  // The child stream should not equal the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a{37}, b{37};
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng r{41};
+  const auto first = r.next_u64();
+  r.next_u64();
+  r.reseed(41);
+  EXPECT_EQ(r.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace rpv::sim

@@ -1,0 +1,90 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::sim {
+namespace {
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::millis(1).us(), 1000);
+  EXPECT_EQ(Duration::seconds(1.0).us(), 1'000'000);
+  EXPECT_EQ(Duration::micros(42).us(), 42);
+}
+
+TEST(Duration, ConversionsRoundTrip) {
+  const auto d = Duration::micros(1'500'000);
+  EXPECT_DOUBLE_EQ(d.ms(), 1500.0);
+  EXPECT_DOUBLE_EQ(d.sec(), 1.5);
+}
+
+TEST(Duration, Arithmetic) {
+  const auto a = Duration::millis(300);
+  const auto b = Duration::millis(200);
+  EXPECT_EQ((a + b).ms(), 500.0);
+  EXPECT_EQ((a - b).ms(), 100.0);
+  EXPECT_EQ((a * 2.0).ms(), 600.0);
+  EXPECT_EQ((a / 3).ms(), 100.0);
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+}
+
+TEST(Duration, CompoundAssignment) {
+  auto d = Duration::millis(10);
+  d += Duration::millis(5);
+  EXPECT_EQ(d.ms(), 15.0);
+  d -= Duration::millis(10);
+  EXPECT_EQ(d.ms(), 5.0);
+}
+
+TEST(Duration, Negation) {
+  EXPECT_EQ((-Duration::millis(7)).ms(), -7.0);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_GE(Duration::seconds(1.0), Duration::millis(1000));
+  EXPECT_EQ(Duration::zero(), Duration::micros(0));
+}
+
+TEST(Duration, ScalarOnLeft) {
+  EXPECT_EQ((2.0 * Duration::millis(4)).ms(), 8.0);
+}
+
+TEST(Duration, InfinityIsLargest) {
+  EXPECT_GT(Duration::infinity(), Duration::seconds(1e12));
+}
+
+TEST(TimePoint, OriginIsZero) {
+  EXPECT_EQ(TimePoint::origin().us(), 0);
+}
+
+TEST(TimePoint, PlusDuration) {
+  const auto t = TimePoint::origin() + Duration::millis(250);
+  EXPECT_EQ(t.ms(), 250.0);
+}
+
+TEST(TimePoint, MinusDurationAndPoint) {
+  const auto t1 = TimePoint::from_us(500'000);
+  const auto t0 = TimePoint::from_us(200'000);
+  EXPECT_EQ((t1 - t0).ms(), 300.0);
+  EXPECT_EQ((t1 - Duration::millis(100)).ms(), 400.0);
+}
+
+TEST(TimePoint, NeverComparesLargest) {
+  EXPECT_TRUE(TimePoint::never().is_never());
+  EXPECT_GT(TimePoint::never(), TimePoint::from_us(1'000'000'000));
+  EXPECT_FALSE(TimePoint::origin().is_never());
+}
+
+TEST(TimePoint, Ordering) {
+  EXPECT_LT(TimePoint::from_us(1), TimePoint::from_us(2));
+  EXPECT_EQ(TimePoint::from_us(5), TimePoint::origin() + Duration::micros(5));
+}
+
+TEST(TimePoint, CompoundPlus) {
+  auto t = TimePoint::origin();
+  t += Duration::seconds(2.0);
+  EXPECT_DOUBLE_EQ(t.sec(), 2.0);
+}
+
+}  // namespace
+}  // namespace rpv::sim

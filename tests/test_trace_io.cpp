@@ -1,0 +1,89 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <filesystem>
+
+#include "experiment/scenario.hpp"
+
+namespace rpv::trace {
+namespace {
+
+std::string temp_dir() {
+  auto dir = std::filesystem::temp_directory_path() / "rpv_trace_test";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(TraceIo, TimeSeriesRoundTrip) {
+  metrics::TimeSeries ts;
+  for (int i = 0; i < 100; ++i) {
+    ts.add(sim::TimePoint::from_us(i * 333'000), 10.0 + i * 0.5);
+  }
+  const auto path = temp_dir() + "/roundtrip.csv";
+  ASSERT_TRUE(write_time_series_csv(path, ts, "value"));
+  const auto loaded = load_time_series_csv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->count(), ts.count());
+  for (std::size_t i = 0; i < ts.count(); ++i) {
+    EXPECT_NEAR(loaded->samples()[i].t.sec(), ts.samples()[i].t.sec(), 1e-6);
+    EXPECT_NEAR(loaded->samples()[i].value, ts.samples()[i].value, 1e-9);
+  }
+}
+
+TEST(TraceIo, LoadMissingFileFails) {
+  EXPECT_FALSE(load_time_series_csv("/nonexistent/nope.csv").has_value());
+}
+
+TEST(TraceIo, LoadRejectsGarbage) {
+  const auto path = temp_dir() + "/garbage.csv";
+  {
+    std::ofstream out{path};
+    out << "t_sec,value\nnot,a number at all,extra\n";
+  }
+  // Parsing the malformed row must fail cleanly, not crash.
+  const auto loaded = load_time_series_csv(path);
+  if (loaded) EXPECT_LE(loaded->count(), 1u);
+}
+
+TEST(TraceIo, SamplesCsvWritten) {
+  const auto path = temp_dir() + "/samples.csv";
+  ASSERT_TRUE(write_samples_csv(path, {1.0, 2.0, 3.0}, "x"));
+  std::ifstream in{path};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "index,x");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+}
+
+TEST(TraceIo, ExportSessionWritesAllFiles) {
+  experiment::Scenario s;
+  s.env = experiment::Environment::kRuralP1;
+  s.cc = pipeline::CcKind::kStatic;
+  s.seed = 3;
+  const auto report = experiment::run_scenario(s);
+  const auto dir = temp_dir() + "/session";
+  const auto written = export_session(report, dir, "t");
+  EXPECT_EQ(written.size(), 9u);
+  for (const auto& f : written) {
+    EXPECT_TRUE(std::filesystem::exists(f)) << f;
+    EXPECT_GT(std::filesystem::file_size(f), 10u) << f;
+  }
+  // Round-trip one of the series.
+  const auto owd = load_time_series_csv(dir + "/t_owd.csv");
+  ASSERT_TRUE(owd.has_value());
+  EXPECT_EQ(owd->count(), report.owd_trace_ms.count());
+}
+
+TEST(TraceIo, ExportFailsOnBadDirectory) {
+  pipeline::SessionReport empty;
+  const auto written = export_session(empty, "/proc/definitely/not/writable", "x");
+  EXPECT_TRUE(written.empty());
+}
+
+}  // namespace
+}  // namespace rpv::trace

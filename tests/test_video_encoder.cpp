@@ -1,0 +1,149 @@
+#include "video/encoder_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::video {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+EncoderModel make_encoder(std::uint64_t seed = 1) {
+  return EncoderModel{EncoderConfig{}, sim::Rng{seed}};
+}
+
+double realized_bitrate(EncoderModel& enc, int frames, double complexity = 1.0) {
+  std::size_t total = 0;
+  for (int i = 0; i < frames; ++i) {
+    const auto f = enc.encode(static_cast<std::uint32_t>(i),
+                              TimePoint::from_us(i * 33'333), complexity, false);
+    total += f.size_bytes;
+  }
+  const double seconds = frames / kFps;
+  return static_cast<double>(total) * 8.0 / seconds;
+}
+
+TEST(Encoder, TracksTargetBitrate) {
+  auto enc = make_encoder();
+  enc.set_target_bitrate(8e6);
+  const double realized = realized_bitrate(enc, 900);
+  EXPECT_NEAR(realized, 8e6, 0.8e6);
+}
+
+TEST(Encoder, TracksHighTarget) {
+  auto enc = make_encoder(2);
+  enc.set_target_bitrate(25e6);
+  EXPECT_NEAR(realized_bitrate(enc, 900), 25e6, 2.5e6);
+}
+
+TEST(Encoder, TargetClampedToPaperRange) {
+  auto enc = make_encoder();
+  enc.set_target_bitrate(100e6);
+  EXPECT_DOUBLE_EQ(enc.target_bitrate(), 25e6);
+  enc.set_target_bitrate(0.1e6);
+  EXPECT_DOUBLE_EQ(enc.target_bitrate(), 2e6);
+}
+
+TEST(Encoder, FirstFrameIsKeyframe) {
+  auto enc = make_encoder();
+  const auto f = enc.encode(0, TimePoint::origin(), 1.0, false);
+  EXPECT_TRUE(f.keyframe);
+}
+
+TEST(Encoder, GopStructureRespected) {
+  EncoderConfig cfg;
+  cfg.gop_frames = 30;
+  EncoderModel enc{cfg, sim::Rng{3}};
+  enc.set_target_bitrate(8e6);
+  int keyframes = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (enc.encode(i, TimePoint::from_us(i * 33'333), 1.0, false).keyframe) {
+      ++keyframes;
+    }
+  }
+  EXPECT_EQ(keyframes, 10);
+}
+
+TEST(Encoder, SceneCutForcesKeyframe) {
+  auto enc = make_encoder();
+  enc.encode(0, TimePoint::origin(), 1.0, false);
+  const auto f = enc.encode(1, TimePoint::from_us(33'333), 1.0, true);
+  EXPECT_TRUE(f.keyframe);
+}
+
+TEST(Encoder, KeyframesLargerThanPFrames) {
+  auto enc = make_encoder(4);
+  enc.set_target_bitrate(8e6);
+  std::size_t key_total = 0, p_total = 0;
+  int keys = 0, ps = 0;
+  for (int i = 0; i < 600; ++i) {
+    const auto f = enc.encode(i, TimePoint::from_us(i * 33'333), 1.0, false);
+    if (f.keyframe) {
+      key_total += f.size_bytes;
+      ++keys;
+    } else {
+      p_total += f.size_bytes;
+      ++ps;
+    }
+  }
+  ASSERT_GT(keys, 0);
+  ASSERT_GT(ps, 0);
+  EXPECT_GT(static_cast<double>(key_total) / keys,
+            1.5 * static_cast<double>(p_total) / ps);
+}
+
+TEST(Encoder, ComplexityScalesSize) {
+  auto enc_lo = make_encoder(5);
+  auto enc_hi = make_encoder(5);
+  enc_lo.set_target_bitrate(8e6);
+  enc_hi.set_target_bitrate(8e6);
+  // Rate control claws back complexity overshoot over time, so compare the
+  // immediate (first P-frame) response.
+  enc_lo.encode(0, TimePoint::origin(), 1.0, false);
+  enc_hi.encode(0, TimePoint::origin(), 1.0, false);
+  const auto lo = enc_lo.encode(1, TimePoint::from_us(33'333), 0.6, false);
+  const auto hi = enc_hi.encode(1, TimePoint::from_us(33'333), 1.6, false);
+  EXPECT_GT(hi.size_bytes, lo.size_bytes);
+}
+
+TEST(Encoder, EncodeLatencyBoundedAndPositive) {
+  auto enc = make_encoder(6);
+  for (int i = 0; i < 300; ++i) {
+    const auto f = enc.encode(i, TimePoint::from_us(i * 33'333), 1.0, false);
+    const auto latency = f.encode_time - f.capture_time;
+    EXPECT_GT(latency, Duration::zero());
+    EXPECT_LT(latency, Duration::millis(40));
+  }
+}
+
+TEST(Encoder, MetadataPropagated) {
+  auto enc = make_encoder();
+  enc.set_target_bitrate(10e6);
+  const auto f = enc.encode(9, TimePoint::from_us(12345), 1.3, false);
+  EXPECT_EQ(f.id, 9u);
+  EXPECT_EQ(f.capture_time, TimePoint::from_us(12345));
+  EXPECT_DOUBLE_EQ(f.encoded_bitrate_bps, 10e6);
+  EXPECT_DOUBLE_EQ(f.complexity, 1.3);
+}
+
+TEST(Encoder, RateChangeAppliesToSubsequentFrames) {
+  auto enc = make_encoder(7);
+  enc.set_target_bitrate(25e6);
+  realized_bitrate(enc, 300);
+  enc.set_target_bitrate(2e6);
+  // After the change, frames shrink to match the new target.
+  const double realized = realized_bitrate(enc, 300);
+  EXPECT_LT(realized, 4e6);
+}
+
+TEST(Encoder, NoZeroSizeFrames) {
+  auto enc = make_encoder(8);
+  enc.set_target_bitrate(2e6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(enc.encode(i, TimePoint::from_us(i * 33'333), 0.55, false).size_bytes,
+              0u);
+  }
+}
+
+}  // namespace
+}  // namespace rpv::video

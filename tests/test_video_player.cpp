@@ -1,0 +1,147 @@
+#include "video/player_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::video {
+namespace {
+
+using sim::Duration;
+using sim::Simulator;
+using sim::TimePoint;
+
+Frame frame_at(std::uint32_t id) {
+  Frame f;
+  f.id = id;
+  f.capture_time = TimePoint::from_us(id * 33'333);
+  return f;
+}
+
+struct Fixture {
+  Simulator sim;
+  PlayerModel player;
+  explicit Fixture(PlayerConfig cfg = {}) : player{sim, cfg} {}
+
+  // Frame `id` becomes ready at time `ready_us`.
+  void feed(std::uint32_t id, std::int64_t ready_us, double ssim = 0.95) {
+    sim.schedule_at(TimePoint::from_us(ready_us),
+                    [this, id, ssim] { player.on_frame_ready(frame_at(id), ssim); });
+  }
+};
+
+TEST(Player, PlaysAllFramesInSteadyState) {
+  Fixture f;
+  for (std::uint32_t i = 0; i < 90; ++i) f.feed(i, i * 33'333 + 200'000);
+  f.sim.run_all();
+  f.player.finish();
+  EXPECT_EQ(f.player.frames_played(), 90u);
+  EXPECT_EQ(f.player.frames_skipped(), 0u);
+  EXPECT_EQ(f.player.stall_count(), 0u);
+}
+
+TEST(Player, PlaybackLatencyMeasuredFromCapture) {
+  Fixture f;
+  for (std::uint32_t i = 0; i < 30; ++i) f.feed(i, i * 33'333 + 200'000);
+  f.sim.run_all();
+  const auto& lat = f.player.playback_latency_ms();
+  ASSERT_FALSE(lat.empty());
+  EXPECT_NEAR(lat.samples().front().value, 200.0, 1.0);
+}
+
+TEST(Player, SteadyFpsNearThirty) {
+  Fixture f;
+  for (std::uint32_t i = 0; i < 300; ++i) f.feed(i, i * 33'333 + 200'000);
+  f.sim.run_all();
+  f.player.finish();
+  ASSERT_FALSE(f.player.fps_windows().empty());
+  for (const double fps : f.player.fps_windows()) {
+    EXPECT_NEAR(fps, 30.0, 3.0);
+  }
+}
+
+TEST(Player, GapBeyondThresholdCountsAsStall) {
+  Fixture f;
+  f.feed(0, 100'000);
+  f.feed(1, 600'000);  // 500 ms gap: a stall at the 300 ms threshold
+  f.sim.run_all();
+  EXPECT_EQ(f.player.stall_count(), 1u);
+}
+
+TEST(Player, StallsPerMinuteComputed) {
+  Fixture f;
+  // One stall across a ~60 s playback.
+  f.feed(0, 0);
+  f.feed(1, 500'000);
+  for (std::uint32_t i = 2; i < 1800; ++i) f.feed(i, 500'000 + i * 33'333);
+  f.sim.run_all();
+  EXPECT_NEAR(f.player.stalls_per_minute(), 1.0, 0.2);
+}
+
+TEST(Player, OutOfOrderFrameSkipped) {
+  Fixture f;
+  f.feed(1, 100'000);
+  f.feed(0, 200'000);  // older than the already-played frame 1
+  f.sim.run_all();
+  EXPECT_EQ(f.player.frames_played(), 1u);
+  EXPECT_EQ(f.player.frames_skipped(), 1u);
+}
+
+TEST(Player, SsimRecordedPerPlayedFrame) {
+  Fixture f;
+  f.feed(0, 100'000, 0.91);
+  f.feed(1, 140'000, 0.42);
+  f.sim.run_all();
+  ASSERT_EQ(f.player.played_ssim().size(), 2u);
+  EXPECT_DOUBLE_EQ(f.player.played_ssim()[0], 0.91);
+  EXPECT_DOUBLE_EQ(f.player.played_ssim()[1], 0.42);
+}
+
+TEST(Player, ProactiveSlowdownWhenStarved) {
+  PlayerConfig cfg;
+  Fixture f{cfg};
+  // Frames arrive at 50 ms spacing (slower than the 33 ms playback clock):
+  // the player is starved on every frame and must slow down, not stall.
+  for (std::uint32_t i = 0; i < 60; ++i) f.feed(i, i * 50'000);
+  f.sim.run_all();
+  f.player.finish();
+  EXPECT_EQ(f.player.frames_played(), 60u);
+  EXPECT_EQ(f.player.stall_count(), 0u);
+  // Playback rate dropped: measured FPS below nominal.
+  double mean_fps = 0.0;
+  for (const double v : f.player.fps_windows()) mean_fps += v;
+  mean_fps /= static_cast<double>(f.player.fps_windows().size());
+  EXPECT_LT(mean_fps, 28.0);
+}
+
+TEST(Player, CatchUpAfterBurst) {
+  Fixture f;
+  f.feed(0, 100'000);
+  // A 1-second outage, then 30 frames arrive at once.
+  for (std::uint32_t i = 1; i <= 30; ++i) f.feed(i, 1'100'000);
+  for (std::uint32_t i = 31; i < 90; ++i) f.feed(i, 1'100'000 + (i - 30) * 33'333);
+  f.sim.run_all();
+  const auto& lat = f.player.playback_latency_ms();
+  ASSERT_GT(lat.count(), 60u);
+  // Playback latency must come back down after the burst (catch-up rate).
+  const auto values = lat.values();
+  const double peak = *std::max_element(values.begin(), values.end());
+  const double final_lat = lat.samples().back().value;
+  EXPECT_LT(final_lat, peak * 0.75);
+}
+
+TEST(Player, LastPlayedFrameIdTracked) {
+  Fixture f;
+  f.feed(0, 100'000);
+  f.feed(1, 140'000);
+  f.sim.run_all();
+  EXPECT_EQ(f.player.last_played_frame_id(), 1u);
+}
+
+TEST(Player, FinishWithNoFramesIsSafe) {
+  Fixture f;
+  f.player.finish();
+  EXPECT_TRUE(f.player.fps_windows().empty());
+  EXPECT_EQ(f.player.stalls_per_minute(), 0.0);
+}
+
+}  // namespace
+}  // namespace rpv::video

@@ -1,0 +1,68 @@
+#include "video/frame_source.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::video {
+namespace {
+
+TEST(FrameSource, ComplexityWithinBounds) {
+  FrameSourceConfig cfg;
+  FrameSource src{cfg, sim::Rng{1}};
+  for (int i = 0; i < 100000; ++i) {
+    const double c = src.next_complexity();
+    EXPECT_GE(c, cfg.min_complexity);
+    EXPECT_LE(c, cfg.max_complexity);
+  }
+}
+
+TEST(FrameSource, MeanRevertsToConfiguredAverage) {
+  FrameSourceConfig cfg;
+  FrameSource src{cfg, sim::Rng{2}};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += src.next_complexity();
+  EXPECT_NEAR(sum / n, cfg.mean_complexity, 0.15);
+}
+
+TEST(FrameSource, ShotCutsOccurAtConfiguredRate) {
+  FrameSourceConfig cfg;
+  cfg.shot_cut_probability = 0.01;
+  FrameSource src{cfg, sim::Rng{3}};
+  int cuts = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    src.next_complexity();
+    if (src.at_shot_cut()) ++cuts;
+  }
+  EXPECT_NEAR(static_cast<double>(cuts) / n, 0.01, 0.002);
+}
+
+TEST(FrameSource, SmoothWithinShots) {
+  FrameSourceConfig cfg;
+  cfg.shot_cut_probability = 0.0;
+  cfg.drift_stddev = 0.01;
+  FrameSource src{cfg, sim::Rng{4}};
+  double prev = src.next_complexity();
+  for (int i = 0; i < 1000; ++i) {
+    const double c = src.next_complexity();
+    EXPECT_LT(std::abs(c - prev), 0.1);
+    prev = c;
+  }
+}
+
+TEST(FrameSource, CountsFramesProduced) {
+  FrameSource src{FrameSourceConfig{}, sim::Rng{5}};
+  for (int i = 0; i < 42; ++i) src.next_complexity();
+  EXPECT_EQ(src.frames_produced(), 42u);
+}
+
+TEST(FrameSource, DeterministicForSeed) {
+  FrameSource a{FrameSourceConfig{}, sim::Rng{6}};
+  FrameSource b{FrameSourceConfig{}, sim::Rng{6}};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_complexity(), b.next_complexity());
+  }
+}
+
+}  // namespace
+}  // namespace rpv::video

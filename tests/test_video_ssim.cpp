@@ -1,0 +1,91 @@
+#include "video/ssim_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpv::video {
+namespace {
+
+Frame frame_at(double bitrate_bps, bool keyframe = false, double complexity = 1.0) {
+  Frame f;
+  f.encoded_bitrate_bps = bitrate_bps;
+  f.keyframe = keyframe;
+  f.complexity = complexity;
+  return f;
+}
+
+TEST(Ssim, CleanMonotoneInBitrate) {
+  SsimModel m{SsimConfig{}, sim::Rng{1}};
+  double prev = 0.0;
+  for (double rate : {2e6, 4e6, 8e6, 16e6, 25e6}) {
+    const double s = m.clean_ssim(rate, 1.0);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(Ssim, CalibratedBands) {
+  // The paper's SSIM stays above ~0.9 for 90% of urban (25 Mbps) samples and
+  // ~0.8 rural (8 Mbps); the clean curve must support those levels.
+  SsimModel m{SsimConfig{}, sim::Rng{1}};
+  EXPECT_GT(m.clean_ssim(25e6, 1.0), 0.93);
+  EXPECT_GT(m.clean_ssim(8e6, 1.0), 0.85);
+  EXPECT_GT(m.clean_ssim(2e6, 1.0), 0.60);
+}
+
+TEST(Ssim, HigherComplexityLowersQuality) {
+  SsimModel m{SsimConfig{}, sim::Rng{1}};
+  EXPECT_GT(m.clean_ssim(8e6, 0.6), m.clean_ssim(8e6, 1.6));
+}
+
+TEST(Ssim, ScoreWithinUnitInterval) {
+  SsimModel m{SsimConfig{}, sim::Rng{2}};
+  for (int i = 0; i < 1000; ++i) {
+    const double s = m.score_frame(frame_at(8e6), i % 7 == 0);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(Ssim, CorruptionDropsScore) {
+  SsimModel m{SsimConfig{}, sim::Rng{3}};
+  const double clean = m.score_frame(frame_at(25e6), false);
+  const double corrupted = m.score_frame(frame_at(25e6), true);
+  EXPECT_LT(corrupted, clean - 0.3);
+}
+
+TEST(Ssim, DamagePropagatesAcrossPFrames) {
+  SsimModel m{SsimConfig{}, sim::Rng{4}};
+  m.score_frame(frame_at(25e6), true);
+  // The next frame is intact but inherits concealment damage.
+  const double after = m.score_frame(frame_at(25e6), false);
+  EXPECT_LT(after, 0.8);
+}
+
+TEST(Ssim, DamageHealsOverFrames) {
+  SsimModel m{SsimConfig{}, sim::Rng{5}};
+  m.score_frame(frame_at(25e6), true);
+  double last = 0.0;
+  for (int i = 0; i < 40; ++i) last = m.score_frame(frame_at(25e6), false);
+  EXPECT_GT(last, 0.9);
+}
+
+TEST(Ssim, KeyframeResetsDamage) {
+  SsimModel m{SsimConfig{}, sim::Rng{6}};
+  m.score_frame(frame_at(25e6), true);
+  const double key = m.score_frame(frame_at(25e6, /*keyframe=*/true), false);
+  EXPECT_GT(key, 0.9);
+}
+
+TEST(Ssim, ThresholdMatchesPaper) {
+  EXPECT_DOUBLE_EQ(SsimModel::kThreshold, 0.5);
+}
+
+TEST(Ssim, RepeatedCorruptionSaturates) {
+  SsimModel m{SsimConfig{}, sim::Rng{7}};
+  double s = 1.0;
+  for (int i = 0; i < 10; ++i) s = m.score_frame(frame_at(25e6), true);
+  EXPECT_LT(s, 0.1);
+}
+
+}  // namespace
+}  // namespace rpv::video

@@ -1,0 +1,64 @@
+#include <iostream>
+#include "experiment/scenario.hpp"
+#include "metrics/summary.hpp"
+#include "metrics/cdf.hpp"
+using namespace rpv;
+int main(int argc, char** argv) {
+  experiment::Scenario s;
+  s.env = argc > 1 && std::string(argv[1]) == "rural" ? experiment::Environment::kRuralP1 : experiment::Environment::kUrban;
+  s.cc = pipeline::CcKind::kNone;
+  s.probe_interval = sim::Duration::millis(100);
+  s.seed = 7;
+  auto r = experiment::run_scenario(s);
+  // capacity stats by altitude-ish time buckets
+  const auto& cap = r.capacity_trace_mbps.samples();
+  std::vector<double> all;
+  for (auto& x : cap) all.push_back(x.value);
+  auto sum = metrics::Summary::of(all);
+  std::cout << "capacity: " << sum.to_string() << "\n";
+  // fraction below thresholds
+  int below5=0, below10=0, below25=0;
+  for (double v : all) { if (v<5) below5++; if (v<10) below10++; if (v<25) below25++; }
+  std::cout << "frac<5: " << (double)below5/all.size() << " frac<10: " << (double)below10/all.size()
+            << " frac<25: " << (double)below25/all.size() << "\n";
+  std::cout << "HOs: " << r.handovers.count() << " freq " << r.ho_frequency_per_s << "\n";
+  metrics::Cdf rtt;
+  for (auto& [alt, ms] : r.rtt_by_altitude) rtt.add(ms);
+  std::cout << "rtt med " << rtt.median() << " p99 " << rtt.quantile(0.99) << " min " << rtt.min() << "\n";
+
+  // Run a GCC session and inspect pipeline internals.
+  experiment::Scenario g = s; g.cc = pipeline::CcKind::kGcc; g.probe_interval = sim::Duration::zero();
+  auto gr = experiment::run_scenario(g);
+  std::cout << "gcc: corrupted=" << gr.frames_corrupted << "/" << gr.frames_played
+            << " resyncs=" << gr.jitter_resyncs << " buffer_drops=" << gr.buffer_drops
+            << " radio_losses=" << gr.radio_losses << "\n";
+  metrics::Cdf pl; pl.add_all(gr.playback_latency_ms);
+  std::cout << "gcc playback lat: med=" << pl.median() << " p10=" << pl.quantile(0.1)
+            << " p90=" << pl.quantile(0.9) << " min=" << pl.min() << "\n";
+  metrics::Cdf sm; sm.add_all(gr.ssim_samples);
+  std::cout << "gcc ssim: med=" << sm.median() << " p10=" << sm.quantile(0.1) << " p90=" << sm.quantile(0.9) << "\n";
+
+  for (auto k : {pipeline::CcKind::kStatic, pipeline::CcKind::kGcc, pipeline::CcKind::kScream}) {
+    experiment::Scenario x = s; x.cc = k; x.probe_interval = sim::Duration::zero();
+    auto r2 = experiment::run_scenario(x);
+    int zeros=0, low=0;
+    for (double v : r2.ssim_samples) { if (v==0.0) zeros++; else if (v<0.5) low++; }
+    std::cout << pipeline::cc_name(k) << ": corrupted=" << r2.frames_corrupted
+              << " zeros=" << zeros << " low(0,0.5)=" << low
+              << " played=" << r2.frames_played
+              << " radio_loss=" << r2.radio_losses << " bufdrop=" << r2.buffer_drops << "\n";
+  }
+  experiment::Scenario sc = s; sc.cc = pipeline::CcKind::kScream; sc.probe_interval = sim::Duration::zero();
+  auto sr = experiment::run_scenario(sc);
+  std::cout << "scream: misloss=" << sr.scream_misloss_packets << " discards=" << sr.queue_discard_events
+            << " resyncs=" << sr.jitter_resyncs << " goodput=" << sr.avg_goodput_mbps << "\n";
+  const auto& tt = sr.target_bitrate_trace_bps.samples();
+  std::cout << "scream target Mbps over time:";
+  for (size_t i = 0; i < tt.size(); i += tt.size()/25) std::cout << " " << (int)(tt[i].value/1e6);
+  std::cout << "\n";
+  const auto& gt = gr.target_bitrate_trace_bps.samples();
+  std::cout << "gcc target Mbps over time:   ";
+  for (size_t i = 0; i < gt.size(); i += gt.size()/25) std::cout << " " << (int)(gt[i].value/1e6);
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include <iostream>
+#include "experiment/scenario.hpp"
+#include "metrics/cdf.hpp"
+using namespace rpv;
+int main(int argc, char** argv) {
+  experiment::Scenario s;
+  s.env = experiment::Environment::kUrban;
+  s.cc = (argc > 1 && std::string(argv[1]) == "scream") ? pipeline::CcKind::kScream : pipeline::CcKind::kGcc;
+  s.mobility = (argc > 2 && std::string(argv[2]) == "air") ? experiment::Mobility::kAir : experiment::Mobility::kStatic;
+  s.seed = 11;
+  // Instrumented session: sample GCC internals each second.
+  sim::Rng rng{s.seed * 0x9E3779B97F4A7C15ULL + 0x1234567};
+  auto layout = experiment::make_layout(s, rng);
+  auto traj = experiment::make_trajectory(s, rng);
+  auto cfg = experiment::make_session_config(s);
+  pipeline::Session session{cfg, std::move(layout), &traj, "dbg"};
+  if (s.cc == pipeline::CcKind::kGcc) {
+    for (int t = 1; t < 330; t += 10) {
+      session.simulator().schedule_at(sim::TimePoint::origin() + sim::Duration::seconds((double)t), [&session, t] {
+        const auto* g = dynamic_cast<const cc::gcc::GccController*>(&session.sender()->controller());
+        if (g) std::cerr << "t=" << t << " delay=" << (int)(g->delay_based_rate_bps()/1e6)
+                         << " loss=" << (int)(g->loss_based_rate_bps()/1e6)
+                         << " rhat=" << (int)(g->incoming_rate_bps()/1e6)
+                         << " smloss=" << g->smoothed_loss()
+                         << " cap=" << (int)session.link().current_capacity_mbps()
+                         << " q=" << (int)session.link().queuing_delay_ms() << "\n";
+      });
+    }
+  }
+  auto r = session.run();
+  const auto& tt = r.target_bitrate_trace_bps.samples();
+  std::cout << "target Mbps:";
+  for (size_t i = 0; i < tt.size(); i += std::max<size_t>(1, tt.size()/30)) std::cout << " " << (int)(tt[i].value/1e6);
+  std::cout << "\ngoodput avg " << r.avg_goodput_mbps << " misloss " << r.scream_misloss_packets
+            << " discards " << r.queue_discard_events << "\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include <iostream>
+#include "experiment/runner.hpp"
+using namespace rpv;
+int main() {
+  for (auto env : {experiment::Environment::kUrban, experiment::Environment::kRuralP1}) {
+    for (auto mob : {experiment::Mobility::kAir, experiment::Mobility::kGround}) {
+      experiment::Campaign c;
+      c.scenario.env = env; c.scenario.mobility = mob;
+      c.scenario.cc = pipeline::CcKind::kNone;
+      c.scenario.probe_interval = sim::Duration::millis(200);
+      c.scenario.seed = 11; c.runs = 6;
+      auto rs = experiment::run_campaign(c);
+      auto freq = experiment::pool_ho_frequency(rs);
+      double m = 0; for (double f : freq) m += f; m /= freq.size();
+      auto het = experiment::pool_het(rs);
+      metrics::Summary hs = metrics::Summary::of(het);
+      int over50 = 0, over500 = 0;
+      for (double h : het) { if (h > 49.5) over50++; if (h > 500) over500++; }
+      std::cout << experiment::environment_name(env) << " " << experiment::mobility_name(mob)
+                << ": HOfreq=" << m << "/s  HET med=" << hs.median << "ms max=" << hs.max
+                << " frac>49.5ms=" << (het.empty()?0.0:(double)over50/het.size())
+                << " n>500ms=" << over500 << "/" << het.size() << "\n";
+    }
+  }
+  return 0;
+}

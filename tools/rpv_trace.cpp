@@ -1,0 +1,48 @@
+// rpv_trace — run a measurement scenario and export its traces as CSVs,
+// the simulator's counterpart to the paper's released dataset and parsing
+// scripts.
+//
+//   $ rpv_trace <out_dir> [urban|rural|rural-p2] [gcc|scream|static] [seed]
+#include <iostream>
+#include <string>
+
+#include "experiment/scenario.hpp"
+#include "trace/trace_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rpv;
+  if (argc < 2) {
+    std::cerr << "usage: rpv_trace <out_dir> [urban|rural|rural-p2] "
+                 "[gcc|scream|static] [seed]\n";
+    return 2;
+  }
+  const std::string dir = argv[1];
+
+  experiment::Scenario s;
+  if (argc > 2) {
+    const std::string env = argv[2];
+    if (env == "rural") s.env = experiment::Environment::kRuralP1;
+    else if (env == "rural-p2") s.env = experiment::Environment::kRuralP2;
+  }
+  if (argc > 3) {
+    const std::string cc = argv[3];
+    if (cc == "scream") s.cc = pipeline::CcKind::kScream;
+    else if (cc == "static") s.cc = pipeline::CcKind::kStatic;
+  }
+  s.seed = argc > 4 ? std::stoull(argv[4]) : 1;
+
+  std::cerr << "Running " << experiment::environment_name(s.env) << "/"
+            << pipeline::cc_name(s.cc) << " flight (seed " << s.seed << ")...\n";
+  const auto report = experiment::run_scenario(s);
+
+  const std::string prefix = experiment::environment_name(s.env) + "-" +
+                             pipeline::cc_name(s.cc) + "-" +
+                             std::to_string(s.seed);
+  const auto written = trace::export_session(report, dir, prefix);
+  if (written.empty()) {
+    std::cerr << "error: could not write traces to " << dir << "\n";
+    return 1;
+  }
+  for (const auto& f : written) std::cout << f << "\n";
+  return 0;
+}
