@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aqm.dir/bench_ablation_aqm.cpp.o"
+  "CMakeFiles/bench_ablation_aqm.dir/bench_ablation_aqm.cpp.o.d"
+  "bench_ablation_aqm"
+  "bench_ablation_aqm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_daps.dir/bench_ablation_daps.cpp.o"
+  "CMakeFiles/bench_ablation_daps.dir/bench_ablation_daps.cpp.o.d"
+  "bench_ablation_daps"
+  "bench_ablation_daps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_daps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_jitterbuffer.dir/bench_ablation_jitterbuffer.cpp.o"
+  "CMakeFiles/bench_ablation_jitterbuffer.dir/bench_ablation_jitterbuffer.cpp.o.d"
+  "bench_ablation_jitterbuffer"
+  "bench_ablation_jitterbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_jitterbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fec.dir/bench_ext_fec.cpp.o"
+  "CMakeFiles/bench_ext_fec.dir/bench_ext_fec.cpp.o.d"
+  "bench_ext_fec"
+  "bench_ext_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multipath.dir/bench_ext_multipath.cpp.o"
+  "CMakeFiles/bench_ext_multipath.dir/bench_ext_multipath.cpp.o.d"
+  "bench_ext_multipath"
+  "bench_ext_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

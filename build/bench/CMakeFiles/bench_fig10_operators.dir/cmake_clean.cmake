@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_operators.dir/bench_fig10_operators.cpp.o"
+  "CMakeFiles/bench_fig10_operators.dir/bench_fig10_operators.cpp.o.d"
+  "bench_fig10_operators"
+  "bench_fig10_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

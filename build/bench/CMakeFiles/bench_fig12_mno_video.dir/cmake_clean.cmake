@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_mno_video.dir/bench_fig12_mno_video.cpp.o"
+  "CMakeFiles/bench_fig12_mno_video.dir/bench_fig12_mno_video.cpp.o.d"
+  "bench_fig12_mno_video"
+  "bench_fig12_mno_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mno_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_rtt_altitude.dir/bench_fig13_rtt_altitude.cpp.o"
+  "CMakeFiles/bench_fig13_rtt_altitude.dir/bench_fig13_rtt_altitude.cpp.o.d"
+  "bench_fig13_rtt_altitude"
+  "bench_fig13_rtt_altitude.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_rtt_altitude.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

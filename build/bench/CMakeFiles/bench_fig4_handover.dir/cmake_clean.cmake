@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_handover.dir/bench_fig4_handover.cpp.o"
+  "CMakeFiles/bench_fig4_handover.dir/bench_fig4_handover.cpp.o.d"
+  "bench_fig4_handover"
+  "bench_fig4_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

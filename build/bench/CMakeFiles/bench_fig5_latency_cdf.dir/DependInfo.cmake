@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_latency_cdf.cpp" "bench/CMakeFiles/bench_fig5_latency_cdf.dir/bench_fig5_latency_cdf.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_latency_cdf.dir/bench_fig5_latency_cdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/rpv_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rpv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/rpv_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/rpv_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rpv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/rpv_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/rpv_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/rpv_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rpv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_stalls.dir/bench_table_stalls.cpp.o"
+  "CMakeFiles/bench_table_stalls.dir/bench_table_stalls.cpp.o.d"
+  "bench_table_stalls"
+  "bench_table_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

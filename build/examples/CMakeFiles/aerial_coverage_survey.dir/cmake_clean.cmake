@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aerial_coverage_survey.dir/aerial_coverage_survey.cpp.o"
+  "CMakeFiles/aerial_coverage_survey.dir/aerial_coverage_survey.cpp.o.d"
+  "aerial_coverage_survey"
+  "aerial_coverage_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aerial_coverage_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_planning.dir/mission_planning.cpp.o"
+  "CMakeFiles/mission_planning.dir/mission_planning.cpp.o.d"
+  "mission_planning"
+  "mission_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

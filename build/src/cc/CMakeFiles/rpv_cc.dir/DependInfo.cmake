@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/gcc/aimd_controller.cpp" "src/cc/CMakeFiles/rpv_cc.dir/gcc/aimd_controller.cpp.o" "gcc" "src/cc/CMakeFiles/rpv_cc.dir/gcc/aimd_controller.cpp.o.d"
+  "/root/repo/src/cc/gcc/arrival_filter.cpp" "src/cc/CMakeFiles/rpv_cc.dir/gcc/arrival_filter.cpp.o" "gcc" "src/cc/CMakeFiles/rpv_cc.dir/gcc/arrival_filter.cpp.o.d"
+  "/root/repo/src/cc/gcc/gcc_controller.cpp" "src/cc/CMakeFiles/rpv_cc.dir/gcc/gcc_controller.cpp.o" "gcc" "src/cc/CMakeFiles/rpv_cc.dir/gcc/gcc_controller.cpp.o.d"
+  "/root/repo/src/cc/gcc/loss_controller.cpp" "src/cc/CMakeFiles/rpv_cc.dir/gcc/loss_controller.cpp.o" "gcc" "src/cc/CMakeFiles/rpv_cc.dir/gcc/loss_controller.cpp.o.d"
+  "/root/repo/src/cc/gcc/overuse_detector.cpp" "src/cc/CMakeFiles/rpv_cc.dir/gcc/overuse_detector.cpp.o" "gcc" "src/cc/CMakeFiles/rpv_cc.dir/gcc/overuse_detector.cpp.o.d"
+  "/root/repo/src/cc/scream/scream_controller.cpp" "src/cc/CMakeFiles/rpv_cc.dir/scream/scream_controller.cpp.o" "gcc" "src/cc/CMakeFiles/rpv_cc.dir/scream/scream_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rpv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/rpv_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/rpv_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rpv_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

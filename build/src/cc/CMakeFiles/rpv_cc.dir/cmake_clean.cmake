@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpv_cc.dir/gcc/aimd_controller.cpp.o"
+  "CMakeFiles/rpv_cc.dir/gcc/aimd_controller.cpp.o.d"
+  "CMakeFiles/rpv_cc.dir/gcc/arrival_filter.cpp.o"
+  "CMakeFiles/rpv_cc.dir/gcc/arrival_filter.cpp.o.d"
+  "CMakeFiles/rpv_cc.dir/gcc/gcc_controller.cpp.o"
+  "CMakeFiles/rpv_cc.dir/gcc/gcc_controller.cpp.o.d"
+  "CMakeFiles/rpv_cc.dir/gcc/loss_controller.cpp.o"
+  "CMakeFiles/rpv_cc.dir/gcc/loss_controller.cpp.o.d"
+  "CMakeFiles/rpv_cc.dir/gcc/overuse_detector.cpp.o"
+  "CMakeFiles/rpv_cc.dir/gcc/overuse_detector.cpp.o.d"
+  "CMakeFiles/rpv_cc.dir/scream/scream_controller.cpp.o"
+  "CMakeFiles/rpv_cc.dir/scream/scream_controller.cpp.o.d"
+  "librpv_cc.a"
+  "librpv_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpv_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

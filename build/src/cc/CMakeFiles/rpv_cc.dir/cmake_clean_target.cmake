@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librpv_cc.a"
+)

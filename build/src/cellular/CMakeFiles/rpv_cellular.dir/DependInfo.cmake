@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellular/base_station.cpp" "src/cellular/CMakeFiles/rpv_cellular.dir/base_station.cpp.o" "gcc" "src/cellular/CMakeFiles/rpv_cellular.dir/base_station.cpp.o.d"
+  "/root/repo/src/cellular/cellular_link.cpp" "src/cellular/CMakeFiles/rpv_cellular.dir/cellular_link.cpp.o" "gcc" "src/cellular/CMakeFiles/rpv_cellular.dir/cellular_link.cpp.o.d"
+  "/root/repo/src/cellular/handover.cpp" "src/cellular/CMakeFiles/rpv_cellular.dir/handover.cpp.o" "gcc" "src/cellular/CMakeFiles/rpv_cellular.dir/handover.cpp.o.d"
+  "/root/repo/src/cellular/link_queue.cpp" "src/cellular/CMakeFiles/rpv_cellular.dir/link_queue.cpp.o" "gcc" "src/cellular/CMakeFiles/rpv_cellular.dir/link_queue.cpp.o.d"
+  "/root/repo/src/cellular/loss_model.cpp" "src/cellular/CMakeFiles/rpv_cellular.dir/loss_model.cpp.o" "gcc" "src/cellular/CMakeFiles/rpv_cellular.dir/loss_model.cpp.o.d"
+  "/root/repo/src/cellular/radio_model.cpp" "src/cellular/CMakeFiles/rpv_cellular.dir/radio_model.cpp.o" "gcc" "src/cellular/CMakeFiles/rpv_cellular.dir/radio_model.cpp.o.d"
+  "/root/repo/src/cellular/rrc_log.cpp" "src/cellular/CMakeFiles/rpv_cellular.dir/rrc_log.cpp.o" "gcc" "src/cellular/CMakeFiles/rpv_cellular.dir/rrc_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rpv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rpv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rpv_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpv_cellular.dir/base_station.cpp.o"
+  "CMakeFiles/rpv_cellular.dir/base_station.cpp.o.d"
+  "CMakeFiles/rpv_cellular.dir/cellular_link.cpp.o"
+  "CMakeFiles/rpv_cellular.dir/cellular_link.cpp.o.d"
+  "CMakeFiles/rpv_cellular.dir/handover.cpp.o"
+  "CMakeFiles/rpv_cellular.dir/handover.cpp.o.d"
+  "CMakeFiles/rpv_cellular.dir/link_queue.cpp.o"
+  "CMakeFiles/rpv_cellular.dir/link_queue.cpp.o.d"
+  "CMakeFiles/rpv_cellular.dir/loss_model.cpp.o"
+  "CMakeFiles/rpv_cellular.dir/loss_model.cpp.o.d"
+  "CMakeFiles/rpv_cellular.dir/radio_model.cpp.o"
+  "CMakeFiles/rpv_cellular.dir/radio_model.cpp.o.d"
+  "CMakeFiles/rpv_cellular.dir/rrc_log.cpp.o"
+  "CMakeFiles/rpv_cellular.dir/rrc_log.cpp.o.d"
+  "librpv_cellular.a"
+  "librpv_cellular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpv_cellular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpv_experiment.dir/runner.cpp.o"
+  "CMakeFiles/rpv_experiment.dir/runner.cpp.o.d"
+  "CMakeFiles/rpv_experiment.dir/scenario.cpp.o"
+  "CMakeFiles/rpv_experiment.dir/scenario.cpp.o.d"
+  "librpv_experiment.a"
+  "librpv_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpv_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

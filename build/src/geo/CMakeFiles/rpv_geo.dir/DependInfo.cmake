@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/flight_profiles.cpp" "src/geo/CMakeFiles/rpv_geo.dir/flight_profiles.cpp.o" "gcc" "src/geo/CMakeFiles/rpv_geo.dir/flight_profiles.cpp.o.d"
+  "/root/repo/src/geo/trajectory.cpp" "src/geo/CMakeFiles/rpv_geo.dir/trajectory.cpp.o" "gcc" "src/geo/CMakeFiles/rpv_geo.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rpv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpv_geo.dir/flight_profiles.cpp.o"
+  "CMakeFiles/rpv_geo.dir/flight_profiles.cpp.o.d"
+  "CMakeFiles/rpv_geo.dir/trajectory.cpp.o"
+  "CMakeFiles/rpv_geo.dir/trajectory.cpp.o.d"
+  "librpv_geo.a"
+  "librpv_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpv_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

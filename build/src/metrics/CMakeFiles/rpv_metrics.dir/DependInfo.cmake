@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/bootstrap.cpp" "src/metrics/CMakeFiles/rpv_metrics.dir/bootstrap.cpp.o" "gcc" "src/metrics/CMakeFiles/rpv_metrics.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/metrics/cdf.cpp" "src/metrics/CMakeFiles/rpv_metrics.dir/cdf.cpp.o" "gcc" "src/metrics/CMakeFiles/rpv_metrics.dir/cdf.cpp.o.d"
+  "/root/repo/src/metrics/handover_log.cpp" "src/metrics/CMakeFiles/rpv_metrics.dir/handover_log.cpp.o" "gcc" "src/metrics/CMakeFiles/rpv_metrics.dir/handover_log.cpp.o.d"
+  "/root/repo/src/metrics/summary.cpp" "src/metrics/CMakeFiles/rpv_metrics.dir/summary.cpp.o" "gcc" "src/metrics/CMakeFiles/rpv_metrics.dir/summary.cpp.o.d"
+  "/root/repo/src/metrics/text_table.cpp" "src/metrics/CMakeFiles/rpv_metrics.dir/text_table.cpp.o" "gcc" "src/metrics/CMakeFiles/rpv_metrics.dir/text_table.cpp.o.d"
+  "/root/repo/src/metrics/time_series.cpp" "src/metrics/CMakeFiles/rpv_metrics.dir/time_series.cpp.o" "gcc" "src/metrics/CMakeFiles/rpv_metrics.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rpv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

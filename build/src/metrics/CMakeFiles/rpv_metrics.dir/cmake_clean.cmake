@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpv_metrics.dir/bootstrap.cpp.o"
+  "CMakeFiles/rpv_metrics.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/rpv_metrics.dir/cdf.cpp.o"
+  "CMakeFiles/rpv_metrics.dir/cdf.cpp.o.d"
+  "CMakeFiles/rpv_metrics.dir/handover_log.cpp.o"
+  "CMakeFiles/rpv_metrics.dir/handover_log.cpp.o.d"
+  "CMakeFiles/rpv_metrics.dir/summary.cpp.o"
+  "CMakeFiles/rpv_metrics.dir/summary.cpp.o.d"
+  "CMakeFiles/rpv_metrics.dir/text_table.cpp.o"
+  "CMakeFiles/rpv_metrics.dir/text_table.cpp.o.d"
+  "CMakeFiles/rpv_metrics.dir/time_series.cpp.o"
+  "CMakeFiles/rpv_metrics.dir/time_series.cpp.o.d"
+  "librpv_metrics.a"
+  "librpv_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpv_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpv_net.dir/wan_path.cpp.o"
+  "CMakeFiles/rpv_net.dir/wan_path.cpp.o.d"
+  "librpv_net.a"
+  "librpv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpv_pipeline.dir/multipath_session.cpp.o"
+  "CMakeFiles/rpv_pipeline.dir/multipath_session.cpp.o.d"
+  "CMakeFiles/rpv_pipeline.dir/qoe.cpp.o"
+  "CMakeFiles/rpv_pipeline.dir/qoe.cpp.o.d"
+  "CMakeFiles/rpv_pipeline.dir/session.cpp.o"
+  "CMakeFiles/rpv_pipeline.dir/session.cpp.o.d"
+  "CMakeFiles/rpv_pipeline.dir/video_receiver.cpp.o"
+  "CMakeFiles/rpv_pipeline.dir/video_receiver.cpp.o.d"
+  "CMakeFiles/rpv_pipeline.dir/video_sender.cpp.o"
+  "CMakeFiles/rpv_pipeline.dir/video_sender.cpp.o.d"
+  "librpv_pipeline.a"
+  "librpv_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpv_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtp/fec.cpp" "src/rtp/CMakeFiles/rpv_rtp.dir/fec.cpp.o" "gcc" "src/rtp/CMakeFiles/rpv_rtp.dir/fec.cpp.o.d"
+  "/root/repo/src/rtp/feedback.cpp" "src/rtp/CMakeFiles/rpv_rtp.dir/feedback.cpp.o" "gcc" "src/rtp/CMakeFiles/rpv_rtp.dir/feedback.cpp.o.d"
+  "/root/repo/src/rtp/jitter_buffer.cpp" "src/rtp/CMakeFiles/rpv_rtp.dir/jitter_buffer.cpp.o" "gcc" "src/rtp/CMakeFiles/rpv_rtp.dir/jitter_buffer.cpp.o.d"
+  "/root/repo/src/rtp/packetizer.cpp" "src/rtp/CMakeFiles/rpv_rtp.dir/packetizer.cpp.o" "gcc" "src/rtp/CMakeFiles/rpv_rtp.dir/packetizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rpv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/rpv_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rpv_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpv_rtp.dir/fec.cpp.o"
+  "CMakeFiles/rpv_rtp.dir/fec.cpp.o.d"
+  "CMakeFiles/rpv_rtp.dir/feedback.cpp.o"
+  "CMakeFiles/rpv_rtp.dir/feedback.cpp.o.d"
+  "CMakeFiles/rpv_rtp.dir/jitter_buffer.cpp.o"
+  "CMakeFiles/rpv_rtp.dir/jitter_buffer.cpp.o.d"
+  "CMakeFiles/rpv_rtp.dir/packetizer.cpp.o"
+  "CMakeFiles/rpv_rtp.dir/packetizer.cpp.o.d"
+  "librpv_rtp.a"
+  "librpv_rtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpv_rtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

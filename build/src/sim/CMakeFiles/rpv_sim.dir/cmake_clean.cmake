@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpv_sim.dir/rng.cpp.o"
+  "CMakeFiles/rpv_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/rpv_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rpv_sim.dir/simulator.cpp.o.d"
+  "librpv_sim.a"
+  "librpv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpv_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/rpv_trace.dir/trace_io.cpp.o.d"
+  "librpv_trace.a"
+  "librpv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpv_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

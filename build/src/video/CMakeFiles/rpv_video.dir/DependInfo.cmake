@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/encoder_model.cpp" "src/video/CMakeFiles/rpv_video.dir/encoder_model.cpp.o" "gcc" "src/video/CMakeFiles/rpv_video.dir/encoder_model.cpp.o.d"
+  "/root/repo/src/video/frame_source.cpp" "src/video/CMakeFiles/rpv_video.dir/frame_source.cpp.o" "gcc" "src/video/CMakeFiles/rpv_video.dir/frame_source.cpp.o.d"
+  "/root/repo/src/video/player_model.cpp" "src/video/CMakeFiles/rpv_video.dir/player_model.cpp.o" "gcc" "src/video/CMakeFiles/rpv_video.dir/player_model.cpp.o.d"
+  "/root/repo/src/video/ssim_model.cpp" "src/video/CMakeFiles/rpv_video.dir/ssim_model.cpp.o" "gcc" "src/video/CMakeFiles/rpv_video.dir/ssim_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rpv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rpv_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpv_video.dir/encoder_model.cpp.o"
+  "CMakeFiles/rpv_video.dir/encoder_model.cpp.o.d"
+  "CMakeFiles/rpv_video.dir/frame_source.cpp.o"
+  "CMakeFiles/rpv_video.dir/frame_source.cpp.o.d"
+  "CMakeFiles/rpv_video.dir/player_model.cpp.o"
+  "CMakeFiles/rpv_video.dir/player_model.cpp.o.d"
+  "CMakeFiles/rpv_video.dir/ssim_model.cpp.o"
+  "CMakeFiles/rpv_video.dir/ssim_model.cpp.o.d"
+  "librpv_video.a"
+  "librpv_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpv_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

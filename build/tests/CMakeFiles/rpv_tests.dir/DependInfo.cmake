@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cc_gcc.cpp" "tests/CMakeFiles/rpv_tests.dir/test_cc_gcc.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_cc_gcc.cpp.o.d"
+  "/root/repo/tests/test_cc_scream.cpp" "tests/CMakeFiles/rpv_tests.dir/test_cc_scream.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_cc_scream.cpp.o.d"
+  "/root/repo/tests/test_cc_static.cpp" "tests/CMakeFiles/rpv_tests.dir/test_cc_static.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_cc_static.cpp.o.d"
+  "/root/repo/tests/test_cellular_handover.cpp" "tests/CMakeFiles/rpv_tests.dir/test_cellular_handover.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_cellular_handover.cpp.o.d"
+  "/root/repo/tests/test_cellular_link.cpp" "tests/CMakeFiles/rpv_tests.dir/test_cellular_link.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_cellular_link.cpp.o.d"
+  "/root/repo/tests/test_cellular_link_queue.cpp" "tests/CMakeFiles/rpv_tests.dir/test_cellular_link_queue.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_cellular_link_queue.cpp.o.d"
+  "/root/repo/tests/test_cellular_loss.cpp" "tests/CMakeFiles/rpv_tests.dir/test_cellular_loss.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_cellular_loss.cpp.o.d"
+  "/root/repo/tests/test_cellular_radio.cpp" "tests/CMakeFiles/rpv_tests.dir/test_cellular_radio.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_cellular_radio.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/rpv_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/rpv_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_geo.cpp" "tests/CMakeFiles/rpv_tests.dir/test_geo.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_geo.cpp.o.d"
+  "/root/repo/tests/test_instrumentation.cpp" "tests/CMakeFiles/rpv_tests.dir/test_instrumentation.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_instrumentation.cpp.o.d"
+  "/root/repo/tests/test_integration_session.cpp" "tests/CMakeFiles/rpv_tests.dir/test_integration_session.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_integration_session.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/rpv_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/rpv_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_pipeline_receiver.cpp" "tests/CMakeFiles/rpv_tests.dir/test_pipeline_receiver.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_pipeline_receiver.cpp.o.d"
+  "/root/repo/tests/test_pipeline_sender.cpp" "tests/CMakeFiles/rpv_tests.dir/test_pipeline_sender.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_pipeline_sender.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/rpv_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rtp_fec.cpp" "tests/CMakeFiles/rpv_tests.dir/test_rtp_fec.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_rtp_fec.cpp.o.d"
+  "/root/repo/tests/test_rtp_feedback.cpp" "tests/CMakeFiles/rpv_tests.dir/test_rtp_feedback.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_rtp_feedback.cpp.o.d"
+  "/root/repo/tests/test_rtp_jitter_buffer.cpp" "tests/CMakeFiles/rpv_tests.dir/test_rtp_jitter_buffer.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_rtp_jitter_buffer.cpp.o.d"
+  "/root/repo/tests/test_rtp_packetizer.cpp" "tests/CMakeFiles/rpv_tests.dir/test_rtp_packetizer.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_rtp_packetizer.cpp.o.d"
+  "/root/repo/tests/test_rtp_sequence.cpp" "tests/CMakeFiles/rpv_tests.dir/test_rtp_sequence.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_rtp_sequence.cpp.o.d"
+  "/root/repo/tests/test_session_features.cpp" "tests/CMakeFiles/rpv_tests.dir/test_session_features.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_session_features.cpp.o.d"
+  "/root/repo/tests/test_sim_rng.cpp" "tests/CMakeFiles/rpv_tests.dir/test_sim_rng.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_sim_rng.cpp.o.d"
+  "/root/repo/tests/test_sim_simulator.cpp" "tests/CMakeFiles/rpv_tests.dir/test_sim_simulator.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_sim_simulator.cpp.o.d"
+  "/root/repo/tests/test_sim_time.cpp" "tests/CMakeFiles/rpv_tests.dir/test_sim_time.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_sim_time.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/rpv_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_video_encoder.cpp" "tests/CMakeFiles/rpv_tests.dir/test_video_encoder.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_video_encoder.cpp.o.d"
+  "/root/repo/tests/test_video_player.cpp" "tests/CMakeFiles/rpv_tests.dir/test_video_player.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_video_player.cpp.o.d"
+  "/root/repo/tests/test_video_source.cpp" "tests/CMakeFiles/rpv_tests.dir/test_video_source.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_video_source.cpp.o.d"
+  "/root/repo/tests/test_video_ssim.cpp" "tests/CMakeFiles/rpv_tests.dir/test_video_ssim.cpp.o" "gcc" "tests/CMakeFiles/rpv_tests.dir/test_video_ssim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/rpv_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rpv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/rpv_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/rpv_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rpv_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/rpv_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/rpv_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/rpv_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rpv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rpv_tests.
+# This may be replaced when dependencies are built.

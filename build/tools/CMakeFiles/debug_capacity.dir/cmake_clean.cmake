@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_capacity.dir/debug_capacity.cpp.o"
+  "CMakeFiles/debug_capacity.dir/debug_capacity.cpp.o.d"
+  "debug_capacity"
+  "debug_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

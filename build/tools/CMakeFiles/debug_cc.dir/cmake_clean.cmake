@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_cc.dir/debug_cc.cpp.o"
+  "CMakeFiles/debug_cc.dir/debug_cc.cpp.o.d"
+  "debug_cc"
+  "debug_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ho_check.dir/ho_check.cpp.o"
+  "CMakeFiles/ho_check.dir/ho_check.cpp.o.d"
+  "ho_check"
+  "ho_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ho_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpv_trace_cli.dir/rpv_trace.cpp.o"
+  "CMakeFiles/rpv_trace_cli.dir/rpv_trace.cpp.o.d"
+  "rpv_trace"
+  "rpv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpv_trace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
