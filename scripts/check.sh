@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite, then
+# repeat the suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Usage: scripts/check.sh [--no-sanitize]
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+sanitize=1
+[[ "${1:-}" == "--no-sanitize" ]] && sanitize=0
+
+echo "== plain build + ctest =="
+cmake -S "$repo" -B "$repo/build" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+if [[ "$sanitize" == 1 ]]; then
+  echo "== ASan+UBSan build + ctest =="
+  cmake -S "$repo" -B "$repo/build-san" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DRPV_SANITIZE=address,undefined >/dev/null
+  cmake --build "$repo/build-san" -j "$jobs"
+  ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir "$repo/build-san" --output-on-failure -j "$jobs"
+fi
+
+echo "All checks passed."

@@ -63,4 +63,12 @@ double AimdController::update(BandwidthSignal signal, double incoming_rate_bps,
   return rate_bps_;
 }
 
+void AimdController::scale(double factor, sim::TimePoint now) {
+  rate_bps_ = std::clamp(rate_bps_ * factor, cfg_.min_rate_bps, cfg_.max_rate_bps);
+  congestion_point_bps_ = rate_bps_;
+  last_update_ = now;
+  last_decrease_ = now;
+  state_ = State::kHold;
+}
+
 }  // namespace rpv::cc::gcc

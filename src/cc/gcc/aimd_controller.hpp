@@ -37,6 +37,12 @@ class AimdController {
   double update(BandwidthSignal signal, double incoming_rate_bps,
                 sim::TimePoint now);
 
+  // Externally-forced multiplicative decay (feedback watchdog). Also resets
+  // the update clock so the first post-silence update does not integrate a
+  // huge dt, and pins the congestion point at the decayed rate so growth
+  // resumes additively.
+  void scale(double factor, sim::TimePoint now);
+
   [[nodiscard]] double rate_bps() const { return rate_bps_; }
 
  private:

@@ -74,4 +74,13 @@ void GccController::on_feedback(const rtp::FeedbackReport& report,
   target_bps_ = std::min(delay_rate, loss_rate);
 }
 
+void GccController::on_feedback_timeout(sim::TimePoint now, double factor) {
+  // Decay both constituent estimators, not just the published target:
+  // otherwise the first post-silence on_feedback() would overwrite the
+  // decayed target with the stale pre-outage rates.
+  aimd_.scale(factor, now);
+  loss_.scale(factor, now);
+  target_bps_ = std::min(aimd_.rate_bps(), loss_.rate_bps());
+}
+
 }  // namespace rpv::cc::gcc

@@ -36,6 +36,7 @@ class GccController final : public RateController {
 
   void on_packet_sent(const SentPacket& p) override;
   void on_feedback(const rtp::FeedbackReport& report, sim::TimePoint now) override;
+  void on_feedback_timeout(sim::TimePoint now, double factor) override;
 
   [[nodiscard]] double target_bitrate_bps() const override { return target_bps_; }
   [[nodiscard]] double pacing_rate_bps() const override {

@@ -18,4 +18,9 @@ double LossController::update(double loss_fraction, sim::TimePoint now) {
   return rate_bps_;
 }
 
+void LossController::scale(double factor, sim::TimePoint now) {
+  rate_bps_ = std::clamp(rate_bps_ * factor, cfg_.min_rate_bps, cfg_.max_rate_bps);
+  last_update_ = now;
+}
+
 }  // namespace rpv::cc::gcc

@@ -27,6 +27,8 @@ class LossController {
       : cfg_{cfg}, rate_bps_{initial_rate_bps} {}
 
   double update(double loss_fraction, sim::TimePoint now);
+  // Externally-forced multiplicative decay (feedback watchdog).
+  void scale(double factor, sim::TimePoint now);
   [[nodiscard]] double rate_bps() const { return rate_bps_; }
 
  private:

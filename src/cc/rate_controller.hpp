@@ -53,6 +53,14 @@ class RateController {
   virtual void on_send_queue_delay(double ms) { (void)ms; }
   // The sender flushed its RTP queue (SCReAM-style discard).
   virtual void on_queue_discard(sim::TimePoint now) { (void)now; }
+  // The sender's feedback watchdog expired: RTCP has been silent past its
+  // timeout, so coasting on stale estimates is unsafe. Controllers should
+  // multiplicatively decay their target by `factor`. Called repeatedly
+  // (once per decay interval) while the silence lasts.
+  virtual void on_feedback_timeout(sim::TimePoint now, double factor) {
+    (void)now;
+    (void)factor;
+  }
 };
 
 }  // namespace rpv::cc

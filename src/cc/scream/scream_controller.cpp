@@ -168,6 +168,15 @@ void ScreamController::on_tick(sim::TimePoint now) {
   }
 }
 
+void ScreamController::on_feedback_timeout(sim::TimePoint now, double factor) {
+  // RFC 8888 silence: both the window and the media rate decay so the
+  // self-clock restarts gently when acknowledgments resume.
+  cwnd_ = std::max(cfg_.min_cwnd_bytes,
+                   static_cast<std::size_t>(static_cast<double>(cwnd_) * factor));
+  rate_bps_ = std::max(cfg_.min_rate_bps, rate_bps_ * factor);
+  last_rate_update_ = now;
+}
+
 void ScreamController::on_queue_discard(sim::TimePoint now) {
   rate_bps_ = std::max(cfg_.min_rate_bps, rate_bps_ * cfg_.queue_discard_rate_factor);
   rtp_queue_delay_ms_ = 0.0;

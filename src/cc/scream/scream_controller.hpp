@@ -54,6 +54,7 @@ class ScreamController final : public RateController {
 
   void on_packet_sent(const SentPacket& p) override;
   void on_feedback(const rtp::FeedbackReport& report, sim::TimePoint now) override;
+  void on_feedback_timeout(sim::TimePoint now, double factor) override;
 
   [[nodiscard]] double target_bitrate_bps() const override { return rate_bps_; }
   [[nodiscard]] bool window_limited() const override { return true; }

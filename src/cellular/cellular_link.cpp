@@ -29,6 +29,11 @@ CellularLink::CellularLink(sim::Simulator& simulator, CellLayout layout,
         if (it == pending_.end()) return;
         DeliverFn deliver = std::move(it->second);
         pending_.erase(it);
+        if (sim_.now() < uplink_blackout_until_) {
+          ++fault_drops_;
+          if (on_loss_) on_loss_(p);
+          return;
+        }
         const double altitude = trajectory_->position(sim_.now()).z;
         // Stress kicks in above the standing queue a delay-based CC would
         // tolerate (~80 ms) and saturates at bufferbloat levels (~300 ms).
@@ -75,6 +80,7 @@ void CellularLink::refresh_capacity() {
   const double factor =
       interrupted ? 0.0 : ho_->capacity_factor(sim_.now());
   capacity_mbps_ = radio_->capacity_mbps(ho_->serving_cell()) * std::max(factor, 0.02);
+  if (sim_.now() < collapse_until_) capacity_mbps_ *= collapse_residual_;
 }
 
 void CellularLink::measurement_tick() {
@@ -121,6 +127,10 @@ void CellularLink::send_uplink(net::Packet p, DeliverFn deliver) {
 }
 
 void CellularLink::send_downlink(net::Packet p, DeliverFn deliver) {
+  if (sim_.now() < downlink_blackout_until_) {
+    ++fault_drops_;
+    return;
+  }
   if (rng_.chance(cfg_.downlink_loss)) return;
   const auto jitter = sim::Duration::seconds(
       std::abs(rng_.normal(0.0, cfg_.downlink_jitter_ms)) / 1e3);
@@ -134,6 +144,64 @@ void CellularLink::send_downlink(net::Packet p, DeliverFn deliver) {
     p.received = sim_.now();
     deliver(std::move(p));
   });
+}
+
+sim::Duration CellularLink::inject_rlf() {
+  const auto now = sim_.now();
+  // T310 has expired: re-select the strongest currently measured cell (which
+  // may be the serving one) and re-establish the RRC connection.
+  radio_->update(trajectory_->position(now));
+  const auto& meas = radio_->measurements();
+  const std::uint32_t target =
+      meas.empty() ? ho_->serving_cell() : meas.front().cell_id;
+  const auto outage = ho_->trigger_rlf(now, airborne_fraction(), target);
+
+  // The QCSuper capture shows the re-establishment pair bracketing the
+  // outage the same way Reconfiguration/Complete brackets a handover.
+  rrc_.record(now, RrcMessageType::kConnectionReestablishmentRequest, target);
+  sim_.schedule_in(outage, [this, target] {
+    rrc_.record(sim_.now(), RrcMessageType::kConnectionReestablishmentComplete,
+                target);
+  });
+
+  queue_->pause();
+  sim_.schedule_in(outage, [this] {
+    queue_->resume();
+    refresh_capacity();
+  });
+
+  if (std::find(cells_seen_.begin(), cells_seen_.end(), target) ==
+      cells_seen_.end()) {
+    cells_seen_.push_back(target);
+  }
+  refresh_capacity();
+  return outage;
+}
+
+void CellularLink::inject_downlink_blackout(sim::Duration d) {
+  downlink_blackout_until_ = std::max(downlink_blackout_until_, sim_.now() + d);
+}
+
+void CellularLink::inject_uplink_blackout(sim::Duration d) {
+  uplink_blackout_until_ = std::max(uplink_blackout_until_, sim_.now() + d);
+}
+
+void CellularLink::inject_capacity_collapse(sim::Duration d, double residual) {
+  const auto now = sim_.now();
+  residual = std::clamp(residual, 1e-3, 1.0);
+  if (now < collapse_until_) {
+    collapse_residual_ = std::min(collapse_residual_, residual);
+  } else {
+    collapse_residual_ = residual;
+  }
+  collapse_until_ = std::max(collapse_until_, now + d);
+  refresh_capacity();
+  sim_.schedule_at(collapse_until_, [this] { refresh_capacity(); });
+}
+
+bool CellularLink::link_down() const {
+  return (!cfg_.handover.make_before_break && ho_->in_handover(sim_.now())) ||
+         sim_.now() < uplink_blackout_until_;
 }
 
 std::size_t CellularLink::distinct_cells_seen() const { return cells_seen_.size(); }

@@ -61,6 +61,24 @@ class CellularLink {
   // Notification for every packet lost on the radio (media loss accounting).
   void set_loss_callback(LossFn fn) { on_loss_ = std::move(fn); }
 
+  // --- Fault-injection hooks (driven by fault::FaultInjector) ---
+  // Radio link failure: T310 expiry, cell re-selection, RRC connection
+  // re-establishment. Interrupts the bearer for the sampled outage (which is
+  // returned) and records the re-establishment trail in the RRC log.
+  sim::Duration inject_rlf();
+  // Every downlink (feedback) packet sent inside the window is lost.
+  void inject_downlink_blackout(sim::Duration d);
+  // Every uplink packet finishing serialization inside the window is lost.
+  void inject_uplink_blackout(sim::Duration d);
+  // Deep fade: capacity multiplied by `residual` (floored away from zero so
+  // the in-service packet still finishes) for the window.
+  void inject_capacity_collapse(sim::Duration d, double residual);
+
+  // True while the uplink bearer cannot deliver (handover/RLF interruption
+  // or an uplink blackout) — the failover signal for multipath sessions.
+  [[nodiscard]] bool link_down() const;
+  [[nodiscard]] std::uint64_t fault_drops() const { return fault_drops_; }
+
   [[nodiscard]] double current_capacity_mbps() const { return capacity_mbps_; }
   [[nodiscard]] std::uint32_t serving_cell() const { return ho_->serving_cell(); }
   [[nodiscard]] bool in_handover() const { return ho_->in_handover(sim_.now()); }
@@ -102,6 +120,13 @@ class CellularLink {
   LossFn on_loss_;
   double capacity_mbps_ = 10.0;
   sim::TimePoint last_uplink_delivery_;  // enforce in-order delivery (RLC)
+
+  // Fault-injection state ("until" at the origin means inactive).
+  sim::TimePoint uplink_blackout_until_;
+  sim::TimePoint downlink_blackout_until_;
+  sim::TimePoint collapse_until_;
+  double collapse_residual_ = 1.0;
+  std::uint64_t fault_drops_ = 0;
   metrics::TimeSeries capacity_trace_;
   std::vector<std::uint32_t> cells_seen_;
 

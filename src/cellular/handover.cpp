@@ -20,6 +20,20 @@ sim::Duration HetModel::sample(double airborne_fraction) {
   return sim::Duration::seconds(ms / 1e3);
 }
 
+sim::Duration HetModel::sample_rlf(double airborne_fraction) {
+  airborne_fraction = std::clamp(airborne_fraction, 0.0, 1.0);
+  // Airborne UEs re-establish against farther, weaker cells: scale the
+  // re-establishment median up with altitude like the outlier tail.
+  const double median =
+      cfg_.rlf_reestablish_median_ms * (1.0 + 2.0 * airborne_fraction);
+  double ms = cfg_.rlf_t310_ms +
+              rng_.lognormal(std::log(median), cfg_.rlf_reestablish_sigma);
+  // max_het_ms bounds the RLF path too: the paper's observed outage ceiling
+  // applies to any bearer interruption, not just A3 handovers.
+  ms = std::min(ms, cfg_.max_het_ms);
+  return sim::Duration::seconds(ms / 1e3);
+}
+
 HandoverController::HandoverController(HandoverConfig cfg, HetModel het,
                                        std::uint32_t initial_cell)
     : cfg_{cfg}, het_{std::move(het)}, serving_{initial_cell} {}
@@ -28,6 +42,28 @@ double HandoverController::capacity_factor(sim::TimePoint now) const {
   if (in_handover(now)) return 0.0;  // link interrupted during execution
   if (!a3_since_.is_never()) return cfg_.edge_capacity_factor;
   return 1.0;
+}
+
+sim::Duration HandoverController::trigger_rlf(sim::TimePoint now,
+                                              double airborne_fraction,
+                                              std::uint32_t reselect_cell) {
+  const sim::Duration outage = het_.sample_rlf(airborne_fraction);
+  metrics::HandoverEvent ev;
+  ev.start = now;
+  ev.het = outage;
+  ev.source_cell = serving_;
+  ev.target_cell = reselect_cell;
+  ev.ping_pong = false;
+  log_.record(ev);
+
+  previous_cell_ = serving_;
+  previous_left_at_ = now;
+  serving_ = reselect_cell;
+  // An RLF mid-handover extends the interruption rather than shortening it.
+  ho_end_ = std::max(ho_end_, now + outage);
+  a3_candidate_ = 0;
+  a3_since_ = sim::TimePoint::never();
+  return outage;
 }
 
 std::optional<sim::Duration> HandoverController::on_measurement(

@@ -32,6 +32,14 @@ struct HetConfig {
   double outlier_median_ms = 250.0;
   double outlier_sigma = 1.1;
   double max_het_ms = 4000.0;  // paper: air outliers range up to 4 s
+
+  // Radio link failure (injected, not A3-triggered): the UE rides out T310
+  // before declaring RLF, then re-selects a cell and performs RRC connection
+  // re-establishment. The re-establishment body is lognormal; the total
+  // outage is still bounded by max_het_ms.
+  double rlf_t310_ms = 1000.0;  // 3GPP default T310
+  double rlf_reestablish_median_ms = 200.0;
+  double rlf_reestablish_sigma = 0.8;
 };
 
 class HetModel {
@@ -41,6 +49,10 @@ class HetModel {
   // `airborne_fraction` in [0,1]: how "in the air" the UE is (scales the
   // outlier probability between the ground and air rates).
   sim::Duration sample(double airborne_fraction);
+
+  // Total RLF outage: T310 expiry plus re-establishment, altitude-weighted
+  // like the HET outlier tail and clamped to max_het_ms.
+  sim::Duration sample_rlf(double airborne_fraction);
 
  private:
   HetConfig cfg_;
@@ -73,6 +85,13 @@ class HandoverController {
   std::optional<sim::Duration> on_measurement(
       sim::TimePoint now, const std::vector<CellMeasurement>& measurements,
       double airborne_fraction);
+
+  // Injected radio link failure: immediately interrupts the bearer for the
+  // sampled T310 + re-establishment time and re-selects `reselect_cell`
+  // (which may be the serving cell). Recorded in the handover log like a
+  // handover — the paper derives both from the same RRC capture.
+  sim::Duration trigger_rlf(sim::TimePoint now, double airborne_fraction,
+                            std::uint32_t reselect_cell);
 
   [[nodiscard]] std::uint32_t serving_cell() const { return serving_; }
   // True while a handover is executing: the radio link is interrupted.

@@ -25,6 +25,10 @@ void LinkQueue::enqueue(net::Packet p) {
 }
 
 void LinkQueue::pause() {
+  // Counted: overlapping interruptions (handover plus an injected RLF) each
+  // pair their own pause/resume, and the queue only restarts when the last
+  // one ends.
+  ++pause_depth_;
   if (paused_) return;
   paused_ = true;
   if (busy_) {
@@ -37,6 +41,7 @@ void LinkQueue::pause() {
 
 void LinkQueue::resume() {
   if (!paused_) return;
+  if (pause_depth_ > 0 && --pause_depth_ > 0) return;
   paused_ = false;
   maybe_start_service();
 }

@@ -72,6 +72,7 @@ class LinkQueue {
   std::uint64_t aqm_drops_ = 0;
   bool busy_ = false;
   bool paused_ = false;
+  int pause_depth_ = 0;
   sim::EventId service_event_ = 0;
 
   // CoDel state.

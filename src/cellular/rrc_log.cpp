@@ -12,6 +12,10 @@ std::string rrc_message_name(RrcMessageType type) {
       return "RRCConnectionReconfiguration";
     case RrcMessageType::kConnectionReconfigurationComplete:
       return "RRCConnectionReconfigurationComplete";
+    case RrcMessageType::kConnectionReestablishmentRequest:
+      return "RRCConnectionReestablishmentRequest";
+    case RrcMessageType::kConnectionReestablishmentComplete:
+      return "RRCConnectionReestablishmentComplete";
   }
   return "?";
 }
@@ -37,6 +41,12 @@ std::vector<double> RrcLog::derive_het_ms() const {
     }
   }
   return out;
+}
+
+bool RrcLog::is_monotonic() const {
+  return std::is_sorted(
+      messages_.begin(), messages_.end(),
+      [](const RrcMessage& a, const RrcMessage& b) { return a.t < b.t; });
 }
 
 }  // namespace rpv::cellular

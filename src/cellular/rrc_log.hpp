@@ -20,6 +20,8 @@ enum class RrcMessageType : std::uint8_t {
   kMeasurementReport,                     // UE -> eNB: A3 event fired
   kConnectionReconfiguration,             // source eNB -> UE: HO command
   kConnectionReconfigurationComplete,     // UE -> target eNB: HO done
+  kConnectionReestablishmentRequest,      // UE -> eNB after T310 expiry (RLF)
+  kConnectionReestablishmentComplete,     // UE -> eNB: bearer restored
 };
 
 [[nodiscard]] std::string rrc_message_name(RrcMessageType type);
@@ -43,6 +45,10 @@ class RrcLog {
   // Recompute HET values from the message stream (the paper's method):
   // every Reconfiguration start paired with the next Complete.
   [[nodiscard]] std::vector<double> derive_het_ms() const;
+
+  // The capture must be time-ordered even when faults interleave handover
+  // and re-establishment trails.
+  [[nodiscard]] bool is_monotonic() const;
 
  private:
   std::vector<RrcMessage> messages_;

@@ -35,6 +35,9 @@ pipeline::SessionConfig make_session_config(const Scenario& s) {
   cfg.probe_interval = s.probe_interval;
   cfg.fec_group_size = s.fec_group_size;
   cfg.c2.enabled = s.c2;
+  cfg.faults = s.faults;
+  cfg.resilience = s.resilience;
+  cfg.receiver.model_reference_loss = s.model_reference_loss;
 
   auto& radio = cfg.link.radio;
   switch (s.env) {

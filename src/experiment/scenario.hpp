@@ -14,6 +14,7 @@
 #include <string>
 
 #include "cellular/base_station.hpp"
+#include "fault/fault_schedule.hpp"
 #include "geo/flight_profiles.hpp"
 #include "pipeline/session.hpp"
 
@@ -50,6 +51,14 @@ struct Scenario {
   int fec_group_size = 0;
   // Enable the command/telemetry channel of the RP scenario (Fig. 1).
   bool c2 = false;
+  // Scripted fault injection (RLF, blackouts, capacity collapse, WAN
+  // outages); empty injects nothing. Composable with every scenario above.
+  fault::FaultSchedule faults;
+  // End-to-end resilience stack (sender watchdog + ladder, receiver PLI).
+  bool resilience = false;
+  // Decoder reference-loss modeling; enable in BOTH arms of a resilience
+  // comparison so keyframe recovery is measured fairly.
+  bool model_reference_loss = false;
 };
 
 // Fully wired session config for a scenario (link, radio, video, CC).

@@ -1,0 +1,38 @@
+// Exponential backoff with a capped factor: 1, 2, 4, ... up to max_factor.
+//
+// Used by the receiver's keyframe-recovery (PLI) retransmission: during an
+// outage every request is lost, so the retry interval doubles until it hits
+// base * max_factor and stays there — the link eventually comes back and a
+// capped interval guarantees a request lands shortly after, whereas a retry
+// *count* cap would exhaust itself mid-outage and never recover.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace rpv::fault {
+
+class Backoff {
+ public:
+  Backoff(sim::Duration base, std::uint32_t max_factor)
+      : base_{base}, max_factor_{max_factor} {}
+
+  // The next wait interval; doubles the factor for the following call.
+  sim::Duration next() {
+    const auto interval = base_ * static_cast<double>(factor_);
+    if (factor_ < max_factor_) factor_ *= 2;
+    return interval;
+  }
+
+  void reset() { factor_ = 1; }
+
+  [[nodiscard]] std::uint32_t factor() const { return factor_; }
+
+ private:
+  sim::Duration base_;
+  std::uint32_t max_factor_;
+  std::uint32_t factor_ = 1;
+};
+
+}  // namespace rpv::fault

@@ -1,0 +1,91 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace rpv::fault {
+
+void FaultInjector::arm() {
+  for (const auto& ev : schedule_.events()) {
+    sim_.schedule_at(ev.at, [this, ev] { inject(ev); });
+  }
+}
+
+void FaultInjector::inject(const FaultEvent& ev) {
+  FaultOutcome outcome;
+  outcome.event = ev;
+  outcome.effective_duration = ev.duration;
+
+  switch (ev.kind) {
+    case FaultKind::kRlf:
+      if (link_ == nullptr) return;
+      outcome.effective_duration = link_->inject_rlf();
+      break;
+    case FaultKind::kFeedbackBlackout:
+      if (link_ == nullptr) return;
+      link_->inject_downlink_blackout(ev.duration);
+      break;
+    case FaultKind::kCapacityCollapse:
+      if (link_ == nullptr) return;
+      link_->inject_capacity_collapse(ev.duration, ev.magnitude);
+      break;
+    case FaultKind::kWanOutage: {
+      if (wan_up_ == nullptr && wan_down_ == nullptr) return;
+      ++wan_outages_active_;
+      if (wan_up_) wan_up_->set_outage(true);
+      if (wan_down_) wan_down_->set_outage(true);
+      sim_.schedule_in(ev.duration, [this] {
+        if (--wan_outages_active_ > 0) return;
+        if (wan_up_) wan_up_->set_outage(false);
+        if (wan_down_) wan_down_->set_outage(false);
+      });
+      break;
+    }
+  }
+  outcomes_.push_back(outcome);
+}
+
+void attribute_recovery(std::vector<FaultOutcome>& outcomes,
+                        const metrics::TimeSeries& playback_latency_ms,
+                        const std::vector<sim::TimePoint>& clean_frame_times,
+                        const std::vector<sim::TimePoint>& stall_times,
+                        double recover_below_ms) {
+  const auto& latency = playback_latency_ms.samples();
+  std::vector<sim::TimePoint> recovered_at(outcomes.size(),
+                                           sim::TimePoint::never());
+
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    auto& o = outcomes[i];
+    const auto fault_end = o.event.at + o.effective_duration;
+
+    sim::TimePoint latency_ok = sim::TimePoint::never();
+    for (const auto& s : latency) {
+      if (s.t >= fault_end && s.value <= recover_below_ms) {
+        latency_ok = s.t;
+        break;
+      }
+    }
+    sim::TimePoint clean_ok = sim::TimePoint::never();
+    const auto it = std::lower_bound(clean_frame_times.begin(),
+                                     clean_frame_times.end(), fault_end);
+    if (it != clean_frame_times.end()) clean_ok = *it;
+
+    if (!latency_ok.is_never() && !clean_ok.is_never()) {
+      recovered_at[i] = std::max(latency_ok, clean_ok);
+      o.recovery_ms = (recovered_at[i] - fault_end).ms();
+    }
+  }
+
+  // Each stall belongs to the most recent fault still in its recovery
+  // window (an unrecovered fault keeps its window open to the end).
+  for (const auto& t : stall_times) {
+    for (std::size_t i = outcomes.size(); i-- > 0;) {
+      if (outcomes[i].event.at > t) continue;
+      if (recovered_at[i].is_never() || t <= recovered_at[i]) {
+        ++outcomes[i].stalls_attributed;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace rpv::fault

@@ -1,0 +1,75 @@
+// Arms a FaultSchedule against the live simulation objects.
+//
+// The injector owns no model state of its own: each scheduled event calls
+// the corresponding hook on CellularLink (RLF, feedback blackout, capacity
+// collapse) or flips the WAN paths into outage. It records one FaultOutcome
+// per injected event; after the run, attribute_recovery() fills in how long
+// the pipeline took to recover and which player stalls each fault caused.
+#pragma once
+
+#include <vector>
+
+#include "cellular/cellular_link.hpp"
+#include "fault/fault_schedule.hpp"
+#include "metrics/time_series.hpp"
+#include "net/wan_path.hpp"
+#include "sim/simulator.hpp"
+
+namespace rpv::fault {
+
+struct FaultOutcome {
+  FaultEvent event;
+  // Scripted duration, or the HET-sampled re-establishment time for RLF.
+  sim::Duration effective_duration = sim::Duration::zero();
+  // Time from fault end until the pipeline is healthy again (playback
+  // latency back under threshold AND a clean frame decoded); -1 if the run
+  // ended first.
+  double recovery_ms = -1.0;
+  int stalls_attributed = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& simulator, FaultSchedule schedule)
+      : sim_{simulator}, schedule_{std::move(schedule)} {}
+
+  void attach_cellular(cellular::CellularLink* link) { link_ = link; }
+  void attach_wan(net::WanPath* up, net::WanPath* down) {
+    wan_up_ = up;
+    wan_down_ = down;
+  }
+
+  // Schedule every event; call once after attaching, before the run.
+  void arm();
+
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+  [[nodiscard]] std::vector<FaultOutcome>& outcomes() { return outcomes_; }
+  [[nodiscard]] const std::vector<FaultOutcome>& outcomes() const {
+    return outcomes_;
+  }
+  [[nodiscard]] std::uint64_t injected() const { return outcomes_.size(); }
+
+ private:
+  void inject(const FaultEvent& ev);
+
+  sim::Simulator& sim_;
+  FaultSchedule schedule_;
+  cellular::CellularLink* link_ = nullptr;
+  net::WanPath* wan_up_ = nullptr;
+  net::WanPath* wan_down_ = nullptr;
+  std::vector<FaultOutcome> outcomes_;
+  int wan_outages_active_ = 0;  // overlapping outages must not clear early
+};
+
+// Post-run recovery attribution. For each outcome, recovery is the later of
+// (a) the first playback-latency sample at/after the fault end at or below
+// `recover_below_ms` and (b) the first clean (undamaged) decoded frame after
+// the fault end. Stalls are attributed to the most recent fault whose
+// [injection, recovery] window covers them.
+void attribute_recovery(std::vector<FaultOutcome>& outcomes,
+                        const metrics::TimeSeries& playback_latency_ms,
+                        const std::vector<sim::TimePoint>& clean_frame_times,
+                        const std::vector<sim::TimePoint>& stall_times,
+                        double recover_below_ms = 400.0);
+
+}  // namespace rpv::fault

@@ -1,13 +1,18 @@
 #include "geo/trajectory.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "sim/validate.hpp"
 
 namespace rpv::geo {
 
 Trajectory::Trajectory(std::vector<Waypoint> points) : points_{std::move(points)} {
-  assert(std::is_sorted(points_.begin(), points_.end(),
-                        [](const Waypoint& a, const Waypoint& b) { return a.t < b.t; }));
+  // Thrown (not asserted) so release builds reject malformed inputs too.
+  validate(std::is_sorted(points_.begin(), points_.end(),
+                          [](const Waypoint& a, const Waypoint& b) {
+                            return a.t < b.t;
+                          }),
+           "Trajectory: waypoints must be sorted by time");
 }
 
 Trajectory& Trajectory::move_to(const Vec3& pos, double speed_mps) {

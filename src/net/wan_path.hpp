@@ -22,13 +22,18 @@ class WanPath {
 
   // One-way delay for the next packet; never below base_owd.
   sim::Duration sample_delay();
-  bool drops_packet() { return rng_.chance(cfg_.loss_probability); }
+  bool drops_packet() { return outage_ || rng_.chance(cfg_.loss_probability); }
+
+  // Fault injection: while in outage, every packet offered is dropped.
+  void set_outage(bool on) { outage_ = on; }
+  [[nodiscard]] bool in_outage() const { return outage_; }
 
   [[nodiscard]] const WanConfig& config() const { return cfg_; }
 
  private:
   WanConfig cfg_;
   sim::Rng rng_;
+  bool outage_ = false;
 };
 
 }  // namespace rpv::net

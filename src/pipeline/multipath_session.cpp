@@ -45,6 +45,18 @@ MultipathSession::MultipathSession(SessionConfig cfg,
   wan_up_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
   wan_down_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
 
+  if (!cfg_.faults.empty()) {
+    // Faults target the primary operator; the point of the exercise is
+    // whether the secondary masks them.
+    injector_ = std::make_unique<fault::FaultInjector>(sim_, cfg_.faults);
+    injector_->attach_cellular(link_a_.get());
+    injector_->attach_wan(wan_up_.get(), wan_down_.get());
+  }
+  if (cfg_.resilience) {
+    cfg_.sender.resilience.enabled = true;
+    cfg_.receiver.resilience.enabled = true;
+  }
+
   switch (cfg_.cc) {
     case CcKind::kGcc:
       cfg_.receiver.feedback = FeedbackKind::kTwcc;
@@ -70,6 +82,19 @@ MultipathSession::MultipathSession(SessionConfig cfg,
   sender_ = std::make_unique<VideoSender>(
       sim_, cfg_.sender, make_controller(cfg_), table_,
       [this](net::Packet p) {
+        if (mode_ == MultipathMode::kFailover) {
+          // Primary unless its radio is down (handover gap, RLF, blackout).
+          const bool use_b = link_a_->link_down();
+          if (use_b != failover_on_b_) {
+            failover_on_b_ = use_b;
+            ++failover_events_;
+          }
+          auto& link = use_b ? *link_b_ : *link_a_;
+          link.send_uplink(std::move(p), [this, use_b](net::Packet q) {
+            deliver_to_receiver(std::move(q), use_b);
+          });
+          return;
+        }
         if (mode_ == MultipathMode::kScheduled) {
           // MPTCP-style: pick the link with the shorter standing queue.
           const bool use_b =
@@ -151,6 +176,7 @@ void MultipathSession::send_feedback(const rtp::FeedbackReport& report,
 SessionReport MultipathSession::run() {
   link_a_->start();
   link_b_->start();
+  if (injector_) injector_->arm();
   const auto start = trajectory_->start();
   const auto end = trajectory_->end();
   sender_->start(start, end);
@@ -160,7 +186,9 @@ SessionReport MultipathSession::run() {
 
   SessionReport r;
   r.cc_name = cc_name(cfg_.cc) +
-              (mode_ == MultipathMode::kDuplicate ? "+mpdup" : "+mpsched");
+              (mode_ == MultipathMode::kDuplicate   ? "+mpdup"
+               : mode_ == MultipathMode::kScheduled ? "+mpsched"
+                                                    : "+mpfail");
   r.environment = environment_;
   r.duration = trajectory_->duration();
 
@@ -208,6 +236,21 @@ SessionReport MultipathSession::run() {
   r.cells_seen = link_a_->distinct_cells_seen() + link_b_->distinct_cells_seen();
   r.capacity_trace_mbps = link_a_->capacity_trace();
   r.ho_latency_ratios = r.handovers.latency_ratios(receiver_->owd_ms());
+
+  r.fault_drops = link_a_->fault_drops() + link_b_->fault_drops();
+  r.failover_events = failover_events_;
+  r.watchdog_events = sender_->watchdog_events();
+  r.keyframes_forced = sender_->keyframes_forced();
+  r.max_ladder_level = sender_->max_ladder_level();
+  r.pli_sent = receiver_->pli_sent();
+  if (injector_) {
+    r.faults_injected = injector_->injected();
+    fault::attribute_recovery(injector_->outcomes(),
+                              receiver_->player().playback_latency_ms(),
+                              receiver_->clean_frame_times(),
+                              receiver_->player().stall_times());
+    r.fault_outcomes = injector_->outcomes();
+  }
   return r;
 }
 

@@ -27,8 +27,11 @@ namespace rpv::pipeline {
 //  * kDuplicate — every packet on both links, first copy wins (reliability;
 //    the paper's reference [9]);
 //  * kScheduled — each packet on the link with the currently shorter uplink
-//    queue (capacity aggregation, MPTCP/MP-QUIC style per Section 5).
-enum class MultipathMode { kDuplicate, kScheduled };
+//    queue (capacity aggregation, MPTCP/MP-QUIC style per Section 5);
+//  * kFailover — primary-only until the primary radio goes down (handover
+//    gap, RLF, injected blackout), then the secondary carries the stream
+//    until the primary heals. Half the airtime cost of kDuplicate.
+enum class MultipathMode { kDuplicate, kScheduled, kFailover };
 
 class MultipathSession {
  public:
@@ -48,6 +51,8 @@ class MultipathSession {
   [[nodiscard]] std::uint64_t duplicates_discarded() const {
     return duplicates_discarded_;
   }
+  // kFailover: number of active-link switches (either direction).
+  [[nodiscard]] std::uint64_t failover_events() const { return failover_events_; }
 
  private:
   void deliver_to_receiver(net::Packet p, bool via_b);
@@ -67,8 +72,11 @@ class MultipathSession {
   std::unique_ptr<VideoSender> sender_;
   std::unique_ptr<VideoReceiver> receiver_;
 
+  std::unique_ptr<fault::FaultInjector> injector_;  // faults hit link A only
   std::unordered_set<std::uint64_t> delivered_ids_;
   sim::TimePoint last_feedback_forwarded_ = sim::TimePoint::never();
+  bool failover_on_b_ = false;
+  std::uint64_t failover_events_ = 0;
   std::uint64_t rescued_by_b_ = 0;
   std::uint64_t duplicates_discarded_ = 0;
   std::uint64_t radio_losses_ = 0;

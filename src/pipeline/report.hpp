@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
 #include "metrics/handover_log.hpp"
 #include "metrics/time_series.hpp"
 #include "sim/time.hpp"
@@ -41,6 +42,21 @@ struct SessionReport {
   std::uint64_t packets_received = 0;
   std::uint64_t radio_losses = 0;
   std::uint64_t buffer_drops = 0;
+
+  // --- Fault injection & resilience ---
+  std::uint64_t wan_drops = 0;        // media dropped on the uplink WAN leg
+  std::uint64_t media_losses = 0;     // radio/queue losses of media packets
+  // sent - received - media_losses - wan_drops; >= 0 when accounting closes
+  // (the remainder is packets still in flight when the run drained).
+  std::int64_t packets_in_flight = 0;
+  std::uint64_t fault_drops = 0;      // dropped by injected blackouts
+  std::uint64_t faults_injected = 0;
+  std::uint64_t watchdog_events = 0;  // sender feedback-silence episodes
+  std::uint64_t pli_sent = 0;         // receiver keyframe requests
+  std::uint32_t keyframes_forced = 0; // PLIs the sender honored
+  int max_ladder_level = 0;           // deepest degradation level reached
+  std::uint64_t failover_events = 0;  // multipath active-link switches
+  std::vector<fault::FaultOutcome> fault_outcomes;
 
   // --- Pipeline internals ---
   std::uint64_t queue_discard_events = 0;     // SCReAM RTP-queue flushes

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cc/static_rate.hpp"
+#include "sim/validate.hpp"
 
 namespace rpv::pipeline {
 
@@ -22,16 +23,35 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
       trajectory_{trajectory},
       environment_{std::move(environment_name)},
       rng_{cfg.seed} {
+  validate(trajectory_ != nullptr, "Session: trajectory must not be null");
+  validate(cfg_.sender.frame_interval > sim::Duration::zero(),
+           "Session: sender.frame_interval must be positive");
+  validate(cfg_.static_bitrate_bps > 0.0,
+           "Session: static_bitrate_bps must be positive");
   link_ = std::make_unique<cellular::CellularLink>(
       sim_, std::move(layout), cfg_.link, trajectory_, rng_.fork());
   if (cfg_.capture_packets) capture_ = std::make_unique<net::PacketCapture>();
   link_->set_loss_callback([this](const net::Packet& p) {
     ++radio_losses_;
     loss_times_.push_back(sim_.now());
+    if (p.kind == net::PacketKind::kRtpVideo ||
+        p.kind == net::PacketKind::kFecParity) {
+      ++media_losses_;
+    }
     if (capture_) capture_->record_loss(p);
   });
   wan_up_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
   wan_down_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
+
+  if (!cfg_.faults.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(sim_, cfg_.faults);
+    injector_->attach_cellular(link_.get());
+    injector_->attach_wan(wan_up_.get(), wan_down_.get());
+  }
+  if (cfg_.resilience) {
+    cfg_.sender.resilience.enabled = true;
+    cfg_.receiver.resilience.enabled = true;
+  }
 
   if (cfg_.cc != CcKind::kNone) {
     // Receiver feedback kind and sender queue discard follow the CC choice.
@@ -66,6 +86,7 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
           p.kind = net::PacketKind::kRtcpFeedback;
           p.size_bytes = size;
           const auto wan_delay = wan_down_->sample_delay();
+          if (wan_down_->drops_packet()) return;
           sim_.schedule_in(wan_delay, [this, p, report] {
             link_->send_downlink(p, [this, report](net::Packet) {
               if (sender_) sender_->on_feedback(report);
@@ -80,7 +101,10 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
           link_->send_uplink(std::move(p), [this](net::Packet q) {
             // Radio done; WAN leg to the server.
             const auto wan_delay = wan_up_->sample_delay();
-            if (wan_up_->drops_packet()) return;
+            if (wan_up_->drops_packet()) {
+              ++wan_drops_;
+              return;
+            }
             sim_.schedule_in(wan_delay, [this, q]() mutable {
               q.received = sim_.now();
               if (capture_) capture_->record_delivery(q);
@@ -174,6 +198,7 @@ void Session::send_telemetry() {
 
 SessionReport Session::run() {
   link_->start();
+  if (injector_) injector_->arm();
   const auto start = trajectory_->start();
   const auto end = trajectory_->end();
   if (sender_) sender_->start(start, end);
@@ -252,6 +277,32 @@ SessionReport Session::run() {
   if (receiver_) {
     r.ho_latency_ratios = log.latency_ratios(receiver_->owd_ms());
   }
+  r.wan_drops = wan_drops_;
+  r.media_losses = media_losses_;
+  if (sender_ && receiver_) {
+    r.packets_in_flight = static_cast<std::int64_t>(r.packets_sent) -
+                          static_cast<std::int64_t>(r.packets_received) -
+                          static_cast<std::int64_t>(r.media_losses) -
+                          static_cast<std::int64_t>(r.wan_drops);
+  }
+  r.fault_drops = link_->fault_drops();
+  if (sender_) {
+    r.watchdog_events = sender_->watchdog_events();
+    r.keyframes_forced = sender_->keyframes_forced();
+    r.max_ladder_level = sender_->max_ladder_level();
+  }
+  if (receiver_) r.pli_sent = receiver_->pli_sent();
+  if (injector_) {
+    r.faults_injected = injector_->injected();
+    if (receiver_) {
+      fault::attribute_recovery(injector_->outcomes(),
+                                receiver_->player().playback_latency_ms(),
+                                receiver_->clean_frame_times(),
+                                receiver_->player().stall_times());
+    }
+    r.fault_outcomes = injector_->outcomes();
+  }
+
   r.rtt_by_altitude = rtt_by_altitude_;
   r.command_latency_ms = command_latency_ms_.values();
   r.telemetry_latency_ms = telemetry_latency_ms_.values();

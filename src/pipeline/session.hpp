@@ -14,6 +14,7 @@
 #include "cc/gcc/gcc_controller.hpp"
 #include "cc/scream/scream_controller.hpp"
 #include "cellular/cellular_link.hpp"
+#include "fault/fault_injector.hpp"
 #include "net/packet_capture.hpp"
 #include "geo/trajectory.hpp"
 #include "net/wan_path.hpp"
@@ -59,6 +60,13 @@ struct SessionConfig {
     std::size_t telemetry_bytes = 120;
   } c2;
 
+  // Scripted fault injection; an empty schedule injects nothing.
+  fault::FaultSchedule faults;
+
+  // Enable the end-to-end resilience stack: sender feedback watchdog +
+  // degradation ladder, receiver PLI keyframe recovery.
+  bool resilience = false;
+
   std::uint64_t seed = 1;
 };
 
@@ -96,8 +104,11 @@ class Session {
   std::unique_ptr<VideoReceiver> receiver_;
 
   std::unique_ptr<net::PacketCapture> capture_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<sim::TimePoint> loss_times_;
   std::uint64_t radio_losses_ = 0;
+  std::uint64_t media_losses_ = 0;
+  std::uint64_t wan_drops_ = 0;
   std::vector<std::pair<double, double>> rtt_by_altitude_;
   metrics::TimeSeries command_latency_ms_;
   metrics::TimeSeries telemetry_latency_ms_;

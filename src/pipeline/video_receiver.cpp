@@ -11,7 +11,9 @@ VideoReceiver::VideoReceiver(sim::Simulator& simulator, ReceiverConfig cfg,
       table_{table},
       send_feedback_{std::move(send_feedback)},
       ssim_{cfg.ssim, rng.fork()},
-      rfc8888_{cfg.rfc8888_ack_window} {
+      rfc8888_{cfg.rfc8888_ack_window},
+      pli_backoff_{cfg.resilience.pli_backoff_base,
+                   cfg.resilience.pli_max_backoff_factor} {
   if (fec_table) fec_ = std::make_unique<rtp::FecDecoder>(std::move(fec_table));
   jb_ = std::make_unique<rtp::JitterBuffer>(
       sim_, cfg_.jitter,
@@ -113,9 +115,54 @@ void VideoReceiver::goodput_tick() {
 void VideoReceiver::on_frame_release(const rtp::FrameReleaseEvent& ev) {
   const auto meta = table_.get(ev.frame_id);
   if (!meta) return;
-  if (ev.corrupted) ++corrupted_frames_;
-  const double ssim = ssim_.score_frame(*meta, ev.corrupted);
+
+  bool damaged = ev.corrupted;
+  if (cfg_.model_reference_loss) {
+    // A gap in the frame-id sequence means a whole frame vanished: the
+    // prediction chain is broken until the next clean keyframe arrives.
+    if (decoded_any_ && ev.frame_id > last_decoded_id_ + 1) {
+      reference_broken_ = true;
+    }
+    // A clean IDR repairs the chain *before* this frame is judged.
+    if (meta->keyframe && !ev.corrupted) reference_broken_ = false;
+    damaged = ev.corrupted || reference_broken_;
+    if (ev.corrupted) reference_broken_ = true;
+  }
+  decoded_any_ = true;
+  last_decoded_id_ = ev.frame_id;
+
+  if (damaged) {
+    ++corrupted_frames_;
+  } else {
+    clean_frame_times_.push_back(sim_.now());
+  }
+
+  if (cfg_.resilience.enabled) {
+    if (damaged) {
+      maybe_request_keyframe();
+    } else if (meta->keyframe) {
+      pli_backoff_.reset();
+      next_pli_allowed_ = sim_.now();
+    }
+  }
+
+  const double ssim = ssim_.score_frame(*meta, damaged);
   player_->on_frame_ready(*meta, ssim);
+}
+
+void VideoReceiver::maybe_request_keyframe() {
+  const auto now = sim_.now();
+  if (now < next_pli_allowed_) return;
+  // A PLI rides on an otherwise-empty feedback report so keyframe recovery
+  // works even for the static baseline (FeedbackKind::kNone runs no CC
+  // feedback clock; this message is generated on demand instead).
+  rtp::FeedbackReport report;
+  report.generated = now;
+  report.keyframe_request = true;
+  send_feedback_(report, cfg_.feedback_base_bytes);
+  ++pli_sent_;
+  pli_times_.push_back(now);
+  next_pli_allowed_ = now + pli_backoff_.next();
 }
 
 void VideoReceiver::finish() { player_->finish(); }

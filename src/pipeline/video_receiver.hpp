@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 
+#include "fault/backoff.hpp"
 #include "metrics/time_series.hpp"
 #include "net/packet.hpp"
 #include "pipeline/frame_table.hpp"
@@ -36,6 +37,24 @@ struct ReceiverConfig {
   int rfc8888_ack_window = 64;  // the paper raises this to 256
   std::size_t feedback_base_bytes = 60;
   std::size_t feedback_per_result_bytes = 2;
+
+  // Model H.264 reference dependency at the decoder: a corrupted or fully
+  // lost frame breaks the prediction chain, and every frame decodes damaged
+  // until the next clean IDR. Off by default (the seed pipeline scored only
+  // per-frame packet loss); chaos benches enable it in BOTH arms so the
+  // fault/no-resilience comparison is fair.
+  bool model_reference_loss = false;
+
+  // PLI-style keyframe recovery: on a damaged frame, request an IDR from the
+  // sender, backing off exponentially (base, 2x, 4x, ... capped at
+  // base * pli_max_backoff_factor) until a clean keyframe arrives. The cap
+  // bounds the *interval*, not the retry count — a capped interval is what
+  // guarantees a request lands shortly after a long outage heals.
+  struct ResilienceConfig {
+    bool enabled = false;
+    sim::Duration pli_backoff_base = sim::Duration::millis(250);
+    std::uint32_t pli_max_backoff_factor = 8;
+  } resilience;
 };
 
 class VideoReceiver {
@@ -69,10 +88,21 @@ class VideoReceiver {
     return fec_ ? fec_->recovered_packets() : 0;
   }
 
+  // Resilience introspection.
+  [[nodiscard]] std::uint64_t pli_sent() const { return pli_sent_; }
+  [[nodiscard]] const std::vector<sim::TimePoint>& pli_times() const {
+    return pli_times_;
+  }
+  // Decode times of undamaged frames (recovery attribution input).
+  [[nodiscard]] const std::vector<sim::TimePoint>& clean_frame_times() const {
+    return clean_frame_times_;
+  }
+
  private:
   void feedback_tick();
   void goodput_tick();
   void on_frame_release(const rtp::FrameReleaseEvent& ev);
+  void maybe_request_keyframe();
 
   sim::Simulator& sim_;
   ReceiverConfig cfg_;
@@ -92,6 +122,16 @@ class VideoReceiver {
   std::uint64_t packets_received_ = 0;
   std::uint64_t media_bytes_ = 0;
   std::uint32_t corrupted_frames_ = 0;
+
+  // Reference-loss / PLI state.
+  fault::Backoff pli_backoff_{sim::Duration::millis(250), 8};
+  sim::TimePoint next_pli_allowed_ = sim::TimePoint::origin();
+  std::uint32_t last_decoded_id_ = 0;
+  bool decoded_any_ = false;
+  bool reference_broken_ = false;
+  std::vector<sim::TimePoint> clean_frame_times_;
+  std::vector<sim::TimePoint> pli_times_;
+  std::uint64_t pli_sent_ = 0;
 };
 
 }  // namespace rpv::pipeline

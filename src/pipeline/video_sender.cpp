@@ -35,9 +35,33 @@ double VideoSender::queue_delay_ms() const {
 void VideoSender::frame_tick() {
   const auto now = sim_.now();
   if (now > end_time_) return;
+  ++tick_count_;
 
   cc_->on_tick(now);
   cc_->on_send_queue_delay(queue_delay_ms());
+
+  if (cfg_.resilience.enabled) {
+    watchdog_tick(now);
+    const bool recovering = watchdog_active_ || now < recovery_flush_until_;
+    // The loss burst and delay spike in the first post-silence reports are
+    // attributable to the outage itself, which the watchdog already decayed
+    // for; letting the CC react to them from that decayed base collapses it
+    // far below what the encoder can emit, and the mismatch only builds
+    // sender queue. Pin the controller at the encoder floor while
+    // recovering.
+    const double floor = encoder_.min_output_bps();
+    const double target = cc_->target_bitrate_bps();
+    if (recovering && target < floor) {
+      cc_->on_feedback_timeout(now, floor / target);
+    }
+    // Recovery flush: while silent (and briefly after), stale frames are
+    // worthless — a fresh keyframe will replace them anyway.
+    if (recovering && queue_delay_ms() > cfg_.resilience.recovery_discard_ms) {
+      discarded_ += queue_.size();
+      queue_.clear();
+      queue_bytes_ = 0;
+    }
+  }
 
   // SCReAM-style queue discard: flush everything older than the threshold.
   if (cfg_.discard_queue_ms > 0.0 && queue_delay_ms() > cfg_.discard_queue_ms) {
@@ -50,6 +74,16 @@ void VideoSender::frame_tick() {
 
   encoder_.set_target_bitrate(cc_->target_bitrate_bps());
   target_trace_.add(now, cc_->target_bitrate_bps());
+
+  // Ladder levels 2/3 shed capture FPS: every 2nd (then 4th) frame only.
+  if (ladder_level_ >= 2) {
+    const std::uint32_t divisor = ladder_level_ >= 3 ? 4 : 2;
+    if (tick_count_ % divisor != 0) {
+      pump();
+      sim_.schedule_in(cfg_.frame_interval, [this] { frame_tick(); });
+      return;
+    }
+  }
 
   const double complexity = source_.next_complexity();
   const video::Frame frame = encoder_.encode(frames_encoded_, now, complexity,
@@ -121,8 +155,70 @@ void VideoSender::pump() {
   if (!queue_.empty()) schedule_pump(next_send_allowed_ - now);
 }
 
+void VideoSender::watchdog_tick(sim::TimePoint now) {
+  if (!feedback_expected_) return;  // nothing to miss (static baseline)
+  const auto& rc = cfg_.resilience;
+  const auto silence = now - last_feedback_at_;
+  if (silence <= rc.feedback_timeout) return;
+
+  if (!watchdog_active_) {
+    // Watchdog fires once per silence episode. Flush the RTP queue: frames
+    // packetized before the silence began are stale by the time the link
+    // heals, and draining them first only delays recovery.
+    watchdog_active_ = true;
+    ++watchdog_events_;
+    if (!queue_.empty()) {
+      discarded_ += queue_.size();
+      queue_.clear();
+      queue_bytes_ = 0;
+    }
+    next_decay_at_ = now;
+  }
+  if (now >= next_decay_at_) {
+    // Never decay below what the encoder can actually emit: pacing under the
+    // encoder floor doesn't reduce load, it just grows the sender queue (and
+    // playback latency with it) until the CC ramps back past the floor.
+    if (cc_->target_bitrate_bps() * rc.decay_factor >=
+        encoder_.min_output_bps()) {
+      cc_->on_feedback_timeout(now, rc.decay_factor);
+    }
+    next_decay_at_ = now + rc.decay_interval;
+  }
+  int level = 1;
+  if (silence > rc.fps_half_after) level = 2;
+  if (silence > rc.resolution_after) level = 3;
+  set_ladder(level);
+}
+
+void VideoSender::set_ladder(int level) {
+  if (level == ladder_level_) return;
+  ladder_level_ = level;
+  max_ladder_level_ = std::max(max_ladder_level_, level);
+  encoder_.set_resolution_scale(
+      level >= 3 ? cfg_.resilience.resolution_scale : 1.0);
+}
+
 void VideoSender::on_feedback(const rtp::FeedbackReport& report) {
-  cc_->on_feedback(report, sim_.now());
+  const auto now = sim_.now();
+  if (report.keyframe_request &&
+      (last_keyframe_honored_.is_never() ||
+       now - last_keyframe_honored_ >= cfg_.resilience.min_keyframe_interval)) {
+    encoder_.force_keyframe();
+    ++keyframes_forced_;
+    last_keyframe_honored_ = now;
+  }
+  if (!report.results.empty()) {
+    // Only CC feedback feeds the watchdog; a bare keyframe request proves
+    // the return path works but carries no rate information.
+    last_feedback_at_ = now;
+    feedback_expected_ = true;
+    if (watchdog_active_) {
+      watchdog_active_ = false;
+      recovery_flush_until_ = now + cfg_.resilience.recovery_flush_window;
+      set_ladder(0);
+    }
+  }
+  cc_->on_feedback(report, now);
   // Feedback may have opened the congestion window.
   if (!queue_.empty()) pump();
 }

@@ -38,6 +38,29 @@ struct SenderConfig {
   video::EncoderConfig encoder;
   video::FrameSourceConfig source;
   rtp::PacketizerConfig packetizer;
+
+  // Feedback watchdog + graceful-degradation ladder. With RTCP silent past
+  // the timeout, coasting on a stale rate estimate floods a link that has
+  // just failed; instead the sender flushes its RTP queue once, then decays
+  // the CC target multiplicatively, and — as the silence persists — climbs
+  // the degradation ladder: bitrate floor, then FPS, then resolution.
+  struct ResilienceConfig {
+    bool enabled = false;
+    sim::Duration feedback_timeout = sim::Duration::millis(500);
+    sim::Duration decay_interval = sim::Duration::millis(200);
+    double decay_factor = 0.8;
+    sim::Duration fps_half_after = sim::Duration::seconds(1.5);
+    sim::Duration resolution_after = sim::Duration::seconds(3.0);
+    double resolution_scale = 0.5;
+    // Honor at most one keyframe request per interval (PLI-storm guard).
+    sim::Duration min_keyframe_interval = sim::Duration::millis(250);
+    // During a silence episode and for a window after it ends, flush the RTP
+    // queue whenever it exceeds this delay: the CC may sit below the
+    // encoder's floor while it re-ramps, and stale backlog would otherwise
+    // turn into seconds of playback latency.
+    double recovery_discard_ms = 400.0;
+    sim::Duration recovery_flush_window = sim::Duration::seconds(10.0);
+  } resilience;
 };
 
 class VideoSender {
@@ -66,8 +89,17 @@ class VideoSender {
     return target_trace_;
   }
 
+  // Resilience introspection.
+  [[nodiscard]] std::uint64_t watchdog_events() const { return watchdog_events_; }
+  [[nodiscard]] bool watchdog_active() const { return watchdog_active_; }
+  [[nodiscard]] std::uint32_t keyframes_forced() const { return keyframes_forced_; }
+  [[nodiscard]] int ladder_level() const { return ladder_level_; }
+  [[nodiscard]] int max_ladder_level() const { return max_ladder_level_; }
+
  private:
   void frame_tick();
+  void watchdog_tick(sim::TimePoint now);
+  void set_ladder(int level);
   void pump();
   void schedule_pump(sim::Duration in);
 
@@ -86,6 +118,19 @@ class VideoSender {
   std::size_t queue_bytes_ = 0;
   bool pump_scheduled_ = false;
   sim::TimePoint next_send_allowed_ = sim::TimePoint::origin();
+
+  // Watchdog / degradation-ladder state.
+  sim::TimePoint last_feedback_at_ = sim::TimePoint::never();
+  bool feedback_expected_ = false;  // armed by the first CC feedback
+  bool watchdog_active_ = false;
+  sim::TimePoint next_decay_at_ = sim::TimePoint::never();
+  sim::TimePoint recovery_flush_until_ = sim::TimePoint::origin();
+  std::uint64_t watchdog_events_ = 0;
+  int ladder_level_ = 0;
+  int max_ladder_level_ = 0;
+  std::uint32_t tick_count_ = 0;
+  std::uint32_t keyframes_forced_ = 0;
+  sim::TimePoint last_keyframe_honored_ = sim::TimePoint::never();
 
   std::uint16_t fec_transport_seq_ = 0;  // wire-order seqs when FEC is on
   std::uint32_t frames_encoded_ = 0;

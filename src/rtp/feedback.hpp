@@ -33,6 +33,9 @@ struct PacketResult {
 struct FeedbackReport {
   sim::TimePoint generated;
   std::vector<PacketResult> results;  // ascending transport_seq
+  // PLI-style keyframe-recovery request (may ride on an otherwise empty
+  // report: the static baseline has no CC feedback but still recovers).
+  bool keyframe_request = false;
 };
 
 // Receiver-side collector for transport-wide-CC feedback (GCC).

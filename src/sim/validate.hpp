@@ -1,0 +1,19 @@
+// Input validation that survives Release builds.
+//
+// Constructors across the library used to guard their inputs with bare
+// `assert`, which compiles out under NDEBUG and silently accepts invalid
+// configs. `rpv::validate` throws std::invalid_argument with a readable
+// message instead, so a bad Scenario/SessionConfig fails loudly at setup
+// time rather than corrupting a multi-minute simulation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rpv {
+
+inline void validate(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+}  // namespace rpv

@@ -6,7 +6,12 @@
 namespace rpv::video {
 
 void EncoderModel::set_target_bitrate(double bps) {
-  target_bps_ = std::clamp(bps, cfg_.min_bitrate_bps, cfg_.max_bitrate_bps);
+  target_bps_ = std::clamp(bps, cfg_.min_bitrate_bps * resolution_scale_,
+                           cfg_.max_bitrate_bps);
+}
+
+void EncoderModel::set_resolution_scale(double scale) {
+  resolution_scale_ = std::clamp(scale, 0.25, 1.0);
 }
 
 Frame EncoderModel::encode(std::uint32_t frame_id, sim::TimePoint capture,

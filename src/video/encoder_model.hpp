@@ -38,6 +38,20 @@ class EncoderModel {
   void set_target_bitrate(double bps);
   [[nodiscard]] double target_bitrate() const { return target_bps_; }
 
+  // PLI-style recovery request: the next encoded frame is an IDR.
+  void force_keyframe() { frames_since_idr_ = 1 << 20; }
+
+  // Graceful-degradation ladder: encoding at a reduced resolution lowers the
+  // bitrate floor proportionally (fewer pixels need fewer bits).
+  void set_resolution_scale(double scale);
+  [[nodiscard]] double resolution_scale() const { return resolution_scale_; }
+
+  // The lowest byte rate the encoder can emit at the current resolution —
+  // decaying a CC below this only builds sender-side queue.
+  [[nodiscard]] double min_output_bps() const {
+    return cfg_.min_bitrate_bps * resolution_scale_;
+  }
+
   // Encode one frame captured at `capture`, with the given complexity and
   // scene-cut flag. Returns the frame with size and encode timestamp set
   // relative to `capture` (capture + encoding latency).
@@ -50,6 +64,7 @@ class EncoderModel {
   EncoderConfig cfg_;
   sim::Rng rng_;
   double target_bps_ = 8e6;
+  double resolution_scale_ = 1.0;
   double rate_debt_bits_ = 0.0;  // positive: we have been over budget
   int frames_since_idr_ = 1 << 20;  // force an IDR first
   sim::Duration last_latency_ = sim::Duration::zero();

@@ -59,7 +59,10 @@ void PlayerModel::try_play() {
   // Display the frame now.
   if (played_any_) {
     const auto gap = now - last_play_time_;
-    if (gap > cfg_.stall_threshold) ++stall_count_;
+    if (gap > cfg_.stall_threshold) {
+      ++stall_count_;
+      stall_times_.push_back(now);
+    }
   }
   last_play_time_ = now;
   if (!played_any_) first_play_time_ = now;

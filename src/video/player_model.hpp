@@ -49,6 +49,9 @@ class PlayerModel {
   [[nodiscard]] std::uint32_t frames_played() const { return frames_played_; }
   [[nodiscard]] std::uint32_t frames_skipped() const { return frames_skipped_; }
   [[nodiscard]] std::uint32_t stall_count() const { return stall_count_; }
+  [[nodiscard]] const std::vector<sim::TimePoint>& stall_times() const {
+    return stall_times_;
+  }
   [[nodiscard]] double stalls_per_minute() const;
   [[nodiscard]] std::uint32_t last_played_frame_id() const { return last_frame_id_; }
 
@@ -74,6 +77,7 @@ class PlayerModel {
   std::uint32_t frames_played_ = 0;
   std::uint32_t frames_skipped_ = 0;
   std::uint32_t stall_count_ = 0;
+  std::vector<sim::TimePoint> stall_times_;  // when each frozen gap ended
 };
 
 }  // namespace rpv::video

@@ -67,7 +67,9 @@ TEST(CellularLink, ManyPacketsConserved) {
   f.link->set_loss_callback([&](const net::Packet&) { ++lost; });
   const int n = 5000;
   for (int i = 0; i < n; ++i) {
-    f.sim.schedule_at(TimePoint::from_us(i * 2000), [&] {
+    // Capture `i` by value: the lambda runs from the event loop long after
+    // the loop variable's scope has ended.
+    f.sim.schedule_at(TimePoint::from_us(i * 2000), [&f, &delivered, i] {
       f.link->send_uplink(media_packet(static_cast<std::uint64_t>(i) + 10),
                           [&](net::Packet) { ++delivered; });
     });
