@@ -4,8 +4,9 @@
 // unacknowledged; SCReAM misreads them as losses and cuts its rate.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Ablation — SCReAM RFC 8888 ack window 64 vs 256",
                       "IMC'22 Section 4.2.1 (implementation discussion)");
 

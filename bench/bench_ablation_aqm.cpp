@@ -5,8 +5,11 @@
 // latency and on the static stream's loss exposure.
 #include "bench_common.hpp"
 
-int main() {
+#include "exec/thread_pool.hpp"
+
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Ablation — CoDel-style AQM on the uplink buffer",
                       "IMC'22 Section 5 (bufferbloat discussion)");
 
@@ -15,20 +18,24 @@ int main() {
 
   for (const bool aqm : {false, true}) {
     for (const auto cc : {pipeline::CcKind::kStatic, pipeline::CcKind::kGcc}) {
-      std::vector<pipeline::SessionReport> rs;
-      for (std::uint64_t k = 0; k < 4; ++k) {
+      // Custom per-run session config (AQM toggle), so this arm shards runs
+      // through the exec pool directly instead of via a Campaign.
+      std::vector<pipeline::SessionReport> rs(
+          static_cast<std::size_t>(bench::runs_or(4)));
+      exec::parallel_for_index(rs.size(), bench::options().jobs,
+                               [&](std::size_t k) {
         experiment::Scenario s;
         s.env = experiment::Environment::kUrban;
         s.cc = cc;
-        s.seed = 5000 + k;
+        s.seed = bench::seed_or(5000) + k;
         auto cfg = experiment::make_session_config(s);
         cfg.link.queue.aqm_enabled = aqm;
         sim::Rng rng{s.seed * 0x9E3779B97F4A7C15ULL + 0x1234567};
         auto layout = experiment::make_layout(s, rng);
         auto traj = experiment::make_trajectory(s, rng);
         pipeline::Session session{cfg, std::move(layout), &traj, "urban-aqm"};
-        rs.push_back(session.run());
-      }
+        rs[k] = session.run();
+      });
       const auto owd = experiment::pool_owd(rs);
       const auto latency = experiment::pool_playback_latency(rs);
       const auto goodput = experiment::pool_goodput(rs);

@@ -5,10 +5,12 @@
 // ratios of Fig. 9 plus the end-to-end latency tail.
 #include "bench_common.hpp"
 
+#include "exec/thread_pool.hpp"
 #include "experiment/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Ablation — break-before-make vs DAPS handover",
                       "IMC'22 Section 5 (HO mitigation discussion)");
 
@@ -17,20 +19,24 @@ int main() {
                             "latency<300ms (%)", "stalls/min"}};
 
   for (const bool daps : {false, true}) {
-    std::vector<pipeline::SessionReport> rs;
-    for (std::uint64_t k = 0; k < 5; ++k) {
+    // Custom per-run session config (DAPS toggle): shard runs through the
+    // exec pool directly instead of via a Campaign.
+    std::vector<pipeline::SessionReport> rs(
+        static_cast<std::size_t>(bench::runs_or(5)));
+    exec::parallel_for_index(rs.size(), bench::options().jobs,
+                             [&](std::size_t k) {
       experiment::Scenario s;
       s.env = experiment::Environment::kUrban;
       s.cc = pipeline::CcKind::kGcc;
-      s.seed = 7000 + k;
+      s.seed = bench::seed_or(7000) + k;
       auto cfg = experiment::make_session_config(s);
       cfg.link.handover.make_before_break = daps;
       sim::Rng rng{s.seed * 0x9E3779B97F4A7C15ULL + 0x1234567};
       auto layout = experiment::make_layout(s, rng);
       auto traj = experiment::make_trajectory(s, rng);
       pipeline::Session session{cfg, std::move(layout), &traj, "urban-daps"};
-      rs.push_back(session.run());
-    }
+      rs[k] = session.run();
+    });
     const auto before = experiment::pool_latency_ratio_before(rs);
     const auto after = experiment::pool_latency_ratio_after(rs);
     const auto owd = experiment::pool_owd(rs);

@@ -3,8 +3,9 @@
 // playback. Compares playback-latency quantiles, stalls, and frame drops.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Ablation — rtpjitterbuffer drop-on-latency (A.4)",
                       "IMC'22 Appendix A.4");
 

@@ -6,10 +6,13 @@
 // side by side (see EXPERIMENTS.md for the paper-vs-measured record).
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "exec/campaign_engine.hpp"
 #include "experiment/runner.hpp"
 #include "metrics/bootstrap.hpp"
 #include "metrics/summary.hpp"
@@ -17,7 +20,78 @@
 
 namespace rpv::bench {
 
-inline constexpr int kDefaultRuns = 5;
+// Fallback campaign size when a bench names no preference and the user
+// passes no --runs (the seed repo hard-coded 5 everywhere).
+inline constexpr int kFallbackRuns = 5;
+
+// Shared CLI options: every bench binary accepts
+//   --runs N   override the per-bench campaign size
+//   --seed S   override the per-bench base seed
+//   --jobs J   worker threads per campaign (0 = one per hardware thread)
+struct Options {
+  std::optional<int> runs;
+  std::optional<std::uint64_t> seed;
+  int jobs = 0;
+};
+
+inline Options& options() {
+  static Options opts;
+  return opts;
+}
+
+inline void parse_args(int argc, char** argv) {
+  auto value_of = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << flag << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--runs") {
+        options().runs = std::stoi(value_of(i, arg));
+        if (*options().runs <= 0) throw std::invalid_argument{"<= 0"};
+      } else if (arg == "--seed") {
+        options().seed = std::stoull(value_of(i, arg));
+      } else if (arg == "--jobs") {
+        options().jobs = std::stoi(value_of(i, arg));
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "usage: " << argv[0]
+                  << " [--runs N] [--seed S] [--jobs J]\n"
+                     "  --runs N  campaign size per scenario cell (default: "
+                     "per-bench, usually 4-8)\n"
+                     "  --seed S  base seed (default: per-bench)\n"
+                     "  --jobs J  worker threads (default 0 = all hardware "
+                     "threads)\n";
+        std::exit(0);
+      } else {
+        std::cerr << "unknown argument: " << arg << " (try --help)\n";
+        std::exit(2);
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << arg << "\n";
+      std::exit(2);
+    }
+  }
+}
+
+// Per-bench defaults, overridable from the command line.
+[[nodiscard]] inline int runs_or(int bench_default) {
+  return options().runs.value_or(bench_default);
+}
+[[nodiscard]] inline std::uint64_t seed_or(std::uint64_t bench_default) {
+  return options().seed.value_or(bench_default);
+}
+
+// Run a hand-built scenario list through the parallel campaign engine,
+// honoring --jobs. Reports come back in input order.
+[[nodiscard]] inline std::vector<pipeline::SessionReport> run_scenarios(
+    const std::vector<experiment::Scenario>& scenarios) {
+  const exec::CampaignEngine engine{{.jobs = options().jobs}};
+  return engine.run_scenarios(scenarios);
+}
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
   std::cout << "==============================================================\n"
@@ -66,28 +140,30 @@ inline void print_cdf_rows(const std::string& label, const metrics::Cdf& cdf,
 
 inline experiment::Campaign video_campaign(experiment::Environment env,
                                            pipeline::CcKind cc,
-                                           int runs = kDefaultRuns,
+                                           int runs = kFallbackRuns,
                                            std::uint64_t seed = 1000) {
   experiment::Campaign c;
   c.scenario.env = env;
   c.scenario.cc = cc;
   c.scenario.mobility = experiment::Mobility::kAir;
-  c.scenario.seed = seed;
-  c.runs = runs;
+  c.scenario.seed = seed_or(seed);
+  c.runs = runs_or(runs);
+  c.jobs = options().jobs;
   return c;
 }
 
 inline experiment::Campaign probe_campaign(experiment::Environment env,
                                            experiment::Mobility mobility,
-                                           int runs = kDefaultRuns,
+                                           int runs = kFallbackRuns,
                                            std::uint64_t seed = 2000) {
   experiment::Campaign c;
   c.scenario.env = env;
   c.scenario.mobility = mobility;
   c.scenario.cc = pipeline::CcKind::kNone;
   c.scenario.probe_interval = sim::Duration::millis(100);
-  c.scenario.seed = seed;
-  c.runs = runs;
+  c.scenario.seed = seed_or(seed);
+  c.runs = runs_or(runs);
+  c.jobs = options().jobs;
   return c;
 }
 

@@ -6,8 +6,9 @@
 
 #include "experiment/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Extension — LTE vs 5G stand-alone",
                       "IMC'22 Section 5 (future-work outlook)");
 
@@ -18,15 +19,17 @@ int main() {
   for (const auto tech : {experiment::AccessTech::kLte,
                           experiment::AccessTech::k5gSa}) {
     for (const auto cc : {pipeline::CcKind::kStatic, pipeline::CcKind::kGcc}) {
-      std::vector<pipeline::SessionReport> rs;
-      for (std::uint64_t k = 0; k < 4; ++k) {
+      std::vector<experiment::Scenario> scenarios;
+      for (std::uint64_t k = 0;
+           k < static_cast<std::uint64_t>(bench::runs_or(4)); ++k) {
         experiment::Scenario s;
         s.env = experiment::Environment::kUrban;
         s.cc = cc;
         s.tech = tech;
-        s.seed = 13000 + k;
-        rs.push_back(experiment::run_scenario(s));
+        s.seed = bench::seed_or(13000) + k;
+        scenarios.push_back(s);
       }
+      const auto rs = bench::run_scenarios(scenarios);
       const auto goodput = experiment::pool_goodput(rs);
       const auto owd = experiment::pool_owd(rs);
       const auto latency = experiment::pool_playback_latency(rs);

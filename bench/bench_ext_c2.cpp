@@ -7,8 +7,9 @@
 
 #include "experiment/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Extension — command/telemetry vs video latency",
                       "IMC'22 Fig. 1 scenario; related work [34][51][61]");
 
@@ -17,13 +18,17 @@ int main() {
 
   for (const bool with_video : {true, false}) {
     metrics::Cdf command, telemetry, video_owd;
-    for (std::uint64_t k = 0; k < 4; ++k) {
+    std::vector<experiment::Scenario> scenarios;
+    for (std::uint64_t k = 0; k < static_cast<std::uint64_t>(bench::runs_or(4));
+         ++k) {
       experiment::Scenario s;
       s.env = experiment::Environment::kUrban;
       s.cc = with_video ? pipeline::CcKind::kStatic : pipeline::CcKind::kNone;
       s.c2 = true;
-      s.seed = 11000 + k;
-      const auto r = experiment::run_scenario(s);
+      s.seed = bench::seed_or(11000) + k;
+      scenarios.push_back(s);
+    }
+    for (const auto& r : bench::run_scenarios(scenarios)) {
       command.add_all(r.command_latency_ms);
       telemetry.add_all(r.telemetry_latency_ms);
       video_owd.add_all(r.owd_ms);

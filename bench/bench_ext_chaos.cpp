@@ -19,8 +19,8 @@ struct ArmResult {
 ArmResult run_arm(rpv::pipeline::CcKind cc, double outage_sec, bool resilience,
                   const std::vector<std::uint64_t>& seeds) {
   using namespace rpv;
-  ArmResult a;
-  int outcomes = 0;
+  // All of an arm's seeds run in parallel through the campaign engine.
+  std::vector<experiment::Scenario> scenarios;
   for (const auto seed : seeds) {
     experiment::Scenario s;
     s.env = experiment::Environment::kRuralP1;
@@ -30,7 +30,11 @@ ArmResult run_arm(rpv::pipeline::CcKind cc, double outage_sec, bool resilience,
     s.resilience = resilience;
     s.model_reference_loss = true;
     s.faults.wan_outage(150.0, outage_sec);
-    const auto r = experiment::run_scenario(s);
+    scenarios.push_back(s);
+  }
+  ArmResult a;
+  int outcomes = 0;
+  for (const auto& r : bench::run_scenarios(scenarios)) {
     for (const auto& o : r.fault_outcomes) {
       const auto fault_end = o.event.at + o.effective_duration;
       // Never-recovered counts as "down until the run drained".
@@ -54,12 +58,17 @@ ArmResult run_arm(rpv::pipeline::CcKind cc, double outage_sec, bool resilience,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Extension — fault injection & resilience (chaos sweep)",
                       "IMC'22 Section 5: outage recovery per CC");
 
-  const std::vector<std::uint64_t> seeds{9101, 9102, 9103};
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t k = 0; k < static_cast<std::uint64_t>(bench::runs_or(3));
+       ++k) {
+    seeds.push_back(bench::seed_or(9101) + k);
+  }
   const double outages[] = {1.0, 2.0, 4.0};
   const pipeline::CcKind ccs[] = {pipeline::CcKind::kStatic,
                                   pipeline::CcKind::kGcc,

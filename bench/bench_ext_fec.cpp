@@ -6,8 +6,9 @@
 
 #include "experiment/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Extension — XOR FEC on the video stream",
                       "IMC'22 Section 5 / reference [9]");
 
@@ -16,15 +17,17 @@ int main() {
 
   for (const int group : {0, 10, 5}) {
     for (const auto cc : {pipeline::CcKind::kStatic, pipeline::CcKind::kGcc}) {
-      std::vector<pipeline::SessionReport> rs;
-      for (std::uint64_t k = 0; k < 4; ++k) {
+      std::vector<experiment::Scenario> scenarios;
+      for (std::uint64_t k = 0;
+           k < static_cast<std::uint64_t>(bench::runs_or(4)); ++k) {
         experiment::Scenario s;
         s.env = experiment::Environment::kUrban;  // the lossy environment
         s.cc = cc;
-        s.seed = 9000 + k;
+        s.seed = bench::seed_or(9000) + k;
         s.fec_group_size = group;
-        rs.push_back(experiment::run_scenario(s));
+        scenarios.push_back(s);
       }
+      const auto rs = bench::run_scenarios(scenarios);
       const auto ssim = experiment::pool_ssim(rs);
       const auto goodput = experiment::pool_goodput(rs);
       double corrupted = 0.0;

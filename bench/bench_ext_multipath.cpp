@@ -5,12 +5,14 @@
 // P1+P2 for every method.
 #include "bench_common.hpp"
 
+#include "exec/thread_pool.hpp"
 #include "experiment/scenario.hpp"
 #include "pipeline/multipath_session.hpp"
 #include <string>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Extension — multipath (P1+P2) vs single path (P1)",
                       "IMC'22 Section 5 discussion; reference [9]");
 
@@ -19,30 +21,40 @@ int main() {
                             "PER (%)"}};
 
   for (const auto cc : {pipeline::CcKind::kStatic, pipeline::CcKind::kGcc}) {
-    std::vector<pipeline::SessionReport> single, dup, sched;
-    for (std::uint64_t k = 0; k < 4; ++k) {
+    const auto runs = static_cast<std::size_t>(bench::runs_or(4));
+    const std::uint64_t seed0 = bench::seed_or(3000);
+
+    std::vector<experiment::Scenario> scenarios;
+    for (std::uint64_t k = 0; k < runs; ++k) {
       experiment::Scenario s;
       s.env = experiment::Environment::kRuralP1;
       s.cc = cc;
-      s.seed = 3000 + k;
-      single.push_back(experiment::run_scenario(s));
-
-      for (const auto mode : {pipeline::MultipathMode::kDuplicate,
-                              pipeline::MultipathMode::kScheduled}) {
-        sim::Rng rng{s.seed * 0x9E3779B97F4A7C15ULL + 0x1234567};
-        auto layout_a = experiment::make_layout(s, rng);
-        experiment::Scenario s2 = s;
-        s2.env = experiment::Environment::kRuralP2;
-        auto layout_b = experiment::make_layout(s2, rng);
-        auto traj = experiment::make_trajectory(s, rng);
-        auto cfg = experiment::make_session_config(s);
-        pipeline::MultipathSession mp{cfg,  std::move(layout_a),
-                                      std::move(layout_b), &traj,
-                                      "rural-mp", mode};
-        (mode == pipeline::MultipathMode::kDuplicate ? dup : sched)
-            .push_back(mp.run());
-      }
+      s.seed = seed0 + k;
+      scenarios.push_back(s);
     }
+    const auto single = bench::run_scenarios(scenarios);
+
+    // The multipath arms wire two layouts into one MultipathSession, which a
+    // Campaign cannot express; shard (run, mode) pairs across the pool.
+    std::vector<pipeline::SessionReport> dup(runs), sched(runs);
+    exec::parallel_for_index(runs * 2, bench::options().jobs,
+                             [&](std::size_t task) {
+      const std::size_t k = task / 2;
+      const auto mode = task % 2 == 0 ? pipeline::MultipathMode::kDuplicate
+                                      : pipeline::MultipathMode::kScheduled;
+      const experiment::Scenario& s = scenarios[k];
+      sim::Rng rng{s.seed * 0x9E3779B97F4A7C15ULL + 0x1234567};
+      auto layout_a = experiment::make_layout(s, rng);
+      experiment::Scenario s2 = s;
+      s2.env = experiment::Environment::kRuralP2;
+      auto layout_b = experiment::make_layout(s2, rng);
+      auto traj = experiment::make_trajectory(s, rng);
+      auto cfg = experiment::make_session_config(s);
+      pipeline::MultipathSession mp{cfg,  std::move(layout_a),
+                                    std::move(layout_b), &traj,
+                                    "rural-mp", mode};
+      (mode == pipeline::MultipathMode::kDuplicate ? dup : sched)[k] = mp.run();
+    });
 
     for (const auto* label :
          {"single(P1)", "duplicate(P1+P2)", "scheduled(P1+P2)"}) {

@@ -3,8 +3,9 @@
 // competitor P2. Paper: P2 offers more capacity but also more handovers.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Figure 10 — rural operators P1 vs P2",
                       "IMC'22 Fig. 10(a)/(b), Section 5");
 

@@ -5,8 +5,9 @@
 // window limitation), so latency/FPS do not simply improve.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Figure 12 — MNO comparison of video delivery (rural)",
                       "IMC'22 Fig. 12(a)-(d), Appendix A.3");
 

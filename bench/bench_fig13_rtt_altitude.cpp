@@ -3,8 +3,9 @@
 // above that the proportion of high-RTT outliers increases.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Figure 13 — RTT by altitude band (no cross traffic)",
                       "IMC'22 Fig. 13(a)/(b), Appendix A.2");
 

@@ -5,8 +5,9 @@
 //      outlier tail in the air reaching seconds.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Figure 4 — HO frequency and HET, air vs ground",
                       "IMC'22 Fig. 4(a)/(b), Section 4.1");
 

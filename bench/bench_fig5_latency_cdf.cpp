@@ -3,8 +3,9 @@
 // air, with air outliers beyond 1 s.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Figure 5 — one-way latency CDF, ground vs air",
                       "IMC'22 Fig. 5, Section 4.1");
 

@@ -4,8 +4,9 @@
 // capacity and both CCs above the 8 Mbps static pick.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Figure 6 — goodput by delivery method and environment",
                       "IMC'22 Fig. 6, Section 4.2.1");
 

@@ -2,8 +2,9 @@
 // (a) FPS CDF, (b) SSIM CDF, (c) playback latency CDF, per delivery method.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header(
       "Figure 7 — FPS, SSIM and playback-latency CDFs per method",
       "IMC'22 Fig. 7(a)-(c), Sections 4.2.1-4.2.3");

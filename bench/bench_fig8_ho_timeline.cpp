@@ -6,15 +6,16 @@
 
 #include "experiment/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Figure 8 — HO / latency timeline of one GCC flight",
                       "IMC'22 Fig. 8(a)/(b), Section 4.2.2");
 
   experiment::Scenario s;
   s.env = experiment::Environment::kRuralP1;
   s.cc = pipeline::CcKind::kGcc;
-  s.seed = 4242;
+  s.seed = bench::seed_or(4242);
   const auto r = experiment::run_scenario(s);
 
   // 1-second resolution timeline rows.

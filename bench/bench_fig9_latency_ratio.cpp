@@ -3,8 +3,9 @@
 // after, with outliers up to 37x before.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Figure 9 — latency ratio around aerial handovers",
                       "IMC'22 Fig. 9, Section 4.2.2");
 

@@ -3,8 +3,9 @@
 // 25 Mbps takes ~12 s for GCC and ~25 s for SCReAM.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rpv;
+  bench::parse_args(argc, argv);
   bench::print_header("Table — stall rates and CC ramp-up (Section 4.2.1)",
                       "IMC'22 Section 4.2.1 text");
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite, then
-# repeat the suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+# repeat the suite under AddressSanitizer + UndefinedBehaviorSanitizer, and
+# finally run the parallel-execution tests under ThreadSanitizer.
 #
 # Usage: scripts/check.sh [--no-sanitize]
 set -euo pipefail
@@ -22,6 +23,15 @@ if [[ "$sanitize" == 1 ]]; then
   cmake --build "$repo/build-san" -j "$jobs"
   ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir "$repo/build-san" --output-on-failure -j "$jobs"
+
+  echo "== TSan build + exec tests =="
+  # TSan is incompatible with ASan/UBSan, so it gets its own tree; only the
+  # suites that actually spin up the thread pool are worth the ~10x slowdown.
+  cmake -S "$repo" -B "$repo/build-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DRPV_SANITIZE=thread >/dev/null
+  cmake --build "$repo/build-tsan" -j "$jobs" --target rpv_tests
+  TSAN_OPTIONS=halt_on_error=1 "$repo/build-tsan/tests/rpv_tests" \
+    --gtest_filter='ThreadPool*:ParallelFor*:CampaignEngine*:RunArtifact*'
 fi
 
 echo "All checks passed."

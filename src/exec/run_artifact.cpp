@@ -1,0 +1,154 @@
+#include "exec/run_artifact.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "fault/fault_schedule.hpp"
+#include "pipeline/report_json.hpp"
+#include "sim/validate.hpp"
+
+namespace rpv::exec {
+
+namespace {
+
+constexpr int kManifestSchemaVersion = 1;
+
+std::string run_file_name(std::size_t index, const std::string& label,
+                          std::uint64_t seed) {
+  char prefix[8];
+  std::snprintf(prefix, sizeof prefix, "%03zu", index);
+  return std::string{prefix} + "_" + label + "_s" + std::to_string(seed) +
+         ".json";
+}
+
+json::Value faults_to_json(const fault::FaultSchedule& schedule) {
+  json::Value a = json::Value::array();
+  for (const auto& ev : schedule.events()) {
+    json::Value o = json::Value::object();
+    o.set("kind", fault::fault_kind_name(ev.kind))
+        .set("at_us", ev.at.us())
+        .set("duration_us", ev.duration.us())
+        .set("magnitude", ev.magnitude);
+    a.push_back(std::move(o));
+  }
+  return a;
+}
+
+}  // namespace
+
+json::Value scenario_to_json(const experiment::Scenario& s) {
+  json::Value v = json::Value::object();
+  v.set("environment", experiment::environment_name(s.env));
+  v.set("mobility", experiment::mobility_name(s.mobility));
+  v.set("cc", pipeline::cc_name(s.cc));
+  v.set("tech", s.tech == experiment::AccessTech::k5gSa ? "5g-sa" : "lte");
+  v.set("seed", s.seed);
+  v.set("probe_interval_us", s.probe_interval.us());
+  v.set("rfc8888_ack_window", std::int64_t{s.rfc8888_ack_window});
+  v.set("drop_on_latency", s.drop_on_latency);
+  v.set("fec_group_size", std::int64_t{s.fec_group_size});
+  v.set("c2", s.c2);
+  v.set("resilience", s.resilience);
+  v.set("model_reference_loss", s.model_reference_loss);
+  v.set("faults", faults_to_json(s.faults));
+  return v;
+}
+
+std::string current_git_describe() {
+  std::FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  std::array<char, 256> buf{};
+  std::string out;
+  while (std::fgets(buf.data(), static_cast<int>(buf.size()), pipe) != nullptr) {
+    out += buf.data();
+  }
+  const int status = ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  if (status != 0 || out.empty()) return "unknown";
+  return out;
+}
+
+std::filesystem::path RunArtifactStore::write_campaign(
+    const CampaignManifest& manifest, const GridResult& result) const {
+  rpv::validate(!manifest.name.empty() &&
+                    manifest.name.find('/') == std::string::npos,
+                "RunArtifactStore: campaign name must be a non-empty "
+                "single path component");
+
+  const auto campaign_dir = root_ / manifest.name;
+  const auto runs_dir = campaign_dir / "runs";
+  std::filesystem::create_directories(runs_dir);
+
+  json::Value doc = json::Value::object();
+  doc.set("schema", std::int64_t{kManifestSchemaVersion});
+  doc.set("name", manifest.name);
+  doc.set("git", manifest.git_describe);
+  doc.set("jobs", std::int64_t{manifest.jobs});
+  doc.set("runs_per_cell", std::int64_t{manifest.runs_per_cell});
+  doc.set("wall_seconds", manifest.wall_seconds);
+
+  json::Value cells = json::Value::array();
+  std::size_t run_index = 0;
+  for (const auto& cell : result.cells) {
+    json::Value cj = json::Value::object();
+    cj.set("label", cell.cell.label);
+    cj.set("scenario", scenario_to_json(cell.cell.scenario));
+    json::Value runs = json::Value::array();
+    for (std::size_t i = 0; i < cell.reports.size(); ++i) {
+      const std::string file = run_file_name(run_index++, cell.cell.label,
+                                             cell.seeds[i]);
+      const auto path = runs_dir / file;
+      if (!json::write_file(path.string(),
+                            pipeline::report_to_json(cell.reports[i]),
+                            /*indent=*/-1)) {
+        throw std::runtime_error("RunArtifactStore: cannot write " +
+                                 path.string());
+      }
+      json::Value rj = json::Value::object();
+      rj.set("seed", cell.seeds[i]);
+      rj.set("file", "runs/" + file);
+      runs.push_back(std::move(rj));
+    }
+    cj.set("runs", std::move(runs));
+    cells.push_back(std::move(cj));
+  }
+  doc.set("cells", std::move(cells));
+
+  const auto manifest_path = campaign_dir / "manifest.json";
+  if (!json::write_file(manifest_path.string(), doc, /*indent=*/2)) {
+    throw std::runtime_error("RunArtifactStore: cannot write " +
+                             manifest_path.string());
+  }
+  return campaign_dir;
+}
+
+LoadedCampaign RunArtifactStore::load_campaign(
+    const std::filesystem::path& campaign_dir) {
+  const auto manifest_path = campaign_dir / "manifest.json";
+  const auto text = json::read_file(manifest_path.string());
+  if (!text) {
+    throw std::runtime_error("RunArtifactStore: cannot read " +
+                             manifest_path.string());
+  }
+  LoadedCampaign loaded;
+  loaded.manifest = json::parse(*text);
+
+  for (const auto& cj : loaded.manifest.at("cells").items()) {
+    GridCellResult cell;
+    cell.cell.label = cj.at("label").as_string();
+    for (const auto& rj : cj.at("runs").items()) {
+      const auto path = campaign_dir / rj.at("file").as_string();
+      const auto run_text = json::read_file(path.string());
+      if (!run_text) {
+        throw std::runtime_error("RunArtifactStore: cannot read " +
+                                 path.string());
+      }
+      cell.seeds.push_back(rj.at("seed").as_u64());
+      cell.reports.push_back(pipeline::report_from_json(json::parse(*run_text)));
+    }
+    loaded.cells.push_back(std::move(cell));
+  }
+  return loaded;
+}
+
+}  // namespace rpv::exec

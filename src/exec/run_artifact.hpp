@@ -1,0 +1,70 @@
+// Persistent run artifacts.
+//
+// Every campaign the engine executes can be written to disk as structured
+// JSON — the simulator's counterpart to the paper's released dataset. The
+// layout under the store root is:
+//
+//   <root>/<campaign-name>/
+//     manifest.json        campaign metadata: schema, name, git describe,
+//                          jobs, runs per cell, wall seconds, and one entry
+//                          per cell with its scenario parameters and the
+//                          (seed, file) list of its runs
+//     runs/NNN_<label>_s<seed>.json
+//                          one full SessionReport per measurement run
+//
+// The loader reads a campaign directory back into GridCellResults, so benches
+// and tools re-aggregate figures (pool_* helpers work unchanged) without
+// re-simulating anything.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/campaign_engine.hpp"
+#include "json/json.hpp"
+
+namespace rpv::exec {
+
+struct CampaignManifest {
+  std::string name;          // directory-safe campaign name
+  std::string git_describe;  // current_git_describe() or caller-provided
+  int runs_per_cell = 0;
+  int jobs = 0;
+  double wall_seconds = 0.0;
+};
+
+struct LoadedCampaign {
+  json::Value manifest;  // the raw manifest document
+  std::vector<GridCellResult> cells;
+};
+
+// Scenario parameters as stored in the manifest (human-readable names for
+// the enum axes; fault events expanded).
+[[nodiscard]] json::Value scenario_to_json(const experiment::Scenario& s);
+
+// `git describe --always --dirty` of the working tree; "unknown" when git is
+// unavailable (artifacts must still be writable from deployed binaries).
+[[nodiscard]] std::string current_git_describe();
+
+class RunArtifactStore {
+ public:
+  explicit RunArtifactStore(std::filesystem::path root) : root_{std::move(root)} {}
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+  // Write manifest + per-run reports; creates directories as needed and
+  // returns the campaign directory. Throws std::runtime_error on I/O errors.
+  std::filesystem::path write_campaign(const CampaignManifest& manifest,
+                                       const GridResult& result) const;
+
+  // Read a campaign directory written by write_campaign.
+  [[nodiscard]] static LoadedCampaign load_campaign(
+      const std::filesystem::path& campaign_dir);
+
+ private:
+  std::filesystem::path root_;
+};
+
+}  // namespace rpv::exec

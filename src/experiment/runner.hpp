@@ -15,9 +15,15 @@ namespace rpv::experiment {
 struct Campaign {
   Scenario scenario;       // seed field is the base seed
   int runs = 5;
+  // Worker threads for the run shard; <= 0 means one per hardware thread.
+  // Reports come back in seed order and are byte-identical for any value.
+  int jobs = 0;
 };
 
-// Run `campaign.runs` sessions with consecutive seeds.
+// Run `campaign.runs` sessions with derived seeds, sharded across
+// `campaign.jobs` workers (rpv::exec pool). Every run is an independent
+// simulation with its own RNG, so the pooled reports match a serial replay
+// exactly. Throws std::invalid_argument when campaign.runs <= 0.
 [[nodiscard]] std::vector<pipeline::SessionReport> run_campaign(const Campaign& c);
 
 // --- Pooling helpers: concatenate a per-run sample set across runs. ---

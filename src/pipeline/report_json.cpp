@@ -1,0 +1,284 @@
+#include "pipeline/report_json.hpp"
+
+namespace rpv::pipeline {
+
+namespace {
+
+json::Value doubles_to_json(const std::vector<double>& xs) {
+  json::Value a = json::Value::array();
+  for (const double x : xs) a.push_back(x);
+  return a;
+}
+
+std::vector<double> doubles_from_json(const json::Value& v) {
+  std::vector<double> out;
+  out.reserve(v.items().size());
+  for (const auto& x : v.items()) out.push_back(x.as_double());
+  return out;
+}
+
+// A time series is stored as two parallel arrays ("t_us", "values") — more
+// compact than an array of pairs at the row counts traces reach (~1e5).
+json::Value series_to_json(const metrics::TimeSeries& ts) {
+  json::Value t = json::Value::array();
+  json::Value vals = json::Value::array();
+  for (const auto& s : ts.samples()) {
+    t.push_back(s.t.us());
+    vals.push_back(s.value);
+  }
+  json::Value obj = json::Value::object();
+  obj.set("t_us", std::move(t)).set("values", std::move(vals));
+  return obj;
+}
+
+metrics::TimeSeries series_from_json(const json::Value& v) {
+  const auto& t = v.at("t_us").items();
+  const auto& vals = v.at("values").items();
+  if (t.size() != vals.size()) {
+    throw std::runtime_error("report_json: time-series arrays disagree");
+  }
+  metrics::TimeSeries ts;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    ts.add(sim::TimePoint::from_us(t[i].as_i64()), vals[i].as_double());
+  }
+  return ts;
+}
+
+json::Value handovers_to_json(const metrics::HandoverLog& log) {
+  json::Value a = json::Value::array();
+  for (const auto& e : log.events()) {
+    json::Value o = json::Value::object();
+    o.set("start_us", e.start.us())
+        .set("het_us", e.het.us())
+        .set("source_cell", static_cast<std::int64_t>(e.source_cell))
+        .set("target_cell", static_cast<std::int64_t>(e.target_cell))
+        .set("ping_pong", e.ping_pong);
+    a.push_back(std::move(o));
+  }
+  return a;
+}
+
+metrics::HandoverLog handovers_from_json(const json::Value& v) {
+  metrics::HandoverLog log;
+  for (const auto& o : v.items()) {
+    metrics::HandoverEvent e;
+    e.start = sim::TimePoint::from_us(o.at("start_us").as_i64());
+    e.het = sim::Duration::micros(o.at("het_us").as_i64());
+    e.source_cell = static_cast<std::uint32_t>(o.at("source_cell").as_u64());
+    e.target_cell = static_cast<std::uint32_t>(o.at("target_cell").as_u64());
+    e.ping_pong = o.at("ping_pong").as_bool();
+    log.record(e);
+  }
+  return log;
+}
+
+json::Value outcomes_to_json(const std::vector<fault::FaultOutcome>& os) {
+  json::Value a = json::Value::array();
+  for (const auto& o : os) {
+    json::Value j = json::Value::object();
+    j.set("at_us", o.event.at.us())
+        .set("duration_us", o.event.duration.us())
+        .set("kind", static_cast<std::int64_t>(o.event.kind))
+        .set("magnitude", o.event.magnitude)
+        .set("effective_us", o.effective_duration.us())
+        .set("recovery_ms", o.recovery_ms)
+        .set("stalls_attributed", static_cast<std::int64_t>(o.stalls_attributed));
+    a.push_back(std::move(j));
+  }
+  return a;
+}
+
+std::vector<fault::FaultOutcome> outcomes_from_json(const json::Value& v) {
+  std::vector<fault::FaultOutcome> out;
+  for (const auto& j : v.items()) {
+    fault::FaultOutcome o;
+    o.event.at = sim::TimePoint::from_us(j.at("at_us").as_i64());
+    o.event.duration = sim::Duration::micros(j.at("duration_us").as_i64());
+    o.event.kind = static_cast<fault::FaultKind>(j.at("kind").as_i64());
+    o.event.magnitude = j.at("magnitude").as_double();
+    o.effective_duration = sim::Duration::micros(j.at("effective_us").as_i64());
+    o.recovery_ms = j.at("recovery_ms").as_double();
+    o.stalls_attributed = static_cast<int>(j.at("stalls_attributed").as_i64());
+    out.push_back(o);
+  }
+  return out;
+}
+
+json::Value pairs_to_json(const std::vector<std::pair<double, double>>& ps) {
+  json::Value a = json::Value::array();
+  for (const auto& [x, y] : ps) {
+    json::Value p = json::Value::array();
+    p.push_back(x).push_back(y);
+    a.push_back(std::move(p));
+  }
+  return a;
+}
+
+std::vector<std::pair<double, double>> pairs_from_json(const json::Value& v) {
+  std::vector<std::pair<double, double>> out;
+  for (const auto& p : v.items()) {
+    out.emplace_back(p.items().at(0).as_double(), p.items().at(1).as_double());
+  }
+  return out;
+}
+
+}  // namespace
+
+json::Value report_to_json(const SessionReport& r) {
+  json::Value v = json::Value::object();
+  v.set("schema", std::int64_t{kReportSchemaVersion});
+  v.set("cc_name", r.cc_name);
+  v.set("environment", r.environment);
+  v.set("duration_us", r.duration.us());
+
+  // Video delivery.
+  v.set("goodput_mbps_windows", doubles_to_json(r.goodput_mbps_windows));
+  v.set("fps_windows", doubles_to_json(r.fps_windows));
+  v.set("playback_latency_ms", doubles_to_json(r.playback_latency_ms));
+  v.set("ssim_samples", doubles_to_json(r.ssim_samples));
+  v.set("stalls_per_minute", r.stalls_per_minute);
+  v.set("stall_count", std::uint64_t{r.stall_count});
+  v.set("frames_encoded", std::uint64_t{r.frames_encoded});
+  v.set("frames_played", std::uint64_t{r.frames_played});
+  v.set("frames_corrupted", std::uint64_t{r.frames_corrupted});
+  v.set("avg_goodput_mbps", r.avg_goodput_mbps);
+
+  // Network.
+  v.set("owd_ms", doubles_to_json(r.owd_ms));
+  v.set("per", r.per);
+  v.set("ho_frequency_per_s", r.ho_frequency_per_s);
+  v.set("het_ms", doubles_to_json(r.het_ms));
+  {
+    json::Value ratios = json::Value::array();
+    for (const auto& lr : r.ho_latency_ratios) {
+      json::Value p = json::Value::array();
+      p.push_back(lr.before).push_back(lr.after);
+      ratios.push_back(std::move(p));
+    }
+    v.set("ho_latency_ratios", std::move(ratios));
+  }
+  v.set("ping_pong_handovers", std::uint64_t{r.ping_pong_handovers});
+  v.set("cells_seen", std::uint64_t{r.cells_seen});
+  v.set("packets_sent", r.packets_sent);
+  v.set("packets_received", r.packets_received);
+  v.set("radio_losses", r.radio_losses);
+  v.set("buffer_drops", r.buffer_drops);
+
+  // Fault injection & resilience.
+  v.set("wan_drops", r.wan_drops);
+  v.set("media_losses", r.media_losses);
+  v.set("packets_in_flight", r.packets_in_flight);
+  v.set("fault_drops", r.fault_drops);
+  v.set("faults_injected", r.faults_injected);
+  v.set("watchdog_events", r.watchdog_events);
+  v.set("pli_sent", r.pli_sent);
+  v.set("keyframes_forced", std::uint64_t{r.keyframes_forced});
+  v.set("max_ladder_level", std::int64_t{r.max_ladder_level});
+  v.set("failover_events", r.failover_events);
+  v.set("fault_outcomes", outcomes_to_json(r.fault_outcomes));
+
+  // Pipeline internals.
+  v.set("queue_discard_events", r.queue_discard_events);
+  v.set("jitter_resyncs", r.jitter_resyncs);
+  v.set("scream_misloss_packets", r.scream_misloss_packets);
+
+  // Traces.
+  v.set("owd_trace_ms", series_to_json(r.owd_trace_ms));
+  v.set("playback_latency_trace_ms", series_to_json(r.playback_latency_trace_ms));
+  v.set("target_bitrate_trace_bps", series_to_json(r.target_bitrate_trace_bps));
+  v.set("capacity_trace_mbps", series_to_json(r.capacity_trace_mbps));
+  {
+    json::Value times = json::Value::array();
+    for (const auto& t : r.loss_times) times.push_back(t.us());
+    v.set("loss_times_us", std::move(times));
+  }
+  v.set("handovers", handovers_to_json(r.handovers));
+
+  // Probes.
+  v.set("rtt_by_altitude", pairs_to_json(r.rtt_by_altitude));
+
+  // Command & control.
+  v.set("command_latency_ms", doubles_to_json(r.command_latency_ms));
+  v.set("telemetry_latency_ms", doubles_to_json(r.telemetry_latency_ms));
+  v.set("commands_sent", r.commands_sent);
+  v.set("telemetry_sent", r.telemetry_sent);
+  return v;
+}
+
+SessionReport report_from_json(const json::Value& v) {
+  const auto schema = v.at("schema").as_i64();
+  if (schema != kReportSchemaVersion) {
+    throw std::runtime_error("report_json: unsupported schema version " +
+                             std::to_string(schema));
+  }
+  SessionReport r;
+  r.cc_name = v.at("cc_name").as_string();
+  r.environment = v.at("environment").as_string();
+  r.duration = sim::Duration::micros(v.at("duration_us").as_i64());
+
+  r.goodput_mbps_windows = doubles_from_json(v.at("goodput_mbps_windows"));
+  r.fps_windows = doubles_from_json(v.at("fps_windows"));
+  r.playback_latency_ms = doubles_from_json(v.at("playback_latency_ms"));
+  r.ssim_samples = doubles_from_json(v.at("ssim_samples"));
+  r.stalls_per_minute = v.at("stalls_per_minute").as_double();
+  r.stall_count = static_cast<std::uint32_t>(v.at("stall_count").as_u64());
+  r.frames_encoded = static_cast<std::uint32_t>(v.at("frames_encoded").as_u64());
+  r.frames_played = static_cast<std::uint32_t>(v.at("frames_played").as_u64());
+  r.frames_corrupted =
+      static_cast<std::uint32_t>(v.at("frames_corrupted").as_u64());
+  r.avg_goodput_mbps = v.at("avg_goodput_mbps").as_double();
+
+  r.owd_ms = doubles_from_json(v.at("owd_ms"));
+  r.per = v.at("per").as_double();
+  r.ho_frequency_per_s = v.at("ho_frequency_per_s").as_double();
+  r.het_ms = doubles_from_json(v.at("het_ms"));
+  for (const auto& p : v.at("ho_latency_ratios").items()) {
+    metrics::LatencyRatio lr;
+    lr.before = p.items().at(0).as_double();
+    lr.after = p.items().at(1).as_double();
+    r.ho_latency_ratios.push_back(lr);
+  }
+  r.ping_pong_handovers =
+      static_cast<std::size_t>(v.at("ping_pong_handovers").as_u64());
+  r.cells_seen = static_cast<std::size_t>(v.at("cells_seen").as_u64());
+  r.packets_sent = v.at("packets_sent").as_u64();
+  r.packets_received = v.at("packets_received").as_u64();
+  r.radio_losses = v.at("radio_losses").as_u64();
+  r.buffer_drops = v.at("buffer_drops").as_u64();
+
+  r.wan_drops = v.at("wan_drops").as_u64();
+  r.media_losses = v.at("media_losses").as_u64();
+  r.packets_in_flight = v.at("packets_in_flight").as_i64();
+  r.fault_drops = v.at("fault_drops").as_u64();
+  r.faults_injected = v.at("faults_injected").as_u64();
+  r.watchdog_events = v.at("watchdog_events").as_u64();
+  r.pli_sent = v.at("pli_sent").as_u64();
+  r.keyframes_forced = static_cast<std::uint32_t>(v.at("keyframes_forced").as_u64());
+  r.max_ladder_level = static_cast<int>(v.at("max_ladder_level").as_i64());
+  r.failover_events = v.at("failover_events").as_u64();
+  r.fault_outcomes = outcomes_from_json(v.at("fault_outcomes"));
+
+  r.queue_discard_events = v.at("queue_discard_events").as_u64();
+  r.jitter_resyncs = v.at("jitter_resyncs").as_u64();
+  r.scream_misloss_packets = v.at("scream_misloss_packets").as_u64();
+
+  r.owd_trace_ms = series_from_json(v.at("owd_trace_ms"));
+  r.playback_latency_trace_ms =
+      series_from_json(v.at("playback_latency_trace_ms"));
+  r.target_bitrate_trace_bps = series_from_json(v.at("target_bitrate_trace_bps"));
+  r.capacity_trace_mbps = series_from_json(v.at("capacity_trace_mbps"));
+  for (const auto& t : v.at("loss_times_us").items()) {
+    r.loss_times.push_back(sim::TimePoint::from_us(t.as_i64()));
+  }
+  r.handovers = handovers_from_json(v.at("handovers"));
+
+  r.rtt_by_altitude = pairs_from_json(v.at("rtt_by_altitude"));
+
+  r.command_latency_ms = doubles_from_json(v.at("command_latency_ms"));
+  r.telemetry_latency_ms = doubles_from_json(v.at("telemetry_latency_ms"));
+  r.commands_sent = v.at("commands_sent").as_u64();
+  r.telemetry_sent = v.at("telemetry_sent").as_u64();
+  return r;
+}
+
+}  // namespace rpv::pipeline

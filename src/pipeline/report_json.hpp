@@ -1,0 +1,25 @@
+// SessionReport <-> JSON.
+//
+// Every field of a SessionReport — sample vectors, time-series traces, the
+// handover log, fault outcomes — is persisted so a stored run is a full
+// substitute for re-simulating it: the figure benches and `rpv_campaign
+// --load` re-aggregate from these files alone. Serialization is canonical
+// (fixed member order, shortest-round-trip doubles, integer counters stay
+// integers), so two byte-identical reports dump to byte-identical JSON; the
+// parallel-determinism tests rely on exactly this.
+#pragma once
+
+#include "json/json.hpp"
+#include "pipeline/report.hpp"
+
+namespace rpv::pipeline {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+[[nodiscard]] json::Value report_to_json(const SessionReport& r);
+
+// Inverse of report_to_json; throws std::runtime_error (missing key / type
+// mismatch) on documents that do not match the schema.
+[[nodiscard]] SessionReport report_from_json(const json::Value& v);
+
+}  // namespace rpv::pipeline

@@ -1,0 +1,358 @@
+// rpv::exec — thread pool, parallel campaign determinism, JSON round trips,
+// and the run-artifact store.
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "exec/campaign_engine.hpp"
+#include "exec/run_artifact.hpp"
+#include "exec/thread_pool.hpp"
+#include "experiment/runner.hpp"
+#include "json/json.hpp"
+#include "pipeline/report_json.hpp"
+
+namespace rpv {
+namespace {
+
+// --- ThreadPool / parallel_for_index ---
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  exec::ThreadPool pool{4};
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  exec::ThreadPool pool{2};
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { ++count; });
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ResolveJobs) {
+  EXPECT_EQ(exec::resolve_jobs(3), 3);
+  EXPECT_GE(exec::resolve_jobs(0), 1);
+  EXPECT_GE(exec::resolve_jobs(-1), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const int jobs : {1, 2, 8}) {
+    std::vector<int> hits(257, 0);
+    exec::parallel_for_index(hits.size(), jobs,
+                             [&](std::size_t i) { hits[i]++; });
+    for (const int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      exec::parallel_for_index(16, 4,
+                               [](std::size_t i) {
+                                 if (i == 7) throw std::runtime_error{"boom"};
+                               }),
+      std::runtime_error);
+}
+
+// --- JSON value model ---
+
+TEST(Json, ScalarRoundTrip) {
+  EXPECT_EQ(json::parse("null").kind(), json::Value::Kind::kNull);
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_EQ(json::parse("-42").as_i64(), -42);
+  EXPECT_EQ(json::parse("18446744073709551615").as_u64(),
+            18446744073709551615ULL);
+  EXPECT_DOUBLE_EQ(json::parse("0.25").as_double(), 0.25);
+  EXPECT_EQ(json::parse("\"a\\nb\"").as_string(), "a\nb");
+}
+
+TEST(Json, DoubleDumpIsShortestRoundTrip) {
+  const double x = 0.1;
+  const auto v = json::parse(json::Value{x}.dump());
+  EXPECT_EQ(v.as_double(), x);
+  EXPECT_EQ(json::Value{x}.dump(), "0.1");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  json::Value obj = json::Value::object();
+  obj.set("zeta", 1).set("alpha", 2).set("mid", 3);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+  // Overwrite keeps the original slot.
+  obj.set("alpha", 9);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(Json, NestedDocumentRoundTrip) {
+  const std::string text =
+      R"({"a":[1,2.5,"x",null,true],"b":{"c":[{"d":-7}]},"e":""})";
+  const auto v = json::parse(text);
+  EXPECT_EQ(v.dump(), text);
+  EXPECT_EQ(v.at("b").at("c").items().at(0).at("d").as_i64(), -7);
+}
+
+TEST(Json, ParseErrorsThrow) {
+  EXPECT_THROW(json::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(json::parse("{} x"), std::runtime_error);
+  EXPECT_FALSE(json::try_parse("nope").has_value());
+  EXPECT_TRUE(json::try_parse("[]").has_value());
+}
+
+TEST(Json, MissingKeyNamesTheKey) {
+  const auto v = json::parse("{\"a\":1}");
+  try {
+    (void)v.at("missing");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("missing"), std::string::npos);
+  }
+}
+
+// --- Campaign determinism: parallel == serial, byte for byte ---
+
+experiment::Campaign small_campaign() {
+  experiment::Campaign c;
+  c.scenario.env = experiment::Environment::kRuralP1;
+  c.scenario.cc = pipeline::CcKind::kStatic;
+  c.scenario.seed = 77;
+  c.runs = 3;
+  return c;
+}
+
+std::vector<std::string> report_bytes(
+    const std::vector<pipeline::SessionReport>& rs) {
+  std::vector<std::string> out;
+  out.reserve(rs.size());
+  for (const auto& r : rs) out.push_back(pipeline::report_to_json(r).dump());
+  return out;
+}
+
+TEST(CampaignEngine, ParallelReportsAreByteIdenticalToSerial) {
+  auto c = small_campaign();
+  c.jobs = 1;
+  const auto serial = report_bytes(experiment::run_campaign(c));
+  ASSERT_EQ(serial.size(), 3u);
+  for (const int jobs : {2, 8}) {
+    c.jobs = jobs;
+    const auto parallel = report_bytes(experiment::run_campaign(c));
+    ASSERT_EQ(parallel.size(), serial.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i]) << "jobs=" << jobs << " run=" << i;
+    }
+  }
+}
+
+TEST(CampaignEngine, EngineMatchesLegacySerialRunner) {
+  const auto c = small_campaign();
+  const exec::CampaignEngine engine{{.jobs = 4}};
+  const auto result = engine.run(c);
+  EXPECT_EQ(result.seeds, exec::campaign_seeds(c));
+  ASSERT_EQ(result.seeds.size(), 3u);
+  EXPECT_EQ(result.seeds[1], c.scenario.seed + 7919);
+  auto serial = c;
+  serial.jobs = 1;
+  EXPECT_EQ(report_bytes(result.reports),
+            report_bytes(experiment::run_campaign(serial)));
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(CampaignEngine, ValidatesCampaignAndGrid) {
+  auto c = small_campaign();
+  c.runs = 0;
+  EXPECT_THROW((void)experiment::run_campaign(c), std::invalid_argument);
+  c.runs = -3;
+  const exec::CampaignEngine engine;
+  EXPECT_THROW((void)engine.run(c), std::invalid_argument);
+  EXPECT_THROW((void)engine.run_grid({}, 2, 1), std::invalid_argument);
+  const auto cells = exec::expand_grid({}, experiment::Scenario{});
+  EXPECT_THROW((void)engine.run_grid(cells, 0, 1), std::invalid_argument);
+}
+
+TEST(CampaignEngine, ExpandGridCrossProduct) {
+  exec::GridAxes axes;
+  axes.envs = {experiment::Environment::kUrban,
+               experiment::Environment::kRuralP1};
+  axes.ccs = {pipeline::CcKind::kGcc, pipeline::CcKind::kScream,
+              pipeline::CcKind::kStatic};
+  const auto cells = exec::expand_grid(axes);
+  ASSERT_EQ(cells.size(), 6u);
+  EXPECT_EQ(cells[0].label, "urban-air-gcc");
+  EXPECT_EQ(cells[0].scenario.env, experiment::Environment::kUrban);
+  EXPECT_EQ(cells[5].label, "rural-p1-air-static");
+  EXPECT_EQ(cells[5].scenario.cc, pipeline::CcKind::kStatic);
+  // Empty axes collapse to the base scenario's value.
+  experiment::Scenario base;
+  base.mobility = experiment::Mobility::kGround;
+  const auto single = exec::expand_grid({}, base);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].scenario.mobility, experiment::Mobility::kGround);
+}
+
+// --- SessionReport JSON round trip ---
+
+pipeline::SessionReport faulted_report() {
+  // A scenario that populates the optional report sections too: faults +
+  // resilience (fault_outcomes, PLI/watchdog counters), probes
+  // (rtt_by_altitude), and the C2 channel.
+  experiment::Scenario s;
+  s.env = experiment::Environment::kRuralP1;
+  s.cc = pipeline::CcKind::kGcc;
+  s.seed = 4051;
+  s.c2 = true;
+  s.probe_interval = sim::Duration::millis(500);
+  s.resilience = true;
+  s.model_reference_loss = true;
+  s.faults.wan_outage(120.0, 2.0);
+  s.faults.capacity_collapse(200.0, 1.0, 0.1);
+  return experiment::run_scenario(s);
+}
+
+TEST(ReportJson, RoundTripIsByteStableAndLossless) {
+  const auto r = faulted_report();
+  const auto doc = pipeline::report_to_json(r);
+  const std::string bytes = doc.dump();
+  const auto back = pipeline::report_from_json(json::parse(bytes));
+  // Byte-stable: serializing the loaded report reproduces the same bytes.
+  EXPECT_EQ(pipeline::report_to_json(back).dump(), bytes);
+  // Spot checks across field categories.
+  EXPECT_EQ(back.cc_name, r.cc_name);
+  EXPECT_EQ(back.environment, r.environment);
+  EXPECT_EQ(back.duration.us(), r.duration.us());
+  EXPECT_EQ(back.owd_ms, r.owd_ms);
+  EXPECT_EQ(back.ssim_samples, r.ssim_samples);
+  EXPECT_EQ(back.packets_sent, r.packets_sent);
+  EXPECT_EQ(back.stall_count, r.stall_count);
+  EXPECT_EQ(back.handovers.count(), r.handovers.count());
+  EXPECT_EQ(back.het_ms, r.het_ms);
+  EXPECT_EQ(back.rtt_by_altitude, r.rtt_by_altitude);
+  EXPECT_EQ(back.command_latency_ms, r.command_latency_ms);
+  ASSERT_EQ(back.fault_outcomes.size(), r.fault_outcomes.size());
+  ASSERT_GE(back.fault_outcomes.size(), 2u);
+  for (std::size_t i = 0; i < r.fault_outcomes.size(); ++i) {
+    EXPECT_EQ(back.fault_outcomes[i].event.kind, r.fault_outcomes[i].event.kind);
+    EXPECT_EQ(back.fault_outcomes[i].recovery_ms,
+              r.fault_outcomes[i].recovery_ms);
+  }
+  ASSERT_EQ(back.owd_trace_ms.count(), r.owd_trace_ms.count());
+  if (!r.owd_trace_ms.empty()) {
+    EXPECT_EQ(back.owd_trace_ms.samples().back().t.us(),
+              r.owd_trace_ms.samples().back().t.us());
+    EXPECT_EQ(back.owd_trace_ms.samples().back().value,
+              r.owd_trace_ms.samples().back().value);
+  }
+}
+
+TEST(ReportJson, RejectsWrongSchema) {
+  auto doc = pipeline::report_to_json(pipeline::SessionReport{});
+  doc.set("schema", std::int64_t{999});
+  EXPECT_THROW((void)pipeline::report_from_json(doc), std::runtime_error);
+  EXPECT_THROW((void)pipeline::report_from_json(json::parse("{}")),
+               std::runtime_error);
+}
+
+// --- Artifact store ---
+
+class RunArtifactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path{::testing::TempDir()} /
+           ("rpv_exec_store_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(RunArtifactTest, WriteThenLoadRoundTripsCampaign) {
+  exec::GridAxes axes;
+  axes.envs = {experiment::Environment::kRuralP1};
+  axes.mobilities = {experiment::Mobility::kAir,
+                     experiment::Mobility::kGround};
+  experiment::Scenario base;
+  base.cc = pipeline::CcKind::kNone;
+  base.probe_interval = sim::Duration::millis(200);
+  const auto cells = exec::expand_grid(axes, base);
+  ASSERT_EQ(cells.size(), 2u);
+
+  const exec::CampaignEngine engine{{.jobs = 2}};
+  const auto result = engine.run_grid(cells, /*runs=*/2, /*base_seed=*/31);
+
+  exec::CampaignManifest manifest;
+  manifest.name = "probe-mini";
+  manifest.git_describe = exec::current_git_describe();
+  manifest.runs_per_cell = 2;
+  manifest.jobs = result.jobs;
+  manifest.wall_seconds = result.wall_seconds;
+  const exec::RunArtifactStore store{dir_};
+  const auto campaign_dir = store.write_campaign(manifest, result);
+
+  // Manifest contents.
+  EXPECT_TRUE(std::filesystem::exists(campaign_dir / "manifest.json"));
+  const auto doc =
+      json::parse(*json::read_file((campaign_dir / "manifest.json").string()));
+  EXPECT_EQ(doc.at("schema").as_i64(), 1);
+  EXPECT_EQ(doc.at("name").as_string(), "probe-mini");
+  EXPECT_FALSE(doc.at("git").as_string().empty());
+  EXPECT_EQ(doc.at("runs_per_cell").as_i64(), 2);
+  EXPECT_EQ(doc.at("jobs").as_i64(), result.jobs);
+  ASSERT_EQ(doc.at("cells").items().size(), 2u);
+  const auto& cell0 = doc.at("cells").items()[0];
+  EXPECT_EQ(cell0.at("label").as_string(), "rural-p1-air-probe");
+  EXPECT_EQ(cell0.at("scenario").at("environment").as_string(), "rural-p1");
+  EXPECT_EQ(cell0.at("scenario").at("probe_interval_us").as_i64(), 200000);
+  ASSERT_EQ(cell0.at("runs").items().size(), 2u);
+  EXPECT_EQ(cell0.at("runs").items()[0].at("seed").as_u64(), 31u);
+  EXPECT_EQ(cell0.at("runs").items()[1].at("seed").as_u64(), 31u + 7919u);
+  for (const auto& rj : cell0.at("runs").items()) {
+    EXPECT_TRUE(std::filesystem::exists(campaign_dir /
+                                        rj.at("file").as_string()));
+  }
+
+  // Loader: stored reports reproduce the in-memory ones byte for byte.
+  const auto loaded = exec::RunArtifactStore::load_campaign(campaign_dir);
+  ASSERT_EQ(loaded.cells.size(), result.cells.size());
+  for (std::size_t c = 0; c < loaded.cells.size(); ++c) {
+    EXPECT_EQ(loaded.cells[c].cell.label, result.cells[c].cell.label);
+    EXPECT_EQ(loaded.cells[c].seeds, result.cells[c].seeds);
+    ASSERT_EQ(loaded.cells[c].reports.size(), result.cells[c].reports.size());
+    for (std::size_t i = 0; i < loaded.cells[c].reports.size(); ++i) {
+      EXPECT_EQ(pipeline::report_to_json(loaded.cells[c].reports[i]).dump(),
+                pipeline::report_to_json(result.cells[c].reports[i]).dump());
+    }
+  }
+}
+
+TEST_F(RunArtifactTest, RejectsBadCampaignNames) {
+  const exec::RunArtifactStore store{dir_};
+  exec::CampaignManifest manifest;
+  manifest.name = "../escape";
+  EXPECT_THROW((void)store.write_campaign(manifest, {}),
+               std::invalid_argument);
+  manifest.name = "";
+  EXPECT_THROW((void)store.write_campaign(manifest, {}),
+               std::invalid_argument);
+}
+
+TEST_F(RunArtifactTest, LoadFromMissingDirectoryThrows) {
+  EXPECT_THROW((void)exec::RunArtifactStore::load_campaign(dir_ / "nope"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rpv

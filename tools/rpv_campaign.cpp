@@ -1,0 +1,234 @@
+// rpv_campaign — run a named scenario grid through the parallel campaign
+// engine, optionally persist every run as a JSON artifact, and print the
+// summary table; or re-aggregate a previously stored campaign without
+// re-simulating anything.
+//
+//   rpv_campaign <grid> [--runs N] [--seed S] [--jobs J] [--out DIR] [--name NAME]
+//   rpv_campaign --load DIR/NAME
+//   rpv_campaign --list
+//
+// Named grids (cross products, one campaign of N runs per cell):
+//   video      {urban, rural-p1, rural-p2} x air x {gcc, scream, static}
+//   handover   {urban, rural-p1} x {air, ground} probe traffic (no video)
+//   operators  {rural-p1, rural-p2} x air x {gcc, scream}
+//   tech       urban x air x {gcc, static} x {lte, 5g-sa}
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/campaign_engine.hpp"
+#include "exec/run_artifact.hpp"
+#include "metrics/cdf.hpp"
+#include "metrics/text_table.hpp"
+
+namespace {
+
+using namespace rpv;
+
+struct NamedGrid {
+  std::string name;
+  std::string description;
+  exec::GridAxes axes;
+  experiment::Scenario base;
+};
+
+std::vector<NamedGrid> named_grids() {
+  std::vector<NamedGrid> grids;
+  {
+    NamedGrid g;
+    g.name = "video";
+    g.description = "all environments x video congestion controllers (air)";
+    g.axes.envs = {experiment::Environment::kUrban,
+                   experiment::Environment::kRuralP1,
+                   experiment::Environment::kRuralP2};
+    g.axes.ccs = {pipeline::CcKind::kGcc, pipeline::CcKind::kScream,
+                  pipeline::CcKind::kStatic};
+    grids.push_back(std::move(g));
+  }
+  {
+    NamedGrid g;
+    g.name = "handover";
+    g.description = "probe-only HO study: {urban, rural-p1} x {air, ground}";
+    g.axes.envs = {experiment::Environment::kUrban,
+                   experiment::Environment::kRuralP1};
+    g.axes.mobilities = {experiment::Mobility::kAir,
+                         experiment::Mobility::kGround};
+    g.base.cc = pipeline::CcKind::kNone;
+    g.base.probe_interval = sim::Duration::millis(100);
+    grids.push_back(std::move(g));
+  }
+  {
+    NamedGrid g;
+    g.name = "operators";
+    g.description = "rural operator comparison P1 vs P2 (air, adaptive CCs)";
+    g.axes.envs = {experiment::Environment::kRuralP1,
+                   experiment::Environment::kRuralP2};
+    g.axes.ccs = {pipeline::CcKind::kGcc, pipeline::CcKind::kScream};
+    grids.push_back(std::move(g));
+  }
+  {
+    NamedGrid g;
+    g.name = "tech";
+    g.description = "LTE vs 5G stand-alone (urban air)";
+    g.axes.envs = {experiment::Environment::kUrban};
+    g.axes.ccs = {pipeline::CcKind::kGcc, pipeline::CcKind::kStatic};
+    g.axes.techs = {experiment::AccessTech::kLte,
+                    experiment::AccessTech::k5gSa};
+    grids.push_back(std::move(g));
+  }
+  return grids;
+}
+
+void print_usage() {
+  std::cout
+      << "usage: rpv_campaign <grid> [--runs N] [--seed S] [--jobs J]\n"
+         "                    [--out DIR] [--name NAME]\n"
+         "       rpv_campaign --load DIR   (re-aggregate stored artifacts)\n"
+         "       rpv_campaign --list       (show named grids)\n"
+         "  --runs N   seeded repetitions per grid cell (default 5)\n"
+         "  --seed S   base seed (default 1000)\n"
+         "  --jobs J   worker threads (default 0 = all hardware threads)\n"
+         "  --out DIR  artifact store root; writes DIR/<name>/manifest.json\n"
+         "             plus one JSON report per run\n"
+         "  --name N   campaign name under --out (default: the grid name)\n";
+}
+
+void print_summary(const std::vector<exec::GridCellResult>& cells) {
+  metrics::TextTable table{{"cell", "runs", "goodput med (Mbps)",
+                            "OWD med (ms)", "OWD p99 (ms)", "play p95 (ms)",
+                            "stalls/min", "HO/s", "SSIM med"}};
+  for (const auto& cell : cells) {
+    const auto& rs = cell.reports;
+    const auto goodput = experiment::pool_goodput(rs);
+    const auto owd = experiment::pool_owd(rs);
+    const auto play = experiment::pool_playback_latency(rs);
+    const auto ssim = experiment::pool_ssim(rs);
+    double ho = 0.0;
+    for (const auto& r : rs) ho += r.ho_frequency_per_s;
+    if (!rs.empty()) ho /= static_cast<double>(rs.size());
+    auto med = [](const metrics::Cdf& c) {
+      return c.empty() ? std::string{"-"} : metrics::TextTable::num(c.median(), 2);
+    };
+    table.add_row(
+        {cell.cell.label, std::to_string(rs.size()), med(goodput), med(owd),
+         owd.empty() ? "-" : metrics::TextTable::num(owd.quantile(0.99), 0),
+         play.empty() ? "-" : metrics::TextTable::num(play.quantile(0.95), 0),
+         metrics::TextTable::num(experiment::mean_stalls_per_minute(rs), 2),
+         metrics::TextTable::num(ho, 3), med(ssim)});
+  }
+  std::cout << table.render();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string grid_name;
+  std::optional<std::string> load_dir;
+  std::optional<std::string> out_dir;
+  std::optional<std::string> campaign_name;
+  int runs = 5;
+  std::uint64_t seed = 1000;
+  int jobs = 0;
+
+  auto value_of = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << flag << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--runs") runs = std::stoi(value_of(i, arg));
+      else if (arg == "--seed") seed = std::stoull(value_of(i, arg));
+      else if (arg == "--jobs") jobs = std::stoi(value_of(i, arg));
+      else if (arg == "--out") out_dir = value_of(i, arg);
+      else if (arg == "--name") campaign_name = value_of(i, arg);
+      else if (arg == "--load") load_dir = value_of(i, arg);
+      else if (arg == "--list") {
+        for (const auto& g : named_grids()) {
+          std::cout << "  " << g.name << "\t" << g.description << "\n";
+        }
+        return 0;
+      } else if (arg == "--help" || arg == "-h") {
+        print_usage();
+        return 0;
+      } else if (!arg.empty() && arg[0] != '-' && grid_name.empty()) {
+        grid_name = arg;
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << arg << "\n";
+      return 2;
+    }
+  }
+
+  if (load_dir) {
+    try {
+      const auto loaded = exec::RunArtifactStore::load_campaign(*load_dir);
+      const auto& m = loaded.manifest;
+      std::cout << "campaign: " << m.at("name").as_string() << "  (git "
+                << m.at("git").as_string() << ", " << loaded.cells.size()
+                << " cells, " << m.at("runs_per_cell").as_i64()
+                << " runs/cell, simulated in "
+                << metrics::TextTable::num(m.at("wall_seconds").as_double(), 1)
+                << " s with " << m.at("jobs").as_i64() << " jobs)\n\n";
+      print_summary(loaded.cells);
+      std::cout << "\n(re-aggregated from stored artifacts; nothing was "
+                   "re-simulated)\n";
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "failed to load " << *load_dir << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (grid_name.empty()) {
+    print_usage();
+    return 2;
+  }
+  const auto grids = named_grids();
+  const NamedGrid* grid = nullptr;
+  for (const auto& g : grids) {
+    if (g.name == grid_name) grid = &g;
+  }
+  if (grid == nullptr) {
+    std::cerr << "unknown grid '" << grid_name << "' (see --list)\n";
+    return 2;
+  }
+
+  try {
+    const exec::CampaignEngine engine{{.jobs = jobs}};
+    const auto cells = exec::expand_grid(grid->axes, grid->base);
+    std::cout << "grid '" << grid->name << "': " << cells.size() << " cells x "
+              << runs << " runs on " << engine.jobs() << " worker(s)\n";
+    const auto result = engine.run_grid(cells, runs, seed);
+    std::cout << "simulated "
+              << cells.size() * static_cast<std::size_t>(runs) << " runs in "
+              << metrics::TextTable::num(result.wall_seconds, 1) << " s\n\n";
+    print_summary(result.cells);
+
+    if (out_dir) {
+      exec::CampaignManifest manifest;
+      manifest.name = campaign_name.value_or(grid->name);
+      manifest.git_describe = exec::current_git_describe();
+      manifest.runs_per_cell = runs;
+      manifest.jobs = result.jobs;
+      manifest.wall_seconds = result.wall_seconds;
+      const exec::RunArtifactStore store{*out_dir};
+      const auto dir = store.write_campaign(manifest, result);
+      std::cout << "\nartifacts written to " << dir.string()
+                << " (re-aggregate with: rpv_campaign --load " << dir.string()
+                << ")\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
