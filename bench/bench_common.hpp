@@ -17,6 +17,7 @@
 #include "metrics/bootstrap.hpp"
 #include "metrics/summary.hpp"
 #include "metrics/text_table.hpp"
+#include "sim/validate.hpp"
 
 namespace rpv::bench {
 
@@ -39,41 +40,75 @@ inline Options& options() {
   return opts;
 }
 
-inline void parse_args(int argc, char** argv) {
-  auto value_of = [&](int& i, const std::string& flag) -> std::string {
-    if (i + 1 >= argc) {
-      std::cerr << flag << " needs a value\n";
-      std::exit(2);
-    }
-    return argv[++i];
+// Testable core of the CLI parser: consumes argv (minus the program name) and
+// returns the parsed options, throwing std::invalid_argument via rpv::validate
+// on malformed, unknown, or out-of-range flags. Negative counts and seeds are
+// rejected here explicitly — std::stoull would otherwise wrap "--seed -5" to
+// 18446744073709551611 and run a campaign nobody asked for.
+[[nodiscard]] inline Options parse_options(const std::vector<std::string>& args) {
+  Options opts;
+  auto value_of = [&](std::size_t& i, const std::string& flag) -> std::string {
+    validate(i + 1 < args.size(), flag + " needs a value");
+    return args[++i];
   };
+  auto to_i64 = [](const std::string& flag,
+                   const std::string& text) -> std::int64_t {
+    std::size_t used = 0;
+    std::int64_t value = 0;
+    try {
+      value = std::stoll(text, &used);
+    } catch (const std::exception&) {
+      throw std::invalid_argument{"bad value for " + flag + ": '" + text + "'"};
+    }
+    validate(used == text.size() && !text.empty(),
+             "bad value for " + flag + ": '" + text + "'");
+    return value;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--runs") {
+      const auto runs = to_i64(arg, value_of(i, arg));
+      validate(runs > 0, "--runs must be > 0 (got " + std::to_string(runs) + ")");
+      opts.runs = static_cast<int>(runs);
+    } else if (arg == "--seed") {
+      const auto seed = to_i64(arg, value_of(i, arg));
+      validate(seed >= 0,
+               "--seed must be >= 0 (got " + std::to_string(seed) + ")");
+      opts.seed = static_cast<std::uint64_t>(seed);
+    } else if (arg == "--jobs") {
+      const auto jobs = to_i64(arg, value_of(i, arg));
+      validate(jobs >= 0,
+               "--jobs must be >= 0 (got " + std::to_string(jobs) +
+                   "; 0 = one per hardware thread)");
+      opts.jobs = static_cast<int>(jobs);
+    } else {
+      validate(false, "unknown argument: " + arg + " (try --help)");
+    }
+  }
+  return opts;
+}
+
+inline void parse_args(int argc, char** argv) {
+  std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    try {
-      if (arg == "--runs") {
-        options().runs = std::stoi(value_of(i, arg));
-        if (*options().runs <= 0) throw std::invalid_argument{"<= 0"};
-      } else if (arg == "--seed") {
-        options().seed = std::stoull(value_of(i, arg));
-      } else if (arg == "--jobs") {
-        options().jobs = std::stoi(value_of(i, arg));
-      } else if (arg == "--help" || arg == "-h") {
-        std::cout << "usage: " << argv[0]
-                  << " [--runs N] [--seed S] [--jobs J]\n"
-                     "  --runs N  campaign size per scenario cell (default: "
-                     "per-bench, usually 4-8)\n"
-                     "  --seed S  base seed (default: per-bench)\n"
-                     "  --jobs J  worker threads (default 0 = all hardware "
-                     "threads)\n";
-        std::exit(0);
-      } else {
-        std::cerr << "unknown argument: " << arg << " (try --help)\n";
-        std::exit(2);
-      }
-    } catch (const std::exception&) {
-      std::cerr << "bad value for " << arg << "\n";
-      std::exit(2);
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--runs N] [--seed S] [--jobs J]\n"
+                   "  --runs N  campaign size per scenario cell (default: "
+                   "per-bench, usually 4-8)\n"
+                   "  --seed S  base seed (default: per-bench)\n"
+                   "  --jobs J  worker threads (default 0 = all hardware "
+                   "threads)\n";
+      std::exit(0);
     }
+    args.push_back(arg);
+  }
+  try {
+    options() = parse_options(args);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    std::exit(2);
   }
 }
 

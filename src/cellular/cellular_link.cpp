@@ -86,8 +86,12 @@ void CellularLink::refresh_capacity() {
 void CellularLink::measurement_tick() {
   const auto now = sim_.now();
   radio_->update(trajectory_->position(now));
+  bool ho_triggered = false;
+  sim::Duration ho_het = sim::Duration::zero();
   if (const auto het = ho_->on_measurement(now, radio_->measurements(),
                                            airborne_fraction())) {
+    ho_triggered = true;
+    ho_het = *het;
     // RRC message trail of the handover (the QCSuper capture records these).
     const auto& ev = ho_->log().events().back();
     rrc_.record(now, RrcMessageType::kMeasurementReport, ev.target_cell);
@@ -113,6 +117,26 @@ void CellularLink::measurement_tick() {
   }
   refresh_capacity();
   capacity_trace_.add(now, capacity_mbps_);
+
+  if (on_measurement_) {
+    LinkMeasurement m;
+    m.t = now;
+    m.serving_cell = ho_->serving_cell();
+    m.serving_rsrp_dbm = radio_->rsrp_of(m.serving_cell);
+    for (const auto& cell : radio_->measurements()) {
+      if (cell.cell_id != m.serving_cell) {
+        m.best_neighbor_cell = cell.cell_id;
+        m.best_neighbor_rsrp_dbm = cell.rsrp_dbm;
+        break;  // measurements are strongest-first
+      }
+    }
+    m.capacity_mbps = capacity_mbps_;
+    m.queuing_delay_ms = queuing_delay_ms();
+    m.in_handover = ho_->in_handover(now);
+    m.ho_triggered = ho_triggered;
+    m.het = ho_het;
+    on_measurement_(m);
+  }
 
   if (now < trajectory_->end()) {
     sim_.schedule_in(cfg_.handover.measurement_interval,

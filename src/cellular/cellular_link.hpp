@@ -41,10 +41,30 @@ struct CellularLinkConfig {
   double downlink_loss = 1e-5;
 };
 
+// Snapshot of one RRC measurement tick, exported to observers (the
+// rpv::predict estimators). Everything here is information a real UE modem
+// reports to the application processor, so predictors built on it do not
+// peek at simulator internals.
+struct LinkMeasurement {
+  sim::TimePoint t;
+  std::uint32_t serving_cell = 0;
+  double serving_rsrp_dbm = 0.0;
+  std::uint32_t best_neighbor_cell = 0;
+  double best_neighbor_rsrp_dbm = -200.0;  // -200 = no neighbor measured
+  double capacity_mbps = 0.0;
+  double queuing_delay_ms = 0.0;
+  bool in_handover = false;
+  // Set on the tick whose A3 evaluation triggered a handover; `het` is the
+  // sampled execution time of that handover (zero otherwise).
+  bool ho_triggered = false;
+  sim::Duration het = sim::Duration::zero();
+};
+
 class CellularLink {
  public:
   using DeliverFn = std::function<void(net::Packet)>;
   using LossFn = std::function<void(const net::Packet&)>;
+  using MeasurementFn = std::function<void(const LinkMeasurement&)>;
 
   CellularLink(sim::Simulator& simulator, CellLayout layout,
                CellularLinkConfig cfg, const geo::Trajectory* trajectory,
@@ -60,6 +80,12 @@ class CellularLink {
 
   // Notification for every packet lost on the radio (media loss accounting).
   void set_loss_callback(LossFn fn) { on_loss_ = std::move(fn); }
+
+  // Invoked at the end of every RRC measurement tick with the serving /
+  // best-neighbor snapshot (the feed for rpv::predict).
+  void set_measurement_callback(MeasurementFn fn) {
+    on_measurement_ = std::move(fn);
+  }
 
   // --- Fault-injection hooks (driven by fault::FaultInjector) ---
   // Radio link failure: T310 expiry, cell re-selection, RRC connection
@@ -118,6 +144,7 @@ class CellularLink {
   RrcLog rrc_;
   LossModel loss_;
   LossFn on_loss_;
+  MeasurementFn on_measurement_;
   double capacity_mbps_ = 10.0;
   sim::TimePoint last_uplink_delivery_;  // enforce in-order delivery (RLC)
 

@@ -13,6 +13,10 @@ std::string tech_suffix(experiment::AccessTech tech) {
   return tech == experiment::AccessTech::k5gSa ? "-5gsa" : "";
 }
 
+std::string policy_suffix(experiment::Policy policy) {
+  return policy == experiment::Policy::kProactive ? "-proactive" : "";
+}
+
 double elapsed_seconds(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - since)
       .count();
@@ -34,24 +38,31 @@ std::vector<GridCell> expand_grid(const GridAxes& axes,
   const std::vector<experiment::AccessTech> techs =
       axes.techs.empty() ? std::vector<experiment::AccessTech>{base.tech}
                          : axes.techs;
+  const std::vector<experiment::Policy> policies =
+      axes.policies.empty() ? std::vector<experiment::Policy>{base.policy}
+                            : axes.policies;
 
   std::vector<GridCell> cells;
-  cells.reserve(envs.size() * mobilities.size() * ccs.size() * techs.size());
+  cells.reserve(envs.size() * mobilities.size() * ccs.size() * techs.size() *
+                policies.size());
   for (const auto env : envs) {
     for (const auto mobility : mobilities) {
       for (const auto cc : ccs) {
         for (const auto tech : techs) {
-          GridCell cell;
-          cell.scenario = base;
-          cell.scenario.env = env;
-          cell.scenario.mobility = mobility;
-          cell.scenario.cc = cc;
-          cell.scenario.tech = tech;
-          cell.label = experiment::environment_name(env) + "-" +
-                       experiment::mobility_name(mobility) + "-" +
-                       pipeline::cc_name(cell.scenario.cc) +
-                       tech_suffix(tech);
-          cells.push_back(std::move(cell));
+          for (const auto policy : policies) {
+            GridCell cell;
+            cell.scenario = base;
+            cell.scenario.env = env;
+            cell.scenario.mobility = mobility;
+            cell.scenario.cc = cc;
+            cell.scenario.tech = tech;
+            cell.scenario.policy = policy;
+            cell.label = experiment::environment_name(env) + "-" +
+                         experiment::mobility_name(mobility) + "-" +
+                         pipeline::cc_name(cell.scenario.cc) +
+                         tech_suffix(tech) + policy_suffix(policy);
+            cells.push_back(std::move(cell));
+          }
         }
       }
     }

@@ -43,11 +43,14 @@ struct GridAxes {
   std::vector<experiment::Mobility> mobilities;
   std::vector<pipeline::CcKind> ccs;
   std::vector<experiment::AccessTech> techs;
+  // Reactive vs. proactive (rpv::predict) adaptation. Labels stay unchanged
+  // for kReactive cells; kProactive cells gain a "-proactive" suffix.
+  std::vector<experiment::Policy> policies;
 };
 
 // Expand axes against a base scenario into labeled cells, in axis-major
-// order (env, then mobility, then cc, then tech). Throws std::invalid_argument
-// when the expansion is empty.
+// order (env, then mobility, then cc, then tech, then policy). Throws
+// std::invalid_argument when the expansion is empty.
 [[nodiscard]] std::vector<GridCell> expand_grid(
     const GridAxes& axes, const experiment::Scenario& base = {});
 

@@ -49,6 +49,7 @@ json::Value scenario_to_json(const experiment::Scenario& s) {
   v.set("fec_group_size", std::int64_t{s.fec_group_size});
   v.set("c2", s.c2);
   v.set("resilience", s.resilience);
+  v.set("policy", experiment::policy_name(s.policy));
   v.set("model_reference_loss", s.model_reference_loss);
   v.set("faults", faults_to_json(s.faults));
   return v;

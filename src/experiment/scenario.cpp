@@ -20,6 +20,10 @@ std::string mobility_name(Mobility m) {
   return "?";
 }
 
+std::string policy_name(Policy p) {
+  return p == Policy::kProactive ? "proactive" : "reactive";
+}
+
 double static_bitrate_bps(Environment env) {
   // Paper §3.2: 25 Mbps urban, 8 Mbps rural, from trial runs.
   return env == Environment::kUrban ? 25e6 : 8e6;
@@ -38,6 +42,7 @@ pipeline::SessionConfig make_session_config(const Scenario& s) {
   cfg.faults = s.faults;
   cfg.resilience = s.resilience;
   cfg.receiver.model_reference_loss = s.model_reference_loss;
+  cfg.predict.proactive = (s.policy == Policy::kProactive);
 
   auto& radio = cfg.link.radio;
   switch (s.env) {

@@ -27,9 +27,14 @@ enum class Mobility { kAir, kGround, kStatic };
 // HO latency spikes (shorter access latency, make-before-break mobility,
 // larger uplink).
 enum class AccessTech { kLte, k5gSa };
+// Adaptation policy: reactive is the paper's measured pipeline (CC reacts
+// after the fact); proactive turns on the rpv::predict HO-aware adapter
+// (pre-HO bitrate dip, keyframe deferral, post-HO flush).
+enum class Policy { kReactive, kProactive };
 
 [[nodiscard]] std::string environment_name(Environment env);
 [[nodiscard]] std::string mobility_name(Mobility m);
+[[nodiscard]] std::string policy_name(Policy p);
 
 // The static-baseline bitrate the paper hand-picked per environment.
 [[nodiscard]] double static_bitrate_bps(Environment env);
@@ -56,6 +61,9 @@ struct Scenario {
   fault::FaultSchedule faults;
   // End-to-end resilience stack (sender watchdog + ladder, receiver PLI).
   bool resilience = false;
+  // HO-aware proactive adaptation (rpv::predict); reactive reproduces the
+  // paper's measured behaviour.
+  Policy policy = Policy::kReactive;
   // Decoder reference-loss modeling; enable in BOTH arms of a resilience
   // comparison so keyframe recovery is measured fairly.
   bool model_reference_loss = false;

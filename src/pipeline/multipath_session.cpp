@@ -42,6 +42,15 @@ MultipathSession::MultipathSession(SessionConfig cfg,
   auto count_loss = [this](const net::Packet&) { ++radio_losses_; };
   link_a_->set_loss_callback(count_loss);
   link_b_->set_loss_callback(count_loss);
+  cfg_.predict.ho.hysteresis_db = cfg_.link.handover.hysteresis_db;
+  adapter_a_ = std::make_unique<predict::ProactiveAdapter>(cfg_.predict);
+  adapter_b_ = std::make_unique<predict::ProactiveAdapter>(cfg_.predict);
+  link_a_->set_measurement_callback([this](const cellular::LinkMeasurement& m) {
+    adapter_a_->on_link_measurement(m);
+  });
+  link_b_->set_measurement_callback([this](const cellular::LinkMeasurement& m) {
+    adapter_b_->on_link_measurement(m);
+  });
   wan_up_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
   wan_down_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
 
@@ -84,10 +93,19 @@ MultipathSession::MultipathSession(SessionConfig cfg,
       [this](net::Packet p) {
         if (mode_ == MultipathMode::kFailover) {
           // Primary unless its radio is down (handover gap, RLF, blackout).
-          const bool use_b = link_a_->link_down();
+          // In proactive mode also vacate the primary while its predictor
+          // says an HO is imminent — switching *before* the break instead of
+          // after — provided the secondary is actually usable.
+          const bool reactive_b = link_a_->link_down();
+          bool use_b = reactive_b;
+          if (!use_b && adapter_a_->proactive() &&
+              adapter_a_->ho_imminent(sim_.now()) && !link_b_->link_down()) {
+            use_b = true;
+          }
           if (use_b != failover_on_b_) {
             failover_on_b_ = use_b;
             ++failover_events_;
+            if (use_b && !reactive_b) adapter_a_->note_predictive_switch();
           }
           auto& link = use_b ? *link_b_ : *link_a_;
           link.send_uplink(std::move(p), [this, use_b](net::Packet q) {
@@ -117,6 +135,15 @@ MultipathSession::MultipathSession(SessionConfig cfg,
         });
       },
       rng_.fork());
+  // Dip/deferral follows the primary operator's predictor (faults and the
+  // reported handover log are primary-side too).
+  sender_->set_proactive_adapter(adapter_a_.get());
+  receiver_->set_owd_hook([this](sim::TimePoint t, double owd_ms) {
+    adapter_a_->on_owd_sample(t, owd_ms);
+  });
+  receiver_->set_goodput_hook([this](sim::TimePoint t, double mbps) {
+    adapter_a_->on_goodput_sample(t, mbps);
+  });
 }
 
 void MultipathSession::deliver_to_receiver(net::Packet p, bool via_b) {
@@ -183,6 +210,8 @@ SessionReport MultipathSession::run() {
   receiver_->start(start, end);
   sim_.run_until(end + sim::Duration::seconds(2.0));
   receiver_->finish();
+  adapter_a_->finish();
+  adapter_b_->finish();
 
   SessionReport r;
   r.cc_name = cc_name(cfg_.cc) +
@@ -198,6 +227,7 @@ SessionReport MultipathSession::run() {
   r.playback_latency_ms = player.playback_latency_ms().values();
   r.ssim_samples = player.played_ssim();
   r.stall_count = player.stall_count();
+  r.stall_duration_ms = player.stall_durations_ms();
   r.stalls_per_minute = player.stalls_per_minute();
   r.frames_played = player.frames_played();
   r.frames_corrupted = receiver_->corrupted_frames();
@@ -239,6 +269,9 @@ SessionReport MultipathSession::run() {
 
   r.fault_drops = link_a_->fault_drops() + link_b_->fault_drops();
   r.failover_events = failover_events_;
+  // Prediction block follows the primary operator (matching the handover log
+  // and fault placement above).
+  r.prediction = adapter_a_->stats();
   r.watchdog_events = sender_->watchdog_events();
   r.keyframes_forced = sender_->keyframes_forced();
   r.max_ladder_level = sender_->max_ladder_level();

@@ -66,6 +66,10 @@ class MultipathSession {
   sim::Rng rng_;
   std::unique_ptr<cellular::CellularLink> link_a_;
   std::unique_ptr<cellular::CellularLink> link_b_;
+  // Predictor per operator; adapter A also drives the sender's dip/deferral
+  // and (in kFailover mode) predictive switching away from the primary.
+  std::unique_ptr<predict::ProactiveAdapter> adapter_a_;
+  std::unique_ptr<predict::ProactiveAdapter> adapter_b_;
   std::unique_ptr<net::WanPath> wan_up_;
   std::unique_ptr<net::WanPath> wan_down_;
   FrameTable table_;

@@ -9,6 +9,7 @@
 #include "fault/fault_injector.hpp"
 #include "metrics/handover_log.hpp"
 #include "metrics/time_series.hpp"
+#include "predict/stats.hpp"
 #include "sim/time.hpp"
 
 namespace rpv::pipeline {
@@ -25,6 +26,7 @@ struct SessionReport {
   std::vector<double> ssim_samples;           // per frame incl. unplayed zeros (Fig. 7b)
   double stalls_per_minute = 0.0;             // §4.2.1 table
   std::uint32_t stall_count = 0;
+  std::vector<double> stall_duration_ms;      // per frozen gap
   std::uint32_t frames_encoded = 0;
   std::uint32_t frames_played = 0;
   std::uint32_t frames_corrupted = 0;
@@ -57,6 +59,9 @@ struct SessionReport {
   int max_ladder_level = 0;           // deepest degradation level reached
   std::uint64_t failover_events = 0;  // multipath active-link switches
   std::vector<fault::FaultOutcome> fault_outcomes;
+
+  // --- Prediction & proactive adaptation (rpv::predict) ---
+  predict::PredictionStats prediction;
 
   // --- Pipeline internals ---
   std::uint64_t queue_discard_events = 0;     // SCReAM RTP-queue flushes

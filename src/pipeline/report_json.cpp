@@ -138,6 +138,7 @@ json::Value report_to_json(const SessionReport& r) {
   v.set("ssim_samples", doubles_to_json(r.ssim_samples));
   v.set("stalls_per_minute", r.stalls_per_minute);
   v.set("stall_count", std::uint64_t{r.stall_count});
+  v.set("stall_duration_ms", doubles_to_json(r.stall_duration_ms));
   v.set("frames_encoded", std::uint64_t{r.frames_encoded});
   v.set("frames_played", std::uint64_t{r.frames_played});
   v.set("frames_corrupted", std::uint64_t{r.frames_corrupted});
@@ -176,6 +177,26 @@ json::Value report_to_json(const SessionReport& r) {
   v.set("max_ladder_level", std::int64_t{r.max_ladder_level});
   v.set("failover_events", r.failover_events);
   v.set("fault_outcomes", outcomes_to_json(r.fault_outcomes));
+
+  // Prediction & proactive adaptation.
+  {
+    const auto& p = r.prediction;
+    json::Value o = json::Value::object();
+    o.set("enabled", p.enabled)
+        .set("proactive", p.proactive)
+        .set("ho_predicted", p.ho_predicted)
+        .set("ho_true_positives", p.ho_true_positives)
+        .set("ho_false_positives", p.ho_false_positives)
+        .set("ho_missed", p.ho_missed)
+        .set("ho_lead_time_ms", doubles_to_json(p.ho_lead_time_ms))
+        .set("capacity_mae_mbps", p.capacity_mae_mbps)
+        .set("capacity_samples", p.capacity_samples)
+        .set("dip_windows", p.dip_windows)
+        .set("keyframes_deferred", p.keyframes_deferred)
+        .set("proactive_flushes", p.proactive_flushes)
+        .set("predictive_switches", p.predictive_switches);
+    v.set("prediction", std::move(o));
+  }
 
   // Pipeline internals.
   v.set("queue_discard_events", r.queue_discard_events);
@@ -222,6 +243,7 @@ SessionReport report_from_json(const json::Value& v) {
   r.ssim_samples = doubles_from_json(v.at("ssim_samples"));
   r.stalls_per_minute = v.at("stalls_per_minute").as_double();
   r.stall_count = static_cast<std::uint32_t>(v.at("stall_count").as_u64());
+  r.stall_duration_ms = doubles_from_json(v.at("stall_duration_ms"));
   r.frames_encoded = static_cast<std::uint32_t>(v.at("frames_encoded").as_u64());
   r.frames_played = static_cast<std::uint32_t>(v.at("frames_played").as_u64());
   r.frames_corrupted =
@@ -257,6 +279,24 @@ SessionReport report_from_json(const json::Value& v) {
   r.max_ladder_level = static_cast<int>(v.at("max_ladder_level").as_i64());
   r.failover_events = v.at("failover_events").as_u64();
   r.fault_outcomes = outcomes_from_json(v.at("fault_outcomes"));
+
+  {
+    const auto& o = v.at("prediction");
+    auto& p = r.prediction;
+    p.enabled = o.at("enabled").as_bool();
+    p.proactive = o.at("proactive").as_bool();
+    p.ho_predicted = o.at("ho_predicted").as_u64();
+    p.ho_true_positives = o.at("ho_true_positives").as_u64();
+    p.ho_false_positives = o.at("ho_false_positives").as_u64();
+    p.ho_missed = o.at("ho_missed").as_u64();
+    p.ho_lead_time_ms = doubles_from_json(o.at("ho_lead_time_ms"));
+    p.capacity_mae_mbps = o.at("capacity_mae_mbps").as_double();
+    p.capacity_samples = o.at("capacity_samples").as_u64();
+    p.dip_windows = o.at("dip_windows").as_u64();
+    p.keyframes_deferred = o.at("keyframes_deferred").as_u64();
+    p.proactive_flushes = o.at("proactive_flushes").as_u64();
+    p.predictive_switches = o.at("predictive_switches").as_u64();
+  }
 
   r.queue_discard_events = v.at("queue_discard_events").as_u64();
   r.jitter_resyncs = v.at("jitter_resyncs").as_u64();

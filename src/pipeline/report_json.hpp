@@ -14,7 +14,8 @@
 
 namespace rpv::pipeline {
 
-inline constexpr int kReportSchemaVersion = 1;
+// Version 2 added stall_duration_ms and the prediction block.
+inline constexpr int kReportSchemaVersion = 2;
 
 [[nodiscard]] json::Value report_to_json(const SessionReport& r);
 

@@ -30,6 +30,14 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
            "Session: static_bitrate_bps must be positive");
   link_ = std::make_unique<cellular::CellularLink>(
       sim_, std::move(layout), cfg_.link, trajectory_, rng_.fork());
+  // The predictors mirror the link's A3 hysteresis and run on every session
+  // (instrumentation is free and RNG-less); policy actions are gated inside
+  // the adapter on cfg_.predict.proactive.
+  cfg_.predict.ho.hysteresis_db = cfg_.link.handover.hysteresis_db;
+  adapter_ = std::make_unique<predict::ProactiveAdapter>(cfg_.predict);
+  link_->set_measurement_callback([this](const cellular::LinkMeasurement& m) {
+    adapter_->on_link_measurement(m);
+  });
   if (cfg_.capture_packets) capture_ = std::make_unique<net::PacketCapture>();
   link_->set_loss_callback([this](const net::Packet& p) {
     ++radio_losses_;
@@ -94,6 +102,12 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
           });
         },
         rng_.fork(), fec_table);
+    receiver_->set_owd_hook([this](sim::TimePoint t, double owd_ms) {
+      adapter_->on_owd_sample(t, owd_ms);
+    });
+    receiver_->set_goodput_hook([this](sim::TimePoint t, double mbps) {
+      adapter_->on_goodput_sample(t, mbps);
+    });
 
     sender_ = std::make_unique<VideoSender>(
         sim_, cfg_.sender, make_controller(), table_,
@@ -113,6 +127,7 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
           });
         },
         rng_.fork(), fec_table);
+    sender_->set_proactive_adapter(adapter_.get());
   }
 }
 
@@ -212,6 +227,7 @@ SessionReport Session::run() {
   }
   sim_.run_until(end + sim::Duration::seconds(2.0));
   if (receiver_) receiver_->finish();
+  adapter_->finish();
 
   SessionReport r;
   r.cc_name = cc_name(cfg_.cc);
@@ -225,6 +241,7 @@ SessionReport Session::run() {
     r.playback_latency_ms = player.playback_latency_ms().values();
     r.ssim_samples = player.played_ssim();
     r.stall_count = player.stall_count();
+    r.stall_duration_ms = player.stall_durations_ms();
     r.stalls_per_minute = player.stalls_per_minute();
     r.frames_played = player.frames_played();
     r.frames_corrupted = receiver_->corrupted_frames();
@@ -302,6 +319,8 @@ SessionReport Session::run() {
     }
     r.fault_outcomes = injector_->outcomes();
   }
+
+  r.prediction = adapter_->stats();
 
   r.rtt_by_altitude = rtt_by_altitude_;
   r.command_latency_ms = command_latency_ms_.values();

@@ -19,6 +19,7 @@
 #include "geo/trajectory.hpp"
 #include "net/wan_path.hpp"
 #include "pipeline/report.hpp"
+#include "predict/proactive_adapter.hpp"
 #include "pipeline/video_receiver.hpp"
 #include "pipeline/video_sender.hpp"
 #include "sim/simulator.hpp"
@@ -60,6 +61,10 @@ struct SessionConfig {
     std::size_t telemetry_bytes = 120;
   } c2;
 
+  // Link-quality prediction (always instrumented) + the HO-aware proactive
+  // policy (acts only when predict.proactive is set).
+  predict::ProactiveConfig predict;
+
   // Scripted fault injection; an empty schedule injects nothing.
   fault::FaultSchedule faults;
 
@@ -84,6 +89,7 @@ class Session {
   [[nodiscard]] const net::PacketCapture* capture() const { return capture_.get(); }
   [[nodiscard]] VideoSender* sender() { return sender_.get(); }
   [[nodiscard]] VideoReceiver* receiver() { return receiver_.get(); }
+  [[nodiscard]] predict::ProactiveAdapter& adapter() { return *adapter_; }
 
  private:
   void send_probe();
@@ -97,6 +103,7 @@ class Session {
   sim::Simulator sim_;
   sim::Rng rng_;
   std::unique_ptr<cellular::CellularLink> link_;
+  std::unique_ptr<predict::ProactiveAdapter> adapter_;
   std::unique_ptr<net::WanPath> wan_up_;
   std::unique_ptr<net::WanPath> wan_down_;
   FrameTable table_;

@@ -58,6 +58,7 @@ void VideoReceiver::on_packet(const net::Packet& p) {
   media_bytes_ += payload;
   window_bytes_ += payload;
   owd_ms_.add(sim_.now(), (p.received - p.enqueued).ms());
+  if (owd_hook_) owd_hook_(sim_.now(), (p.received - p.enqueued).ms());
 
   if (fec_) {
     if (auto rebuilt = fec_->on_media_packet(p, sim_.now())) {
@@ -106,6 +107,9 @@ void VideoReceiver::feedback_tick() {
 void VideoReceiver::goodput_tick() {
   const auto now = sim_.now();
   goodput_mbps_.add(now, static_cast<double>(window_bytes_) * 8.0 / 1e6);
+  if (goodput_hook_) {
+    goodput_hook_(now, static_cast<double>(window_bytes_) * 8.0 / 1e6);
+  }
   window_bytes_ = 0;
   if (now <= end_time_) {
     sim_.schedule_in(sim::Duration::seconds(1.0), [this] { goodput_tick(); });

@@ -74,6 +74,12 @@ class VideoReceiver {
   // Call after the simulation drains to finalize windowed stats.
   void finish();
 
+  // Observation taps for rpv::predict: every OWD sample (per media packet)
+  // and every 1-second goodput window, as they are recorded.
+  using SampleFn = std::function<void(sim::TimePoint, double)>;
+  void set_owd_hook(SampleFn fn) { owd_hook_ = std::move(fn); }
+  void set_goodput_hook(SampleFn fn) { goodput_hook_ = std::move(fn); }
+
   [[nodiscard]] video::PlayerModel& player() { return *player_; }
   [[nodiscard]] const video::PlayerModel& player() const { return *player_; }
   [[nodiscard]] const rtp::JitterBuffer& jitter_buffer() const { return *jb_; }
@@ -118,6 +124,8 @@ class VideoReceiver {
   sim::TimePoint end_time_;
   metrics::TimeSeries owd_ms_;
   metrics::TimeSeries goodput_mbps_;
+  SampleFn owd_hook_;
+  SampleFn goodput_hook_;
   std::uint64_t window_bytes_ = 0;
   std::uint64_t packets_received_ = 0;
   std::uint64_t media_bytes_ = 0;

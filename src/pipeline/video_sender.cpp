@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "predict/proactive_adapter.hpp"
+
 namespace rpv::pipeline {
 
 VideoSender::VideoSender(sim::Simulator& simulator, SenderConfig cfg,
@@ -72,8 +74,27 @@ void VideoSender::frame_tick() {
     cc_->on_queue_discard(now);
   }
 
-  encoder_.set_target_bitrate(cc_->target_bitrate_bps());
-  target_trace_.add(now, cc_->target_bitrate_bps());
+  double target = cc_->target_bitrate_bps();
+  if (proactive_) {
+    // Post-HO recovery flush: the bearer just came back and the queue holds
+    // frames encoded before (or during) the interruption — stale by now.
+    if (proactive_->should_flush(now, queue_delay_ms()) && !queue_.empty()) {
+      discarded_ += queue_.size();
+      queue_.clear();
+      queue_bytes_ = 0;
+    }
+    // Pre-HO bitrate dip: during a predicted (or running) handover window,
+    // cap the encoder at a fraction of the forecast capacity so the link
+    // queue stays shallow through the interruption.
+    target = std::min(target, proactive_->bitrate_cap_bps(now));
+    // Honor a deferred keyframe as soon as the HO window closes.
+    if (keyframe_pending_ && !proactive_->defer_keyframe(now)) {
+      encoder_.force_keyframe();
+      keyframe_pending_ = false;
+    }
+  }
+  encoder_.set_target_bitrate(target);
+  target_trace_.add(now, target);
 
   // Ladder levels 2/3 shed capture FPS: every 2nd (then 4th) frame only.
   if (ladder_level_ >= 2) {
@@ -86,8 +107,17 @@ void VideoSender::frame_tick() {
   }
 
   const double complexity = source_.next_complexity();
-  const video::Frame frame = encoder_.encode(frames_encoded_, now, complexity,
-                                             source_.at_shot_cut());
+  bool shot_cut = source_.at_shot_cut();
+  if (shot_cut && proactive_ && proactive_->defer_keyframe(now)) {
+    // A keyframe is several times the size of a delta frame; emitting one
+    // into the HET window would sit in the paused queue and drain as a
+    // latency spike. Defer it past the window.
+    proactive_->note_keyframe_deferred();
+    keyframe_pending_ = true;
+    shot_cut = false;
+  }
+  const video::Frame frame =
+      encoder_.encode(frames_encoded_, now, complexity, shot_cut);
   ++frames_encoded_;
   table_.put(frame);
 
@@ -203,8 +233,15 @@ void VideoSender::on_feedback(const rtp::FeedbackReport& report) {
   if (report.keyframe_request &&
       (last_keyframe_honored_.is_never() ||
        now - last_keyframe_honored_ >= cfg_.resilience.min_keyframe_interval)) {
-    encoder_.force_keyframe();
-    ++keyframes_forced_;
+    if (proactive_ && proactive_->defer_keyframe(now)) {
+      // Request acknowledged but held out of the predicted HO window; the
+      // frame tick emits it once the window closes.
+      proactive_->note_keyframe_deferred();
+      keyframe_pending_ = true;
+    } else {
+      encoder_.force_keyframe();
+      ++keyframes_forced_;
+    }
     last_keyframe_honored_ = now;
   }
   if (!report.results.empty()) {

@@ -24,6 +24,10 @@
 #include "video/encoder_model.hpp"
 #include "video/frame_source.hpp"
 
+namespace rpv::predict {
+class ProactiveAdapter;
+}
+
 namespace rpv::pipeline {
 
 struct SenderConfig {
@@ -77,6 +81,12 @@ class VideoSender {
 
   void on_feedback(const rtp::FeedbackReport& report);
 
+  // Optional HO-aware policy layer (rpv::predict). The adapter itself gates
+  // every action on its `proactive` flag, so attaching it is always safe.
+  void set_proactive_adapter(predict::ProactiveAdapter* adapter) {
+    proactive_ = adapter;
+  }
+
   [[nodiscard]] cc::RateController& controller() { return *cc_; }
   [[nodiscard]] const cc::RateController& controller() const { return *cc_; }
   [[nodiscard]] std::uint32_t frames_encoded() const { return frames_encoded_; }
@@ -112,6 +122,8 @@ class VideoSender {
   video::EncoderModel encoder_;
   rtp::Packetizer packetizer_;
   std::unique_ptr<rtp::FecEncoder> fec_;
+  predict::ProactiveAdapter* proactive_ = nullptr;
+  bool keyframe_pending_ = false;  // deferred out of a predicted HO window
 
   sim::TimePoint end_time_;
   std::deque<net::Packet> queue_;

@@ -1,0 +1,91 @@
+// Online estimators for per-tick link measurements (RSRP margin, capacity,
+// OWD, goodput).
+//
+// Both filters are O(1) per sample, allocation-free, and purely
+// deterministic — feeding the same sample stream always produces the same
+// state, which is what lets prediction-instrumented campaign runs stay
+// byte-identical across worker counts.
+#pragma once
+
+#include "sim/validate.hpp"
+
+namespace rpv::predict {
+
+// Exponentially weighted moving average. alpha in (0, 1]: the weight of the
+// newest sample (1.0 degenerates to "latest value").
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.3) : alpha_{alpha} {
+    validate(alpha > 0.0 && alpha <= 1.0, "Ewma: alpha must be in (0, 1]");
+  }
+
+  void update(double x) {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+  }
+
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  // The current estimate; meaningless before the first update().
+  [[nodiscard]] double value() const { return value_; }
+
+  void reset() {
+    initialized_ = false;
+    value_ = 0.0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Holt linear-trend filter (double exponential smoothing): tracks a level
+// and a per-step trend, so it can extrapolate `forecast(k)` k steps ahead.
+// Samples are assumed equally spaced (the cellular measurement clock).
+class HoltFilter {
+ public:
+  explicit HoltFilter(double alpha = 0.5, double beta = 0.3)
+      : alpha_{alpha}, beta_{beta} {
+    validate(alpha > 0.0 && alpha <= 1.0, "HoltFilter: alpha must be in (0, 1]");
+    validate(beta > 0.0 && beta <= 1.0, "HoltFilter: beta must be in (0, 1]");
+  }
+
+  void update(double x) {
+    if (count_ == 0) {
+      level_ = x;
+    } else if (count_ == 1) {
+      trend_ = x - level_;
+      level_ = x;
+    } else {
+      const double prev_level = level_;
+      level_ = alpha_ * x + (1.0 - alpha_) * (level_ + trend_);
+      trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+    }
+    if (count_ < 2) ++count_;
+  }
+
+  // Initialized once the trend has a basis (two samples seen).
+  [[nodiscard]] bool initialized() const { return count_ >= 2; }
+  [[nodiscard]] double level() const { return level_; }
+  [[nodiscard]] double trend() const { return trend_; }
+
+  // Linear extrapolation `steps` sample intervals ahead.
+  [[nodiscard]] double forecast(double steps) const {
+    return level_ + trend_ * steps;
+  }
+
+  void reset() {
+    level_ = 0.0;
+    trend_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double beta_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  int count_ = 0;
+};
+
+}  // namespace rpv::predict

@@ -1,0 +1,102 @@
+#include "predict/link_predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/validate.hpp"
+
+namespace rpv::predict {
+
+HandoverPredictor::HandoverPredictor(HandoverPredictorConfig cfg)
+    : cfg_{cfg}, margin_{cfg.holt_alpha, cfg.holt_beta} {
+  validate(cfg_.hysteresis_db >= 0.0,
+           "HandoverPredictor: hysteresis_db must be >= 0");
+  validate(cfg_.margin_guard_db >= 0.0,
+           "HandoverPredictor: margin_guard_db must be >= 0");
+  validate(cfg_.forecast_steps > 0.0,
+           "HandoverPredictor: forecast_steps must be > 0");
+  validate(cfg_.horizon > sim::Duration::zero(),
+           "HandoverPredictor: horizon must be positive");
+}
+
+void HandoverPredictor::expire(sim::TimePoint now) {
+  if (armed_ && now > expires_at_) {
+    ++false_positives_;
+    armed_ = false;
+    confidence_ = 0.0;
+  }
+}
+
+void HandoverPredictor::on_margin(sim::TimePoint now, double margin_db) {
+  expire(now);
+  margin_.update(margin_db);
+  if (armed_ || !margin_.initialized() || now < suppress_until_) return;
+
+  // Arm when the extrapolated margin reaches the A3 trigger line (neighbor
+  // beats serving by hysteresis) within the forecast window, or already has.
+  const double trigger = -(cfg_.hysteresis_db - cfg_.margin_guard_db);
+  const double projected = margin_.forecast(cfg_.forecast_steps);
+  if (projected > trigger && margin_db > trigger) return;
+
+  armed_ = true;
+  armed_at_ = now;
+  expires_at_ = now + cfg_.horizon;
+  ++predicted_;
+  // Deeper projected penetration past the trigger line -> higher confidence.
+  const double depth = trigger - std::min(projected, margin_db);
+  confidence_ = std::clamp(0.5 + depth / (2.0 * cfg_.hysteresis_db + 1e-9),
+                           0.0, 1.0);
+}
+
+void HandoverPredictor::on_handover(sim::TimePoint now, sim::Duration het) {
+  expire(now);
+  if (armed_) {
+    ++true_positives_;
+    lead_times_ms_.push_back((now - armed_at_).ms());
+    armed_ = false;
+    confidence_ = 0.0;
+  } else {
+    ++missed_;
+  }
+  // The margin is undefined while the bearer moves; hold fire until the HET
+  // window (plus one measurement of settling) has passed.
+  suppress_until_ = now + het;
+  margin_.reset();
+}
+
+void HandoverPredictor::finish() {
+  // A prediction whose horizon is still open at end-of-run is unresolved:
+  // remove it from the armed pool without scoring either way.
+  if (armed_) {
+    armed_ = false;
+    confidence_ = 0.0;
+    predicted_ = predicted_ > 0 ? predicted_ - 1 : 0;
+  }
+}
+
+CapacityForecaster::CapacityForecaster(CapacityForecasterConfig cfg)
+    : cfg_{cfg}, filter_{cfg.holt_alpha, cfg.holt_beta} {
+  validate(cfg_.forecast_steps > 0.0,
+           "CapacityForecaster: forecast_steps must be > 0");
+  validate(cfg_.floor_mbps >= 0.0,
+           "CapacityForecaster: floor_mbps must be >= 0");
+}
+
+void CapacityForecaster::on_sample(double capacity_mbps) {
+  if (have_forecast_) {
+    mae_sum_ += std::abs(capacity_mbps - next_step_forecast_);
+    ++mae_n_;
+  }
+  filter_.update(capacity_mbps);
+  if (filter_.initialized()) {
+    next_step_forecast_ = filter_.forecast(1.0);
+    have_forecast_ = true;
+  }
+}
+
+double CapacityForecaster::forecast_mbps() const {
+  if (!filter_.initialized()) return cfg_.floor_mbps;
+  return std::max(cfg_.floor_mbps, filter_.forecast(cfg_.forecast_steps));
+}
+
+}  // namespace rpv::predict

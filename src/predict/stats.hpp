@@ -1,0 +1,55 @@
+// Prediction-quality counters carried by every SessionReport: how well the
+// HandoverPredictor anticipated the A3 handovers that actually happened, how
+// accurate the capacity forecast was, and how often the ProactiveAdapter
+// acted on a prediction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rpv::predict {
+
+struct PredictionStats {
+  bool enabled = false;    // estimators ran (instrumentation)
+  bool proactive = false;  // predictions drove sender/multipath actions
+
+  // --- Handover prediction quality ---
+  std::uint64_t ho_predicted = 0;        // predictions armed
+  std::uint64_t ho_true_positives = 0;   // HO arrived inside the horizon
+  std::uint64_t ho_false_positives = 0;  // horizon expired without an HO
+  std::uint64_t ho_missed = 0;           // HO arrived with no armed prediction
+  std::vector<double> ho_lead_time_ms;   // arm -> HO, per true positive
+
+  // --- Capacity forecast quality ---
+  double capacity_mae_mbps = 0.0;  // one-step-ahead mean absolute error
+  std::uint64_t capacity_samples = 0;
+
+  // --- Proactive actions taken ---
+  std::uint64_t dip_windows = 0;         // pre-HO bitrate-dip episodes
+  std::uint64_t keyframes_deferred = 0;  // IDRs pushed out of the HET window
+  std::uint64_t proactive_flushes = 0;   // post-HO sender-queue flushes
+  std::uint64_t predictive_switches = 0; // multipath switches before failure
+
+  // Precision/recall with the empty-denominator convention of 1.0 (no
+  // predictions made / no handovers observed means nothing was gotten wrong).
+  [[nodiscard]] double precision() const {
+    const std::uint64_t denom = ho_true_positives + ho_false_positives;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(ho_true_positives) /
+                            static_cast<double>(denom);
+  }
+  [[nodiscard]] double recall() const {
+    const std::uint64_t denom = ho_true_positives + ho_missed;
+    return denom == 0 ? 1.0
+                      : static_cast<double>(ho_true_positives) /
+                            static_cast<double>(denom);
+  }
+  [[nodiscard]] double mean_lead_time_ms() const {
+    if (ho_lead_time_ms.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double x : ho_lead_time_ms) sum += x;
+    return sum / static_cast<double>(ho_lead_time_ms.size());
+  }
+};
+
+}  // namespace rpv::predict

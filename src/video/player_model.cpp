@@ -62,6 +62,7 @@ void PlayerModel::try_play() {
     if (gap > cfg_.stall_threshold) {
       ++stall_count_;
       stall_times_.push_back(now);
+      stall_durations_ms_.push_back(gap.ms());
     }
   }
   last_play_time_ = now;

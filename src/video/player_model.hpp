@@ -52,6 +52,10 @@ class PlayerModel {
   [[nodiscard]] const std::vector<sim::TimePoint>& stall_times() const {
     return stall_times_;
   }
+  // Length of each frozen gap, in ms (parallel to stall_times()).
+  [[nodiscard]] const std::vector<double>& stall_durations_ms() const {
+    return stall_durations_ms_;
+  }
   [[nodiscard]] double stalls_per_minute() const;
   [[nodiscard]] std::uint32_t last_played_frame_id() const { return last_frame_id_; }
 
@@ -78,6 +82,7 @@ class PlayerModel {
   std::uint32_t frames_skipped_ = 0;
   std::uint32_t stall_count_ = 0;
   std::vector<sim::TimePoint> stall_times_;  // when each frozen gap ended
+  std::vector<double> stall_durations_ms_;   // how long each gap lasted
 };
 
 }  // namespace rpv::video

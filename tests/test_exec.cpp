@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bench_common.hpp"
 #include "exec/campaign_engine.hpp"
 #include "exec/run_artifact.hpp"
 #include "exec/thread_pool.hpp"
@@ -352,6 +353,45 @@ TEST_F(RunArtifactTest, RejectsBadCampaignNames) {
 TEST_F(RunArtifactTest, LoadFromMissingDirectoryThrows) {
   EXPECT_THROW((void)exec::RunArtifactStore::load_campaign(dir_ / "nope"),
                std::runtime_error);
+}
+
+// --- Bench CLI option parsing (bench_common.hpp) ---
+
+TEST(BenchOptions, ParsesValidFlags) {
+  const auto opts =
+      bench::parse_options({"--runs", "4", "--seed", "99", "--jobs", "2"});
+  ASSERT_TRUE(opts.runs.has_value());
+  EXPECT_EQ(*opts.runs, 4);
+  ASSERT_TRUE(opts.seed.has_value());
+  EXPECT_EQ(*opts.seed, 99u);
+  EXPECT_EQ(opts.jobs, 2);
+  // Defaults survive when nothing is passed.
+  const auto empty = bench::parse_options({});
+  EXPECT_FALSE(empty.runs.has_value());
+  EXPECT_FALSE(empty.seed.has_value());
+  EXPECT_EQ(empty.jobs, 0);
+}
+
+TEST(BenchOptions, RejectsNegativeCountsAndSeeds) {
+  EXPECT_THROW((void)bench::parse_options({"--runs", "-3"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)bench::parse_options({"--runs", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)bench::parse_options({"--seed", "-5"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)bench::parse_options({"--jobs", "-1"}),
+               std::invalid_argument);
+  // --jobs 0 means "one worker per hardware thread" and stays legal.
+  EXPECT_EQ(bench::parse_options({"--jobs", "0"}).jobs, 0);
+}
+
+TEST(BenchOptions, RejectsMalformedAndUnknownArguments) {
+  EXPECT_THROW((void)bench::parse_options({"--runs"}), std::invalid_argument);
+  EXPECT_THROW((void)bench::parse_options({"--runs", "five"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)bench::parse_options({"--runs", "3x"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)bench::parse_options({"--bogus"}), std::invalid_argument);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 //   handover   {urban, rural-p1} x {air, ground} probe traffic (no video)
 //   operators  {rural-p1, rural-p2} x air x {gcc, scream}
 //   tech       urban x air x {gcc, static} x {lte, 5g-sa}
+//   predict    {urban, rural-p1} x air x all CCs x {reactive, proactive}
 #include <cstdlib>
 #include <iostream>
 #include <optional>
@@ -76,6 +77,19 @@ std::vector<NamedGrid> named_grids() {
     g.axes.ccs = {pipeline::CcKind::kGcc, pipeline::CcKind::kStatic};
     g.axes.techs = {experiment::AccessTech::kLte,
                     experiment::AccessTech::k5gSa};
+    grids.push_back(std::move(g));
+  }
+  {
+    NamedGrid g;
+    g.name = "predict";
+    g.description =
+        "reactive vs proactive (rpv::predict) x {urban, rural-p1} x all CCs";
+    g.axes.envs = {experiment::Environment::kUrban,
+                   experiment::Environment::kRuralP1};
+    g.axes.ccs = {pipeline::CcKind::kGcc, pipeline::CcKind::kScream,
+                  pipeline::CcKind::kStatic};
+    g.axes.policies = {experiment::Policy::kReactive,
+                       experiment::Policy::kProactive};
     grids.push_back(std::move(g));
   }
   return grids;
@@ -150,7 +164,9 @@ int main(int argc, char** argv) {
       else if (arg == "--load") load_dir = value_of(i, arg);
       else if (arg == "--list") {
         for (const auto& g : named_grids()) {
-          std::cout << "  " << g.name << "\t" << g.description << "\n";
+          const auto cells = exec::expand_grid(g.axes, g.base);
+          std::cout << "  " << g.name << "\t(" << cells.size()
+                    << " scenarios)\t" << g.description << "\n";
         }
         return 0;
       } else if (arg == "--help" || arg == "-h") {
