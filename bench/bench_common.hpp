@@ -88,18 +88,22 @@ inline Options& options() {
   return opts;
 }
 
+inline void print_usage(const char* prog, std::ostream& out) {
+  out << "usage: " << prog
+      << " [--runs N] [--seed S] [--jobs J]\n"
+         "  --runs N  campaign size per scenario cell (default: "
+         "per-bench, usually 4-8)\n"
+         "  --seed S  base seed (default: per-bench)\n"
+         "  --jobs J  worker threads (default 0 = all hardware "
+         "threads)\n";
+}
+
 inline void parse_args(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << argv[0]
-                << " [--runs N] [--seed S] [--jobs J]\n"
-                   "  --runs N  campaign size per scenario cell (default: "
-                   "per-bench, usually 4-8)\n"
-                   "  --seed S  base seed (default: per-bench)\n"
-                   "  --jobs J  worker threads (default 0 = all hardware "
-                   "threads)\n";
+      print_usage(argv[0], std::cout);
       std::exit(0);
     }
     args.push_back(arg);
@@ -107,7 +111,10 @@ inline void parse_args(int argc, char** argv) {
   try {
     options() = parse_options(args);
   } catch (const std::exception& e) {
+    // A malformed or unknown flag gets the full usage text, not just the
+    // one-line reason — the common failure is a typo'd flag name.
     std::cerr << e.what() << "\n";
+    print_usage(argv[0], std::cerr);
     std::exit(2);
   }
 }

@@ -72,6 +72,8 @@ void GccController::on_feedback(const rtp::FeedbackReport& report,
   const double delay_rate = aimd_.update(signal, incoming_rate_bps_, now);
   const double loss_rate = loss_.update(smoothed_loss_, now);
   target_bps_ = std::min(delay_rate, loss_rate);
+  publish_signal(now, static_cast<int>(signal));
+  publish_target(now, target_bps_);
 }
 
 void GccController::on_feedback_timeout(sim::TimePoint now, double factor) {
@@ -81,6 +83,7 @@ void GccController::on_feedback_timeout(sim::TimePoint now, double factor) {
   aimd_.scale(factor, now);
   loss_.scale(factor, now);
   target_bps_ = std::min(aimd_.rate_bps(), loss_.rate_bps());
+  publish_target(now, target_bps_);
 }
 
 }  // namespace rpv::cc::gcc

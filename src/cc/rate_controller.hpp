@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/event_sink.hpp"
 #include "rtp/feedback.hpp"
 #include "sim/time.hpp"
 
@@ -61,6 +62,33 @@ class RateController {
     (void)now;
     (void)factor;
   }
+
+  // Publish kTargetRate / kOveruse events onto the session's bus. Controllers
+  // call publish_target/publish_signal after their estimators update; both
+  // are edge-triggered (only changes are published).
+  void attach_observer(obs::EventBus* bus) { bus_ = bus; }
+
+ protected:
+  void publish_target(sim::TimePoint now, double bps) {
+    if (bus_ == nullptr || !bus_->wants(obs::EventKind::kTargetRate)) return;
+    if (bps == last_published_bps_) return;
+    last_published_bps_ = bps;
+    bus_->publish(obs::Component::kCc, obs::EventKind::kTargetRate, now,
+                  obs::RatePayload{bps});
+  }
+  void publish_signal(sim::TimePoint now, int signal) {
+    if (bus_ == nullptr || !bus_->wants(obs::EventKind::kOveruse)) return;
+    if (signal == last_published_signal_) return;
+    last_published_signal_ = signal;
+    bus_->publish(obs::Component::kCc, obs::EventKind::kOveruse, now,
+                  obs::SignalPayload{signal});
+  }
+
+  obs::EventBus* bus_ = nullptr;
+
+ private:
+  double last_published_bps_ = -1.0;
+  int last_published_signal_ = 0;
 };
 
 }  // namespace rpv::cc

@@ -157,6 +157,7 @@ void ScreamController::update_rate(sim::TimePoint now) {
   }
   rate_bps_ = std::min(rate_bps_, cwnd_rate);
   rate_bps_ = std::clamp(rate_bps_, cfg_.min_rate_bps, cfg_.max_rate_bps);
+  publish_target(now, rate_bps_);
 }
 
 void ScreamController::on_tick(sim::TimePoint now) {
@@ -175,6 +176,7 @@ void ScreamController::on_feedback_timeout(sim::TimePoint now, double factor) {
                    static_cast<std::size_t>(static_cast<double>(cwnd_) * factor));
   rate_bps_ = std::max(cfg_.min_rate_bps, rate_bps_ * factor);
   last_rate_update_ = now;
+  publish_target(now, rate_bps_);
 }
 
 void ScreamController::on_queue_discard(sim::TimePoint now) {

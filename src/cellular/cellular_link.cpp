@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/packet_events.hpp"
+
 namespace rpv::cellular {
 
 CellularLink::CellularLink(sim::Simulator& simulator, CellLayout layout,
@@ -31,6 +33,7 @@ CellularLink::CellularLink(sim::Simulator& simulator, CellLayout layout,
         pending_.erase(it);
         if (sim_.now() < uplink_blackout_until_) {
           ++fault_drops_;
+          publish_packet_lost(p);
           if (on_loss_) on_loss_(p);
           return;
         }
@@ -40,6 +43,7 @@ CellularLink::CellularLink(sim::Simulator& simulator, CellLayout layout,
         const double qd_ms = queue_->queuing_delay_sec() * 1e3;
         const double stress = std::clamp((qd_ms - 80.0) / 220.0, 0.0, 1.0);
         if (loss_.drops_packet(altitude, stress)) {
+          publish_packet_lost(p);
           if (on_loss_) on_loss_(p);
           return;
         }
@@ -60,9 +64,22 @@ CellularLink::CellularLink(sim::Simulator& simulator, CellLayout layout,
       [this](const net::Packet& p) {
         // Buffer overflow drop.
         pending_.erase(p.id);
+        publish_packet_lost(p);
         if (on_loss_) on_loss_(p);
       });
   refresh_capacity();
+}
+
+void CellularLink::attach_observer(obs::EventBus* bus) {
+  bus_ = bus;
+  queue_->attach_observer(bus);
+}
+
+void CellularLink::publish_packet_lost(const net::Packet& p) {
+  if (bus_ && bus_->wants(obs::EventKind::kPacketLost)) {
+    bus_->publish(obs::Component::kCellular, obs::EventKind::kPacketLost,
+                  sim_.now(), net::packet_payload(p));
+  }
 }
 
 void CellularLink::start() {
@@ -100,6 +117,20 @@ void CellularLink::measurement_tick() {
       rrc_.record(sim_.now(), RrcMessageType::kConnectionReconfigurationComplete,
                   target);
     });
+    if (bus_ && bus_->wants(obs::EventKind::kHandoverStart)) {
+      bus_->publish(obs::Component::kCellular, obs::EventKind::kHandoverStart,
+                    now,
+                    obs::HandoverPayload{ev.source_cell, ev.target_cell,
+                                         ho_het.us()});
+    }
+    if (bus_ && bus_->wants(obs::EventKind::kHandoverEnd)) {
+      sim_.schedule_in(*het, [this, source = ev.source_cell,
+                              target = ev.target_cell, het_us = ho_het.us()] {
+        bus_->publish(obs::Component::kCellular, obs::EventKind::kHandoverEnd,
+                      sim_.now(),
+                      obs::HandoverPayload{source, target, het_us});
+      });
+    }
     // Handover triggered. With break-before-make the bearer is interrupted
     // for the execution time; DAPS keeps transmitting on the source stack.
     if (!cfg_.handover.make_before_break) {
@@ -118,7 +149,9 @@ void CellularLink::measurement_tick() {
   refresh_capacity();
   capacity_trace_.add(now, capacity_mbps_);
 
-  if (on_measurement_) {
+  const bool bus_wants_meas =
+      bus_ != nullptr && bus_->wants(obs::EventKind::kLinkMeasurement);
+  if (on_measurement_ || bus_wants_meas) {
     LinkMeasurement m;
     m.t = now;
     m.serving_cell = ho_->serving_cell();
@@ -135,7 +168,24 @@ void CellularLink::measurement_tick() {
     m.in_handover = ho_->in_handover(now);
     m.ho_triggered = ho_triggered;
     m.het = ho_het;
-    on_measurement_(m);
+    if (bus_wants_meas) {
+      bus_->publish(obs::Component::kCellular, obs::EventKind::kLinkMeasurement,
+                    now,
+                    obs::MeasurementPayload{
+                        m.serving_cell, m.serving_rsrp_dbm,
+                        m.best_neighbor_cell, m.best_neighbor_rsrp_dbm,
+                        m.capacity_mbps, m.queuing_delay_ms, m.in_handover,
+                        m.ho_triggered, m.het.us()});
+    }
+    if (on_measurement_) on_measurement_(m);
+  }
+  if (bus_ && bus_->wants(obs::EventKind::kQueueDepth)) {
+    // Low-rate depth snapshot riding the RRC tick; the per-packet enqueue
+    // stream stays opt-in.
+    bus_->publish(obs::Component::kLinkQueue, obs::EventKind::kQueueDepth, now,
+                  obs::QueuePayload{
+                      0, 0, static_cast<std::uint64_t>(queue_->queued_bytes()),
+                      static_cast<std::uint32_t>(queue_->queued_packets()), 0});
   }
 
   if (now < trajectory_->end()) {
@@ -176,6 +226,7 @@ sim::Duration CellularLink::inject_rlf() {
   // may be the serving one) and re-establish the RRC connection.
   radio_->update(trajectory_->position(now));
   const auto& meas = radio_->measurements();
+  const std::uint32_t source = ho_->serving_cell();
   const std::uint32_t target =
       meas.empty() ? ho_->serving_cell() : meas.front().cell_id;
   const auto outage = ho_->trigger_rlf(now, airborne_fraction(), target);
@@ -193,6 +244,11 @@ sim::Duration CellularLink::inject_rlf() {
     queue_->resume();
     refresh_capacity();
   });
+
+  if (bus_ && bus_->wants(obs::EventKind::kRlf)) {
+    bus_->publish(obs::Component::kCellular, obs::EventKind::kRlf, now,
+                  obs::HandoverPayload{source, target, outage.us()});
+  }
 
   if (std::find(cells_seen_.begin(), cells_seen_.end(), target) ==
       cells_seen_.end()) {

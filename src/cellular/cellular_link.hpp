@@ -21,6 +21,7 @@
 #include "geo/trajectory.hpp"
 #include "metrics/time_series.hpp"
 #include "net/packet.hpp"
+#include "obs/event_sink.hpp"
 #include "sim/simulator.hpp"
 
 namespace rpv::cellular {
@@ -60,6 +61,25 @@ struct LinkMeasurement {
   sim::Duration het = sim::Duration::zero();
 };
 
+// Rebuild the measurement snapshot from its published kLinkMeasurement event
+// (the inverse of CellularLink's publish); lets bus subscribers such as
+// rpv::predict keep consuming the LinkMeasurement API.
+[[nodiscard]] inline LinkMeasurement measurement_from_event(const obs::Event& e) {
+  const auto& p = std::get<obs::MeasurementPayload>(e.payload);
+  LinkMeasurement m;
+  m.t = e.t;
+  m.serving_cell = p.serving_cell;
+  m.serving_rsrp_dbm = p.serving_rsrp_dbm;
+  m.best_neighbor_cell = p.neighbor_cell;
+  m.best_neighbor_rsrp_dbm = p.neighbor_rsrp_dbm;
+  m.capacity_mbps = p.capacity_mbps;
+  m.queuing_delay_ms = p.queuing_delay_ms;
+  m.in_handover = p.in_handover;
+  m.ho_triggered = p.ho_triggered;
+  m.het = sim::Duration::micros(p.het_us);
+  return m;
+}
+
 class CellularLink {
  public:
   using DeliverFn = std::function<void(net::Packet)>;
@@ -81,8 +101,18 @@ class CellularLink {
   // Notification for every packet lost on the radio (media loss accounting).
   void set_loss_callback(LossFn fn) { on_loss_ = std::move(fn); }
 
+  // Attach the session's event bus. The link publishes kLinkMeasurement,
+  // kHandoverStart/End, kRlf, kQueueDepth and kPacketLost; the uplink queue
+  // (forwarded here) publishes its enqueue/drop events. This supersedes
+  // set_measurement_callback: subscribe an EventSink with the
+  // kLinkMeasurement bit instead.
+  void attach_observer(obs::EventBus* bus);
+
   // Invoked at the end of every RRC measurement tick with the serving /
   // best-neighbor snapshot (the feed for rpv::predict).
+  [[deprecated(
+      "subscribe an obs::EventSink to the session bus for kLinkMeasurement "
+      "events instead")]]
   void set_measurement_callback(MeasurementFn fn) {
     on_measurement_ = std::move(fn);
   }
@@ -132,6 +162,7 @@ class CellularLink {
  private:
   void measurement_tick();
   void refresh_capacity();
+  void publish_packet_lost(const net::Packet& p);
 
   sim::Simulator& sim_;
   CellLayout layout_;
@@ -145,6 +176,7 @@ class CellularLink {
   LossModel loss_;
   LossFn on_loss_;
   MeasurementFn on_measurement_;
+  obs::EventBus* bus_ = nullptr;
   double capacity_mbps_ = 10.0;
   sim::TimePoint last_uplink_delivery_;  // enforce in-order delivery (RLC)
 

@@ -16,11 +16,30 @@ LinkQueue::LinkQueue(sim::Simulator& simulator, LinkQueueConfig cfg, RateFn rate
 void LinkQueue::enqueue(net::Packet p) {
   if (queued_bytes_ + p.size_bytes > cfg_.buffer_bytes) {
     ++drops_;
+    if (bus_ && bus_->wants(obs::EventKind::kQueueDrop)) {
+      bus_->publish(obs::Component::kLinkQueue, obs::EventKind::kQueueDrop,
+                    sim_.now(),
+                    obs::QueuePayload{p.id,
+                                      static_cast<std::uint32_t>(p.size_bytes),
+                                      static_cast<std::uint64_t>(queued_bytes_),
+                                      static_cast<std::uint32_t>(queue_.size()),
+                                      /*reason=*/0});
+    }
     if (on_drop_) on_drop_(p);
     return;
   }
   queued_bytes_ += p.size_bytes;
   queue_.push_back(std::move(p));
+  if (bus_ && bus_->wants(obs::EventKind::kQueueEnqueue)) {
+    const net::Packet& q = queue_.back();
+    bus_->publish(obs::Component::kLinkQueue, obs::EventKind::kQueueEnqueue,
+                  sim_.now(),
+                  obs::QueuePayload{q.id,
+                                    static_cast<std::uint32_t>(q.size_bytes),
+                                    static_cast<std::uint64_t>(queued_bytes_),
+                                    static_cast<std::uint32_t>(queue_.size()),
+                                    /*reason=*/0});
+  }
   maybe_start_service();
 }
 
@@ -71,6 +90,15 @@ void LinkQueue::finish_head() {
 
   if (cfg_.aqm_enabled && aqm_should_drop(p)) {
     ++aqm_drops_;
+    if (bus_ && bus_->wants(obs::EventKind::kQueueDrop)) {
+      bus_->publish(obs::Component::kLinkQueue, obs::EventKind::kQueueDrop,
+                    sim_.now(),
+                    obs::QueuePayload{p.id,
+                                      static_cast<std::uint32_t>(p.size_bytes),
+                                      static_cast<std::uint64_t>(queued_bytes_),
+                                      static_cast<std::uint32_t>(queue_.size()),
+                                      /*reason=*/1});
+    }
     if (on_drop_) on_drop_(p);
   } else {
     deliver_(std::move(p));

@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "net/packet.hpp"
+#include "obs/event_sink.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -41,6 +42,9 @@ class LinkQueue {
   // Enqueue for transmission; drops on buffer overflow.
   void enqueue(net::Packet p);
 
+  // Publish kQueueEnqueue / kQueueDrop onto the session's event bus.
+  void attach_observer(obs::EventBus* bus) { bus_ = bus; }
+
   // Handover control: while paused nothing is serialized.
   void pause();
   void resume();
@@ -66,6 +70,7 @@ class LinkQueue {
   RateFn rate_;
   DeliverFn deliver_;
   DropFn on_drop_;
+  obs::EventBus* bus_ = nullptr;
   std::deque<net::Packet> queue_;
   std::size_t queued_bytes_ = 0;
   std::uint64_t drops_ = 0;

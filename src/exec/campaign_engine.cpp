@@ -84,6 +84,12 @@ int CampaignEngine::jobs() const { return resolve_jobs(cfg_.jobs); }
 
 std::vector<pipeline::SessionReport> CampaignEngine::run_scenarios(
     const std::vector<experiment::Scenario>& scenarios) const {
+  // Pre-flight every cell's config on the calling thread: a misconfigured
+  // scenario fails the whole campaign up front with a clear message instead
+  // of surfacing as an exception on a worker mid-run.
+  for (const auto& s : scenarios) {
+    experiment::make_session_config(s).validate();
+  }
   std::vector<pipeline::SessionReport> reports(scenarios.size());
   parallel_for_index(scenarios.size(), cfg_.jobs, [&](std::size_t i) {
     reports[i] = experiment::run_scenario(scenarios[i]);

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "fault/fault_schedule.hpp"
+#include "obs/recorder.hpp"
 #include "pipeline/report_json.hpp"
 #include "sim/validate.hpp"
 
@@ -51,6 +52,7 @@ json::Value scenario_to_json(const experiment::Scenario& s) {
   v.set("resilience", s.resilience);
   v.set("policy", experiment::policy_name(s.policy));
   v.set("model_reference_loss", s.model_reference_loss);
+  v.set("observe", s.observe);
   v.set("faults", faults_to_json(s.faults));
   return v;
 }
@@ -108,6 +110,19 @@ std::filesystem::path RunArtifactStore::write_campaign(
       json::Value rj = json::Value::object();
       rj.set("seed", cell.seeds[i]);
       rj.set("file", "runs/" + file);
+      if (!cell.reports[i].events.empty()) {
+        // Recorder timeline: one sibling JSONL per observed run. The writer
+        // is canonical, so byte-comparing these across --jobs values is a
+        // valid determinism check.
+        std::string events_file = file;
+        events_file.replace(events_file.size() - 5, 5, ".events.jsonl");
+        if (!obs::write_jsonl((runs_dir / events_file).string(),
+                              cell.reports[i].events)) {
+          throw std::runtime_error("RunArtifactStore: cannot write " +
+                                   (runs_dir / events_file).string());
+        }
+        rj.set("events", "runs/" + events_file);
+      }
       runs.push_back(std::move(rj));
     }
     cj.set("runs", std::move(runs));

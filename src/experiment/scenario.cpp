@@ -43,6 +43,7 @@ pipeline::SessionConfig make_session_config(const Scenario& s) {
   cfg.resilience = s.resilience;
   cfg.receiver.model_reference_loss = s.model_reference_loss;
   cfg.predict.proactive = (s.policy == Policy::kProactive);
+  cfg.obs.enabled = s.observe;
 
   auto& radio = cfg.link.radio;
   switch (s.env) {

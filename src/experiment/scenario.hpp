@@ -67,6 +67,10 @@ struct Scenario {
   // Decoder reference-loss modeling; enable in BOTH arms of a resilience
   // comparison so keyframe recovery is measured fairly.
   bool model_reference_loss = false;
+  // Attach the rpv::obs recorder + metrics registry: the run's report grows
+  // the schema-v3 obs block and the artifact store writes a sibling
+  // events.jsonl next to the report.
+  bool observe = false;
 };
 
 // Fully wired session config for a scenario (link, radio, video, CC).

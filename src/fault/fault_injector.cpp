@@ -41,6 +41,21 @@ void FaultInjector::inject(const FaultEvent& ev) {
       break;
     }
   }
+  if (bus_ != nullptr) {
+    const obs::FaultPayload payload{static_cast<std::uint8_t>(ev.kind),
+                                    outcome.effective_duration.us(),
+                                    ev.magnitude};
+    if (bus_->wants(obs::EventKind::kFaultInjected)) {
+      bus_->publish(obs::Component::kFault, obs::EventKind::kFaultInjected,
+                    sim_.now(), payload);
+    }
+    if (bus_->wants(obs::EventKind::kFaultEnded)) {
+      sim_.schedule_in(outcome.effective_duration, [this, payload] {
+        bus_->publish(obs::Component::kFault, obs::EventKind::kFaultEnded,
+                      sim_.now(), payload);
+      });
+    }
+  }
   outcomes_.push_back(outcome);
 }
 

@@ -38,6 +38,8 @@ class FaultInjector {
     wan_up_ = up;
     wan_down_ = down;
   }
+  // Publish kFaultInjected / kFaultEnded onto the session's event bus.
+  void attach_observer(obs::EventBus* bus) { bus_ = bus; }
 
   // Schedule every event; call once after attaching, before the run.
   void arm();
@@ -57,6 +59,7 @@ class FaultInjector {
   cellular::CellularLink* link_ = nullptr;
   net::WanPath* wan_up_ = nullptr;
   net::WanPath* wan_down_ = nullptr;
+  obs::EventBus* bus_ = nullptr;
   std::vector<FaultOutcome> outcomes_;
   int wan_outages_active_ = 0;  // overlapping outages must not clear early
 };

@@ -1,0 +1,22 @@
+// Bridge between net::Packet and the obs packet payload. Lives in net (not
+// obs) so the obs layer stays ignorant of packet internals.
+#pragma once
+
+#include "net/packet.hpp"
+#include "obs/event.hpp"
+
+namespace rpv::net {
+
+[[nodiscard]] inline obs::PacketPayload packet_payload(const Packet& p,
+                                                       double owd_ms = 0.0) {
+  obs::PacketPayload out;
+  out.id = p.id;
+  out.kind = static_cast<std::uint8_t>(p.kind);
+  out.size_bytes = static_cast<std::uint32_t>(p.size_bytes);
+  out.frame_id = p.frame_id;
+  out.transport_seq = p.transport_seq;
+  out.owd_ms = owd_ms;
+  return out;
+}
+
+}  // namespace rpv::net

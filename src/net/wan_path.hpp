@@ -5,6 +5,9 @@
 // nearly-fixed propagation delay plus small jitter and negligible loss.
 #pragma once
 
+#include <cstdint>
+
+#include "obs/event_sink.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
@@ -23,6 +26,21 @@ class WanPath {
   // One-way delay for the next packet; never below base_owd.
   sim::Duration sample_delay();
   bool drops_packet() { return outage_ || rng_.chance(cfg_.loss_probability); }
+  // Observed variant: publishes kWanDrop (with the packet id) when it drops.
+  bool drops_packet(sim::TimePoint now, std::uint64_t packet_id,
+                    std::uint32_t size_bytes = 0) {
+    const bool drop = drops_packet();
+    if (drop && bus_ != nullptr && bus_->wants(obs::EventKind::kWanDrop)) {
+      obs::PacketPayload p;
+      p.id = packet_id;
+      p.size_bytes = size_bytes;
+      bus_->publish(obs::Component::kWan, obs::EventKind::kWanDrop, now,
+                    p);
+    }
+    return drop;
+  }
+
+  void attach_observer(obs::EventBus* bus) { bus_ = bus; }
 
   // Fault injection: while in outage, every packet offered is dropped.
   void set_outage(bool on) { outage_ = on; }
@@ -33,6 +51,7 @@ class WanPath {
  private:
   WanConfig cfg_;
   sim::Rng rng_;
+  obs::EventBus* bus_ = nullptr;
   bool outage_ = false;
 };
 

@@ -1,0 +1,299 @@
+#include "obs/event.hpp"
+
+#include <array>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/event_json.hpp"
+
+namespace rpv::obs {
+
+namespace {
+
+constexpr std::array<std::string_view, kComponentCount> kComponentNames = {
+    "cellular", "link-queue", "cc",  "sender",
+    "receiver", "wan",        "fault", "session",
+};
+
+constexpr std::array<std::string_view, kEventKindCount> kKindNames = {
+    "link-measurement", "handover-start", "handover-end", "rlf",
+    "queue-enqueue",    "queue-drop",     "queue-depth",  "target-rate",
+    "overuse",          "frame-encoded",  "frame-decoded", "packet-sent",
+    "packet-received",  "packet-lost",    "stall",        "wan-drop",
+    "fault-injected",   "fault-ended",
+};
+
+std::string fmt(const char* format, ...) {
+  char buf[160];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+std::string_view component_name(Component c) {
+  return kComponentNames[static_cast<std::size_t>(c)];
+}
+
+std::string_view event_kind_name(EventKind k) {
+  return kKindNames[static_cast<std::size_t>(k)];
+}
+
+std::optional<Component> component_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kComponentNames.size(); ++i) {
+    if (kComponentNames[i] == name) return static_cast<Component>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<EventKind> event_kind_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+    if (kKindNames[i] == name) return static_cast<EventKind>(i);
+  }
+  return std::nullopt;
+}
+
+// --- JSON -------------------------------------------------------------------
+
+namespace {
+
+json::Value payload_to_json(const Payload& p) {
+  json::Value v = json::Value::object();
+  if (const auto* m = std::get_if<MeasurementPayload>(&p)) {
+    v.set("serving_cell", std::uint64_t{m->serving_cell})
+        .set("serving_rsrp_dbm", m->serving_rsrp_dbm)
+        .set("neighbor_cell", std::uint64_t{m->neighbor_cell})
+        .set("neighbor_rsrp_dbm", m->neighbor_rsrp_dbm)
+        .set("capacity_mbps", m->capacity_mbps)
+        .set("queuing_delay_ms", m->queuing_delay_ms)
+        .set("in_handover", m->in_handover)
+        .set("ho_triggered", m->ho_triggered)
+        .set("het_us", m->het_us);
+  } else if (const auto* h = std::get_if<HandoverPayload>(&p)) {
+    v.set("source_cell", std::uint64_t{h->source_cell})
+        .set("target_cell", std::uint64_t{h->target_cell})
+        .set("het_us", h->het_us);
+  } else if (const auto* q = std::get_if<QueuePayload>(&p)) {
+    v.set("packet_id", q->packet_id)
+        .set("size_bytes", std::uint64_t{q->size_bytes})
+        .set("queued_bytes", q->queued_bytes)
+        .set("queued_packets", std::uint64_t{q->queued_packets})
+        .set("reason", std::uint64_t{q->reason});
+  } else if (const auto* r = std::get_if<RatePayload>(&p)) {
+    v.set("bps", r->bps);
+  } else if (const auto* s = std::get_if<SignalPayload>(&p)) {
+    v.set("signal", std::int64_t{s->signal});
+  } else if (const auto* f = std::get_if<FramePayload>(&p)) {
+    v.set("frame_id", std::uint64_t{f->frame_id})
+        .set("bytes", std::uint64_t{f->bytes})
+        .set("keyframe", f->keyframe)
+        .set("damaged", f->damaged);
+  } else if (const auto* pk = std::get_if<PacketPayload>(&p)) {
+    v.set("id", pk->id)
+        .set("kind", std::uint64_t{pk->kind})
+        .set("size_bytes", std::uint64_t{pk->size_bytes})
+        .set("frame_id", std::uint64_t{pk->frame_id})
+        .set("transport_seq", std::uint64_t{pk->transport_seq})
+        .set("owd_ms", pk->owd_ms);
+  } else if (const auto* st = std::get_if<StallPayload>(&p)) {
+    v.set("duration_ms", st->duration_ms);
+  } else if (const auto* fa = std::get_if<FaultPayload>(&p)) {
+    v.set("kind", std::uint64_t{fa->kind})
+        .set("duration_us", fa->duration_us)
+        .set("magnitude", fa->magnitude);
+  }
+  return v;
+}
+
+MeasurementPayload measurement_from_json(const json::Value& v) {
+  MeasurementPayload m;
+  m.serving_cell = static_cast<std::uint32_t>(v.at("serving_cell").as_u64());
+  m.serving_rsrp_dbm = v.at("serving_rsrp_dbm").as_double();
+  m.neighbor_cell = static_cast<std::uint32_t>(v.at("neighbor_cell").as_u64());
+  m.neighbor_rsrp_dbm = v.at("neighbor_rsrp_dbm").as_double();
+  m.capacity_mbps = v.at("capacity_mbps").as_double();
+  m.queuing_delay_ms = v.at("queuing_delay_ms").as_double();
+  m.in_handover = v.at("in_handover").as_bool();
+  m.ho_triggered = v.at("ho_triggered").as_bool();
+  m.het_us = v.at("het_us").as_i64();
+  return m;
+}
+
+HandoverPayload handover_from_json(const json::Value& v) {
+  HandoverPayload h;
+  h.source_cell = static_cast<std::uint32_t>(v.at("source_cell").as_u64());
+  h.target_cell = static_cast<std::uint32_t>(v.at("target_cell").as_u64());
+  h.het_us = v.at("het_us").as_i64();
+  return h;
+}
+
+QueuePayload queue_from_json(const json::Value& v) {
+  QueuePayload q;
+  q.packet_id = v.at("packet_id").as_u64();
+  q.size_bytes = static_cast<std::uint32_t>(v.at("size_bytes").as_u64());
+  q.queued_bytes = v.at("queued_bytes").as_u64();
+  q.queued_packets = static_cast<std::uint32_t>(v.at("queued_packets").as_u64());
+  q.reason = static_cast<std::uint8_t>(v.at("reason").as_u64());
+  return q;
+}
+
+FramePayload frame_from_json(const json::Value& v) {
+  FramePayload f;
+  f.frame_id = static_cast<std::uint32_t>(v.at("frame_id").as_u64());
+  f.bytes = static_cast<std::uint32_t>(v.at("bytes").as_u64());
+  f.keyframe = v.at("keyframe").as_bool();
+  f.damaged = v.at("damaged").as_bool();
+  return f;
+}
+
+PacketPayload packet_from_json(const json::Value& v) {
+  PacketPayload p;
+  p.id = v.at("id").as_u64();
+  p.kind = static_cast<std::uint8_t>(v.at("kind").as_u64());
+  p.size_bytes = static_cast<std::uint32_t>(v.at("size_bytes").as_u64());
+  p.frame_id = static_cast<std::uint32_t>(v.at("frame_id").as_u64());
+  p.transport_seq = static_cast<std::uint16_t>(v.at("transport_seq").as_u64());
+  p.owd_ms = v.at("owd_ms").as_double();
+  return p;
+}
+
+FaultPayload fault_from_json(const json::Value& v) {
+  FaultPayload f;
+  f.kind = static_cast<std::uint8_t>(v.at("kind").as_u64());
+  f.duration_us = v.at("duration_us").as_i64();
+  f.magnitude = v.at("magnitude").as_double();
+  return f;
+}
+
+Payload payload_from_json(EventKind k, const json::Value* p) {
+  if (p == nullptr) return {};
+  switch (k) {
+    case EventKind::kLinkMeasurement:
+      return measurement_from_json(*p);
+    case EventKind::kHandoverStart:
+    case EventKind::kHandoverEnd:
+    case EventKind::kRlf:
+      return handover_from_json(*p);
+    case EventKind::kQueueEnqueue:
+    case EventKind::kQueueDrop:
+    case EventKind::kQueueDepth:
+      return queue_from_json(*p);
+    case EventKind::kTargetRate:
+      return RatePayload{p->at("bps").as_double()};
+    case EventKind::kOveruse:
+      return SignalPayload{static_cast<std::int32_t>(p->at("signal").as_i64())};
+    case EventKind::kFrameEncoded:
+    case EventKind::kFrameDecoded:
+      return frame_from_json(*p);
+    case EventKind::kPacketSent:
+    case EventKind::kPacketReceived:
+    case EventKind::kPacketLost:
+    case EventKind::kWanDrop:
+      return packet_from_json(*p);
+    case EventKind::kStall:
+      return StallPayload{p->at("duration_ms").as_double()};
+    case EventKind::kFaultInjected:
+    case EventKind::kFaultEnded:
+      return fault_from_json(*p);
+  }
+  throw std::runtime_error("obs: unknown event kind in payload");
+}
+
+}  // namespace
+
+json::Value event_to_json(const Event& e) {
+  json::Value v = json::Value::object();
+  v.set("t_us", e.t.us())
+      .set("seq", e.seq)
+      .set("component", std::string(component_name(e.component)))
+      .set("kind", std::string(event_kind_name(e.kind)));
+  if (!std::holds_alternative<std::monostate>(e.payload)) {
+    v.set("p", payload_to_json(e.payload));
+  }
+  return v;
+}
+
+Event event_from_json(const json::Value& v) {
+  Event e;
+  e.t = sim::TimePoint::from_us(v.at("t_us").as_i64());
+  e.seq = v.at("seq").as_u64();
+  const auto c = component_from_name(v.at("component").as_string());
+  if (!c) {
+    throw std::runtime_error("obs: unknown component '" +
+                             v.at("component").as_string() + "'");
+  }
+  e.component = *c;
+  const auto k = event_kind_from_name(v.at("kind").as_string());
+  if (!k) {
+    throw std::runtime_error("obs: unknown event kind '" +
+                             v.at("kind").as_string() + "'");
+  }
+  e.kind = *k;
+  e.payload = payload_from_json(e.kind, v.find("p"));
+  return e;
+}
+
+// --- Pretty printing --------------------------------------------------------
+
+std::string describe(const Event& e) {
+  std::string out = fmt("t=%.3fs [%.*s] %.*s", e.t.sec(),
+                        static_cast<int>(component_name(e.component).size()),
+                        component_name(e.component).data(),
+                        static_cast<int>(event_kind_name(e.kind).size()),
+                        event_kind_name(e.kind).data());
+  if (const auto* m = std::get_if<MeasurementPayload>(&e.payload)) {
+    out += fmt(" cell %u rsrp %.1f dBm (nbr %u: %.1f) cap %.2f Mbps queue %.1f ms%s",
+               m->serving_cell, m->serving_rsrp_dbm, m->neighbor_cell,
+               m->neighbor_rsrp_dbm, m->capacity_mbps, m->queuing_delay_ms,
+               m->in_handover ? " [in-HO]" : "");
+  } else if (const auto* h = std::get_if<HandoverPayload>(&e.payload)) {
+    out += fmt(" cell %u -> %u (het %.1f ms)", h->source_cell, h->target_cell,
+               static_cast<double>(h->het_us) / 1000.0);
+  } else if (const auto* q = std::get_if<QueuePayload>(&e.payload)) {
+    if (e.kind == EventKind::kQueueDrop) {
+      out += fmt(" pkt %llu (%u B) %s, depth %llu B / %u pkts",
+                 static_cast<unsigned long long>(q->packet_id), q->size_bytes,
+                 q->reason == 1 ? "aqm" : "overflow",
+                 static_cast<unsigned long long>(q->queued_bytes),
+                 q->queued_packets);
+    } else if (e.kind == EventKind::kQueueDepth) {
+      out += fmt(" depth %llu B / %u pkts",
+                 static_cast<unsigned long long>(q->queued_bytes),
+                 q->queued_packets);
+    } else {
+      out += fmt(" pkt %llu (%u B), depth %llu B / %u pkts",
+                 static_cast<unsigned long long>(q->packet_id), q->size_bytes,
+                 static_cast<unsigned long long>(q->queued_bytes),
+                 q->queued_packets);
+    }
+  } else if (const auto* r = std::get_if<RatePayload>(&e.payload)) {
+    out += fmt(" %.3f Mbps", r->bps / 1e6);
+  } else if (const auto* s = std::get_if<SignalPayload>(&e.payload)) {
+    const char* name = s->signal == 1   ? "overuse"
+                       : s->signal == 2 ? "underuse"
+                                        : "normal";
+    out += fmt(" signal=%s", name);
+  } else if (const auto* f = std::get_if<FramePayload>(&e.payload)) {
+    out += fmt(" frame %u (%u B)%s%s", f->frame_id, f->bytes,
+               f->keyframe ? " [key]" : "", f->damaged ? " [damaged]" : "");
+  } else if (const auto* pk = std::get_if<PacketPayload>(&e.payload)) {
+    out += fmt(" pkt %llu (%u B) frame %u seq %u",
+               static_cast<unsigned long long>(pk->id), pk->size_bytes,
+               pk->frame_id, pk->transport_seq);
+    if (e.kind == EventKind::kPacketReceived) {
+      out += fmt(" owd %.1f ms", pk->owd_ms);
+    }
+  } else if (const auto* st = std::get_if<StallPayload>(&e.payload)) {
+    out += fmt(" %.1f ms", st->duration_ms);
+  } else if (const auto* fa = std::get_if<FaultPayload>(&e.payload)) {
+    out += fmt(" kind=%u duration %.1f ms magnitude %.2f", fa->kind,
+               static_cast<double>(fa->duration_us) / 1000.0, fa->magnitude);
+  }
+  return out;
+}
+
+}  // namespace rpv::obs

@@ -1,0 +1,19 @@
+// Event <-> canonical JSON. One event dumps to one compact object — the unit
+// of the events.jsonl timeline format. Field order is fixed, so identical
+// event streams serialize to identical bytes.
+#pragma once
+
+#include "json/json.hpp"
+#include "obs/event.hpp"
+
+namespace rpv::obs {
+
+// {"t_us": ..., "seq": ..., "component": "...", "kind": "...", "p": {...}}.
+// The "p" member is omitted for payload-less events.
+[[nodiscard]] json::Value event_to_json(const Event& e);
+
+// Inverse; throws std::runtime_error on unknown names or a payload that does
+// not match the kind.
+[[nodiscard]] Event event_from_json(const json::Value& v);
+
+}  // namespace rpv::obs

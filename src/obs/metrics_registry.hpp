@@ -1,0 +1,71 @@
+// MetricsRegistry — the aggregate sink: per-(component, kind) counters and a
+// fixed set of histograms summarized into SessionReport (schema v3).
+//
+// Counters and histogram layouts are fixed at compile time so summaries are
+// deterministic: the same event stream always yields the same counter order
+// and the same bucket counts, and the JSON round-trips byte-identically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/event_sink.hpp"
+
+namespace rpv::obs {
+
+struct Counter {
+  std::string name;  // "component/kind", e.g. "cellular/handover-start"
+  std::uint64_t value = 0;
+  bool operator==(const Counter&) const = default;
+};
+
+// Fixed-bucket histogram. Bucket i counts samples with x < edges[i] (a sample
+// exactly on an edge falls into the next bucket); the last bucket counts
+// x >= edges.back(). counts.size() == edges.size() + 1.
+struct Histogram {
+  std::string name;
+  std::vector<double> edges;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+
+  Histogram() = default;
+  Histogram(std::string name_, std::vector<double> edges_);
+
+  void add(double x);
+  bool operator==(const Histogram&) const = default;
+};
+
+struct MetricsSummary {
+  std::vector<Counter> counters;      // nonzero only, component-major order
+  std::vector<Histogram> histograms;  // fixed set, always present
+  bool operator==(const MetricsSummary&) const = default;
+};
+
+class MetricsRegistry final : public EventSink {
+ public:
+  MetricsRegistry();
+
+  void on_event(const Event& e) override;
+  // Counts everything: counters are cheap and the per-packet kinds are
+  // exactly what the rate histograms need.
+  [[nodiscard]] std::uint64_t interest_mask() const override { return kAllKinds; }
+
+  [[nodiscard]] std::uint64_t count(Component c, EventKind k) const {
+    return counts_[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] MetricsSummary summary() const;
+
+ private:
+  std::array<std::array<std::uint64_t, kEventKindCount>, kComponentCount>
+      counts_{};
+  Histogram het_ms_;
+  Histogram owd_ms_;
+  Histogram stall_ms_;
+  Histogram queue_kbytes_;
+  Histogram target_rate_mbps_;
+};
+
+}  // namespace rpv::obs

@@ -1,0 +1,74 @@
+// PacketLog — obs-layer replacement for the old net::PacketCapture side
+// channel. Instead of Session threading a capture object through the radio
+// and WAN paths, this sink subscribes to the packet-level events those
+// components already publish and rebuilds the same per-packet ledger.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/event_sink.hpp"
+
+namespace rpv::obs {
+
+struct PacketRecord {
+  std::uint64_t id = 0;
+  std::uint8_t kind = 0;  // net::PacketKind as int
+  std::uint32_t size_bytes = 0;
+  std::uint32_t frame_id = 0;
+  std::uint16_t transport_seq = 0;
+  sim::TimePoint t;       // delivery (or loss) time
+  double owd_ms = 0.0;    // deliveries only
+  bool lost = false;
+};
+
+class PacketLog final : public EventSink {
+ public:
+  static constexpr std::size_t kDefaultMaxRecords = 2'000'000;
+
+  explicit PacketLog(std::size_t max_records = kDefaultMaxRecords)
+      : max_records_(max_records) {}
+
+  void on_event(const Event& e) override {
+    const auto* p = std::get_if<PacketPayload>(&e.payload);
+    if (p == nullptr) return;
+    const bool lost = e.kind != EventKind::kPacketReceived;
+    if (e.kind == EventKind::kPacketLost) ++lost_count_;
+    if (e.kind == EventKind::kWanDrop) ++wan_drop_count_;
+    if (records_.size() >= max_records_) {
+      ++dropped_records_;
+      return;
+    }
+    records_.push_back({p->id, p->kind, p->size_bytes, p->frame_id,
+                        p->transport_seq, e.t, p->owd_ms, lost});
+  }
+
+  [[nodiscard]] std::uint64_t interest_mask() const override {
+    return kind_bit(EventKind::kPacketReceived) |
+           kind_bit(EventKind::kPacketLost) | kind_bit(EventKind::kWanDrop);
+  }
+
+  [[nodiscard]] const std::vector<PacketRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t count() const { return records_.size(); }
+  // Radio/buffer losses (kPacketLost); WAN-leg drops are counted apart so the
+  // ledger reconciles against SessionReport's radio_losses + buffer_drops.
+  [[nodiscard]] std::uint64_t lost_count() const { return lost_count_; }
+  [[nodiscard]] std::uint64_t wan_drop_count() const { return wan_drop_count_; }
+  // Records not retained because the ledger hit max_records.
+  [[nodiscard]] std::uint64_t dropped_records() const {
+    return dropped_records_;
+  }
+
+ private:
+  std::size_t max_records_;
+  std::vector<PacketRecord> records_;
+  std::uint64_t lost_count_ = 0;
+  std::uint64_t wan_drop_count_ = 0;
+  std::uint64_t dropped_records_ = 0;
+};
+
+}  // namespace rpv::obs

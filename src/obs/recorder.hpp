@@ -1,0 +1,58 @@
+// RingBufferRecorder — the bounded timeline sink behind Scenario::observe.
+//
+// Keeps the most recent `capacity` events (drop-oldest), so a long run
+// degrades into "the last N events" instead of unbounded memory. The default
+// interest mask is kTimelineKinds: everything except the per-packet firehose,
+// which would dominate both memory and the exported JSONL without adding
+// timeline value (the MetricsRegistry still counts those kinds).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/event_sink.hpp"
+
+namespace rpv::obs {
+
+class RingBufferRecorder final : public EventSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 17;
+
+  explicit RingBufferRecorder(std::size_t capacity = kDefaultCapacity,
+                              std::uint64_t mask = kTimelineKinds);
+
+  void on_event(const Event& e) override;
+  [[nodiscard]] std::uint64_t interest_mask() const override { return mask_; }
+
+  // Events in arrival order, oldest first.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  // Total accepted, including those since overwritten.
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  // How many were overwritten by newer events.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t mask_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  // index of the oldest event once the ring is full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+// --- JSONL timeline format --------------------------------------------------
+// One compact canonical-JSON object per line; byte-identical for identical
+// event streams, so `cmp` across --jobs values is a valid determinism check.
+
+[[nodiscard]] std::string to_jsonl(const std::vector<Event>& events);
+[[nodiscard]] bool write_jsonl(const std::string& path,
+                               const std::vector<Event>& events);
+// Throws std::runtime_error (with a line number) on malformed input.
+[[nodiscard]] std::vector<Event> read_jsonl(const std::string& text);
+
+}  // namespace rpv::obs

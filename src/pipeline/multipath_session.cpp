@@ -35,6 +35,7 @@ MultipathSession::MultipathSession(SessionConfig cfg,
       trajectory_{trajectory},
       environment_{std::move(environment_name)},
       rng_{cfg.seed ^ 0xABCDEF12345ULL} {
+  cfg_.validate();
   link_a_ = std::make_unique<cellular::CellularLink>(
       sim_, std::move(layout_a), cfg_.link, trajectory_, rng_.fork());
   link_b_ = std::make_unique<cellular::CellularLink>(
@@ -45,12 +46,20 @@ MultipathSession::MultipathSession(SessionConfig cfg,
   cfg_.predict.ho.hysteresis_db = cfg_.link.handover.hysteresis_db;
   adapter_a_ = std::make_unique<predict::ProactiveAdapter>(cfg_.predict);
   adapter_b_ = std::make_unique<predict::ProactiveAdapter>(cfg_.predict);
-  link_a_->set_measurement_callback([this](const cellular::LinkMeasurement& m) {
-    adapter_a_->on_link_measurement(m);
-  });
-  link_b_->set_measurement_callback([this](const cellular::LinkMeasurement& m) {
-    adapter_b_->on_link_measurement(m);
-  });
+  relay_a_ = std::make_unique<obs::FunctionSink>(
+      obs::kind_bit(obs::EventKind::kLinkMeasurement),
+      [this](const obs::Event& e) {
+        adapter_a_->on_link_measurement(cellular::measurement_from_event(e));
+      });
+  relay_b_ = std::make_unique<obs::FunctionSink>(
+      obs::kind_bit(obs::EventKind::kLinkMeasurement),
+      [this](const obs::Event& e) {
+        adapter_b_->on_link_measurement(cellular::measurement_from_event(e));
+      });
+  bus_a_.subscribe(relay_a_.get());
+  bus_b_.subscribe(relay_b_.get());
+  link_a_->attach_observer(&bus_a_);
+  link_b_->attach_observer(&bus_b_);
   wan_up_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
   wan_down_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
 

@@ -15,6 +15,7 @@
 #include "cellular/cellular_link.hpp"
 #include "geo/trajectory.hpp"
 #include "net/wan_path.hpp"
+#include "obs/event_sink.hpp"
 #include "pipeline/report.hpp"
 #include "pipeline/session.hpp"
 #include "pipeline/video_receiver.hpp"
@@ -64,6 +65,12 @@ class MultipathSession {
   std::string environment_;
   sim::Simulator sim_;
   sim::Rng rng_;
+  // Per-operator event buses: each link publishes onto its own stream, and a
+  // relay sink feeds that operator's predictor (no cross-talk between modems).
+  obs::EventBus bus_a_;
+  obs::EventBus bus_b_;
+  std::unique_ptr<obs::FunctionSink> relay_a_;
+  std::unique_ptr<obs::FunctionSink> relay_b_;
   std::unique_ptr<cellular::CellularLink> link_a_;
   std::unique_ptr<cellular::CellularLink> link_b_;
   // Predictor per operator; adapter A also drives the sender's dip/deferral

@@ -9,6 +9,8 @@
 #include "fault/fault_injector.hpp"
 #include "metrics/handover_log.hpp"
 #include "metrics/time_series.hpp"
+#include "obs/event.hpp"
+#include "obs/metrics_registry.hpp"
 #include "predict/stats.hpp"
 #include "sim/time.hpp"
 
@@ -62,6 +64,15 @@ struct SessionReport {
 
   // --- Prediction & proactive adaptation (rpv::predict) ---
   predict::PredictionStats prediction;
+
+  // --- Observability (rpv::obs) ---
+  bool obs_enabled = false;
+  std::uint64_t obs_events_recorded = 0;  // accepted by the ring recorder
+  std::uint64_t obs_events_dropped = 0;   // overwritten (ring overflow)
+  obs::MetricsSummary obs_metrics;
+  // Recorder snapshot (oldest first). Exported to events.jsonl by the
+  // artifact store; deliberately NOT serialized into the report JSON.
+  std::vector<obs::Event> events;
 
   // --- Pipeline internals ---
   std::uint64_t queue_discard_events = 0;     // SCReAM RTP-queue flushes

@@ -198,6 +198,37 @@ json::Value report_to_json(const SessionReport& r) {
     v.set("prediction", std::move(o));
   }
 
+  // Observability. Counters and histograms are small and round-trip here;
+  // the recorder's event snapshot is exported as a sibling events.jsonl by
+  // the artifact store, never inlined into the report document.
+  {
+    const auto& m = r.obs_metrics;
+    json::Value o = json::Value::object();
+    o.set("enabled", r.obs_enabled)
+        .set("events_recorded", r.obs_events_recorded)
+        .set("events_dropped", r.obs_events_dropped);
+    json::Value counters = json::Value::array();
+    for (const auto& c : m.counters) {
+      json::Value e = json::Value::object();
+      e.set("name", c.name).set("value", c.value);
+      counters.push_back(std::move(e));
+    }
+    o.set("counters", std::move(counters));
+    json::Value hists = json::Value::array();
+    for (const auto& h : m.histograms) {
+      json::Value e = json::Value::object();
+      e.set("name", h.name)
+          .set("edges", doubles_to_json(h.edges));
+      json::Value counts = json::Value::array();
+      for (const auto c : h.counts) counts.push_back(c);
+      e.set("counts", std::move(counts));
+      e.set("total", h.total);
+      hists.push_back(std::move(e));
+    }
+    o.set("histograms", std::move(hists));
+    v.set("obs", std::move(o));
+  }
+
   // Pipeline internals.
   v.set("queue_discard_events", r.queue_discard_events);
   v.set("jitter_resyncs", r.jitter_resyncs);
@@ -296,6 +327,29 @@ SessionReport report_from_json(const json::Value& v) {
     p.keyframes_deferred = o.at("keyframes_deferred").as_u64();
     p.proactive_flushes = o.at("proactive_flushes").as_u64();
     p.predictive_switches = o.at("predictive_switches").as_u64();
+  }
+
+  {
+    const auto& o = v.at("obs");
+    r.obs_enabled = o.at("enabled").as_bool();
+    r.obs_events_recorded = o.at("events_recorded").as_u64();
+    r.obs_events_dropped = o.at("events_dropped").as_u64();
+    for (const auto& e : o.at("counters").items()) {
+      obs::Counter c;
+      c.name = e.at("name").as_string();
+      c.value = e.at("value").as_u64();
+      r.obs_metrics.counters.push_back(std::move(c));
+    }
+    for (const auto& e : o.at("histograms").items()) {
+      obs::Histogram h;
+      h.name = e.at("name").as_string();
+      h.edges = doubles_from_json(e.at("edges"));
+      for (const auto& c : e.at("counts").items()) {
+        h.counts.push_back(c.as_u64());
+      }
+      h.total = e.at("total").as_u64();
+      r.obs_metrics.histograms.push_back(std::move(h));
+    }
   }
 
   r.queue_discard_events = v.at("queue_discard_events").as_u64();

@@ -14,8 +14,9 @@
 
 namespace rpv::pipeline {
 
-// Version 2 added stall_duration_ms and the prediction block.
-inline constexpr int kReportSchemaVersion = 2;
+// Version 2 added stall_duration_ms and the prediction block; version 3 the
+// observability block (enabled flag, recorder totals, counters, histograms).
+inline constexpr int kReportSchemaVersion = 3;
 
 [[nodiscard]] json::Value report_to_json(const SessionReport& r);
 

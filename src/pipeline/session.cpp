@@ -17,6 +17,25 @@ std::string cc_name(CcKind kind) {
   return "?";
 }
 
+void SessionConfig::validate() const {
+  rpv::validate(sender.frame_interval > sim::Duration::zero(),
+                "SessionConfig: sender.frame_interval must be positive");
+  rpv::validate(static_bitrate_bps > 0.0,
+                "SessionConfig: static_bitrate_bps must be positive");
+  rpv::validate(probe_interval >= sim::Duration::zero(),
+                "SessionConfig: probe_interval must not be negative");
+  rpv::validate(fec_group_size >= 0,
+                "SessionConfig: fec_group_size must not be negative");
+  rpv::validate(obs.ring_capacity > 0,
+                "SessionConfig: obs.ring_capacity must be positive");
+  if (c2.enabled) {
+    rpv::validate(c2.command_interval > sim::Duration::zero(),
+                  "SessionConfig: c2.command_interval must be positive");
+    rpv::validate(c2.telemetry_interval > sim::Duration::zero(),
+                  "SessionConfig: c2.telemetry_interval must be positive");
+  }
+}
+
 Session::Session(SessionConfig cfg, cellular::CellLayout layout,
                  const geo::Trajectory* trajectory, std::string environment_name)
     : cfg_{cfg},
@@ -24,10 +43,17 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
       environment_{std::move(environment_name)},
       rng_{cfg.seed} {
   validate(trajectory_ != nullptr, "Session: trajectory must not be null");
-  validate(cfg_.sender.frame_interval > sim::Duration::zero(),
-           "Session: sender.frame_interval must be positive");
-  validate(cfg_.static_bitrate_bps > 0.0,
-           "Session: static_bitrate_bps must be positive");
+  cfg_.validate();
+  if (cfg_.obs.enabled) {
+    recorder_ = std::make_unique<obs::RingBufferRecorder>(cfg_.obs.ring_capacity);
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    bus_.subscribe(recorder_.get());
+    bus_.subscribe(metrics_.get());
+  }
+  if (cfg_.obs.capture_packets) {
+    packet_log_ = std::make_unique<obs::PacketLog>();
+    bus_.subscribe(packet_log_.get());
+  }
   link_ = std::make_unique<cellular::CellularLink>(
       sim_, std::move(layout), cfg_.link, trajectory_, rng_.fork());
   // The predictors mirror the link's A3 hysteresis and run on every session
@@ -35,10 +61,15 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
   // the adapter on cfg_.predict.proactive.
   cfg_.predict.ho.hysteresis_db = cfg_.link.handover.hysteresis_db;
   adapter_ = std::make_unique<predict::ProactiveAdapter>(cfg_.predict);
-  link_->set_measurement_callback([this](const cellular::LinkMeasurement& m) {
-    adapter_->on_link_measurement(m);
-  });
-  if (cfg_.capture_packets) capture_ = std::make_unique<net::PacketCapture>();
+  // rpv::predict consumes link measurements off the event bus — the sole
+  // always-on subscription, replacing CellularLink::set_measurement_callback.
+  measurement_relay_ = std::make_unique<obs::FunctionSink>(
+      obs::kind_bit(obs::EventKind::kLinkMeasurement),
+      [this](const obs::Event& e) {
+        adapter_->on_link_measurement(cellular::measurement_from_event(e));
+      });
+  bus_.subscribe(measurement_relay_.get());
+  link_->attach_observer(&bus_);
   link_->set_loss_callback([this](const net::Packet& p) {
     ++radio_losses_;
     loss_times_.push_back(sim_.now());
@@ -46,15 +77,17 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
         p.kind == net::PacketKind::kFecParity) {
       ++media_losses_;
     }
-    if (capture_) capture_->record_loss(p);
   });
   wan_up_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
   wan_down_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
+  wan_up_->attach_observer(&bus_);
+  wan_down_->attach_observer(&bus_);
 
   if (!cfg_.faults.empty()) {
     injector_ = std::make_unique<fault::FaultInjector>(sim_, cfg_.faults);
     injector_->attach_cellular(link_.get());
     injector_->attach_wan(wan_up_.get(), wan_down_.get());
+    injector_->attach_observer(&bus_);
   }
   if (cfg_.resilience) {
     cfg_.sender.resilience.enabled = true;
@@ -94,7 +127,10 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
           p.kind = net::PacketKind::kRtcpFeedback;
           p.size_bytes = size;
           const auto wan_delay = wan_down_->sample_delay();
-          if (wan_down_->drops_packet()) return;
+          if (wan_down_->drops_packet(sim_.now(), p.id,
+                                      static_cast<std::uint32_t>(p.size_bytes))) {
+            return;
+          }
           sim_.schedule_in(wan_delay, [this, p, report] {
             link_->send_downlink(p, [this, report](net::Packet) {
               if (sender_) sender_->on_feedback(report);
@@ -115,19 +151,21 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
           link_->send_uplink(std::move(p), [this](net::Packet q) {
             // Radio done; WAN leg to the server.
             const auto wan_delay = wan_up_->sample_delay();
-            if (wan_up_->drops_packet()) {
+            if (wan_up_->drops_packet(sim_.now(), q.id,
+                                      static_cast<std::uint32_t>(q.size_bytes))) {
               ++wan_drops_;
               return;
             }
             sim_.schedule_in(wan_delay, [this, q]() mutable {
               q.received = sim_.now();
-              if (capture_) capture_->record_delivery(q);
               receiver_->on_packet(q);
             });
           });
         },
         rng_.fork(), fec_table);
     sender_->set_proactive_adapter(adapter_.get());
+    sender_->attach_observer(&bus_);
+    receiver_->attach_observer(&bus_);
   }
 }
 
@@ -321,6 +359,14 @@ SessionReport Session::run() {
   }
 
   r.prediction = adapter_->stats();
+
+  r.obs_enabled = cfg_.obs.enabled;
+  if (recorder_) {
+    r.events = recorder_->snapshot();
+    r.obs_events_recorded = recorder_->recorded();
+    r.obs_events_dropped = recorder_->dropped();
+  }
+  if (metrics_) r.obs_metrics = metrics_->summary();
 
   r.rtt_by_altitude = rtt_by_altitude_;
   r.command_latency_ms = command_latency_ms_.values();

@@ -15,9 +15,12 @@
 #include "cc/scream/scream_controller.hpp"
 #include "cellular/cellular_link.hpp"
 #include "fault/fault_injector.hpp"
-#include "net/packet_capture.hpp"
 #include "geo/trajectory.hpp"
 #include "net/wan_path.hpp"
+#include "obs/event_sink.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/packet_log.hpp"
+#include "obs/recorder.hpp"
 #include "pipeline/report.hpp"
 #include "predict/proactive_adapter.hpp"
 #include "pipeline/video_receiver.hpp"
@@ -47,8 +50,18 @@ struct SessionConfig {
   // XOR FEC group size (packets per parity); 0 disables (paper ref [9]).
   int fec_group_size = 0;
 
-  // Attach a tcpdump-style packet capture (memory cost ~50 B/packet).
-  bool capture_packets = false;
+  // Observability (rpv::obs). When `enabled`, the session subscribes a
+  // bounded ring-buffer recorder plus the metrics registry to its event bus
+  // (events + counters/histograms land in the SessionReport);
+  // `capture_packets` additionally attaches the per-packet ledger that
+  // replaced the old tcpdump-style net::PacketCapture. With everything off
+  // the bus carries only the kLinkMeasurement subscription rpv::predict
+  // needs, and every other publish site is a single mask test.
+  struct ObsConfig {
+    bool enabled = false;
+    std::size_t ring_capacity = obs::RingBufferRecorder::kDefaultCapacity;
+    bool capture_packets = false;
+  } obs;
 
   // Command-and-control channel (the RP scenario of Fig. 1): the pilot sends
   // command packets downlink at a fixed cadence; the UAV returns telemetry
@@ -73,6 +86,11 @@ struct SessionConfig {
   bool resilience = false;
 
   std::uint64_t seed = 1;
+
+  // Pre-flight validation of every config-level invariant (the checks that
+  // used to be scattered across components). Throws std::invalid_argument.
+  // Called by Session's constructor and by CampaignEngine before sharding.
+  void validate() const;
 };
 
 class Session {
@@ -86,10 +104,22 @@ class Session {
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] cellular::CellularLink& link() { return *link_; }
-  [[nodiscard]] const net::PacketCapture* capture() const { return capture_.get(); }
   [[nodiscard]] VideoSender* sender() { return sender_.get(); }
   [[nodiscard]] VideoReceiver* receiver() { return receiver_.get(); }
   [[nodiscard]] predict::ProactiveAdapter& adapter() { return *adapter_; }
+
+  // The session's event bus; subscribe extra sinks before run().
+  [[nodiscard]] obs::EventBus& observer() { return bus_; }
+  [[nodiscard]] const obs::RingBufferRecorder* recorder() const {
+    return recorder_.get();
+  }
+  [[nodiscard]] const obs::MetricsRegistry* metrics() const {
+    return metrics_.get();
+  }
+  // Per-packet ledger (cfg.obs.capture_packets); null when not attached.
+  [[nodiscard]] const obs::PacketLog* capture() const {
+    return packet_log_.get();
+  }
 
  private:
   void send_probe();
@@ -102,6 +132,11 @@ class Session {
   std::string environment_;
   sim::Simulator sim_;
   sim::Rng rng_;
+  obs::EventBus bus_;  // outlives every publisher below
+  std::unique_ptr<obs::RingBufferRecorder> recorder_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::PacketLog> packet_log_;
+  std::unique_ptr<obs::FunctionSink> measurement_relay_;
   std::unique_ptr<cellular::CellularLink> link_;
   std::unique_ptr<predict::ProactiveAdapter> adapter_;
   std::unique_ptr<net::WanPath> wan_up_;
@@ -110,7 +145,6 @@ class Session {
   std::unique_ptr<VideoSender> sender_;
   std::unique_ptr<VideoReceiver> receiver_;
 
-  std::unique_ptr<net::PacketCapture> capture_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<sim::TimePoint> loss_times_;
   std::uint64_t radio_losses_ = 0;

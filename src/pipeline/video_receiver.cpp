@@ -1,5 +1,7 @@
 #include "pipeline/video_receiver.hpp"
 
+#include "net/packet_events.hpp"
+
 namespace rpv::pipeline {
 
 VideoReceiver::VideoReceiver(sim::Simulator& simulator, ReceiverConfig cfg,
@@ -29,8 +31,22 @@ void VideoReceiver::start(sim::TimePoint start, sim::TimePoint end) {
   sim_.schedule_at(start + sim::Duration::seconds(1.0), [this] { goodput_tick(); });
 }
 
+void VideoReceiver::attach_observer(obs::EventBus* bus) {
+  bus_ = bus;
+  player_->set_stall_hook([this](sim::TimePoint t, double gap_ms) {
+    if (bus_->wants(obs::EventKind::kStall)) {
+      bus_->publish(obs::Component::kReceiver, obs::EventKind::kStall, t,
+                    obs::StallPayload{gap_ms});
+    }
+  });
+}
+
 void VideoReceiver::on_packet(const net::Packet& p) {
   ++packets_received_;
+  if (bus_ && bus_->wants(obs::EventKind::kPacketReceived)) {
+    bus_->publish(obs::Component::kReceiver, obs::EventKind::kPacketReceived,
+                  sim_.now(), net::packet_payload(p, (p.received - p.enqueued).ms()));
+  }
 
   if (p.kind == net::PacketKind::kFecParity) {
     // Parity is protection overhead: it feeds congestion feedback and the
@@ -139,6 +155,14 @@ void VideoReceiver::on_frame_release(const rtp::FrameReleaseEvent& ev) {
     ++corrupted_frames_;
   } else {
     clean_frame_times_.push_back(sim_.now());
+  }
+
+  if (bus_ && bus_->wants(obs::EventKind::kFrameDecoded)) {
+    bus_->publish(obs::Component::kReceiver, obs::EventKind::kFrameDecoded,
+                  sim_.now(),
+                  obs::FramePayload{meta->id,
+                                    static_cast<std::uint32_t>(meta->size_bytes),
+                                    meta->keyframe, damaged});
   }
 
   if (cfg_.resilience.enabled) {

@@ -14,6 +14,7 @@
 #include "fault/backoff.hpp"
 #include "metrics/time_series.hpp"
 #include "net/packet.hpp"
+#include "obs/event_sink.hpp"
 #include "pipeline/frame_table.hpp"
 #include "rtp/fec.hpp"
 #include "rtp/feedback.hpp"
@@ -80,6 +81,9 @@ class VideoReceiver {
   void set_owd_hook(SampleFn fn) { owd_hook_ = std::move(fn); }
   void set_goodput_hook(SampleFn fn) { goodput_hook_ = std::move(fn); }
 
+  // Publish kPacketReceived / kFrameDecoded / kStall onto the session's bus.
+  void attach_observer(obs::EventBus* bus);
+
   [[nodiscard]] video::PlayerModel& player() { return *player_; }
   [[nodiscard]] const video::PlayerModel& player() const { return *player_; }
   [[nodiscard]] const rtp::JitterBuffer& jitter_buffer() const { return *jb_; }
@@ -112,6 +116,7 @@ class VideoReceiver {
 
   sim::Simulator& sim_;
   ReceiverConfig cfg_;
+  obs::EventBus* bus_ = nullptr;
   const FrameTable& table_;
   FeedbackFn send_feedback_;
   std::unique_ptr<rtp::JitterBuffer> jb_;

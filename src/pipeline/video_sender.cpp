@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/packet_events.hpp"
 #include "predict/proactive_adapter.hpp"
 
 namespace rpv::pipeline {
@@ -120,6 +121,12 @@ void VideoSender::frame_tick() {
       encoder_.encode(frames_encoded_, now, complexity, shot_cut);
   ++frames_encoded_;
   table_.put(frame);
+  if (bus_ && bus_->wants(obs::EventKind::kFrameEncoded)) {
+    bus_->publish(obs::Component::kSender, obs::EventKind::kFrameEncoded, now,
+                  obs::FramePayload{frame.id,
+                                    static_cast<std::uint32_t>(frame.size_bytes),
+                                    frame.keyframe, false});
+  }
 
   for (auto& p : packetizer_.packetize(frame)) {
     std::optional<net::Packet> parity;
@@ -174,6 +181,10 @@ void VideoSender::pump() {
   cc_->on_packet_sent({p.transport_seq, p.size_bytes, now});
   ++packets_sent_;
   bytes_sent_ += p.size_bytes;
+  if (bus_ && bus_->wants(obs::EventKind::kPacketSent)) {
+    bus_->publish(obs::Component::kSender, obs::EventKind::kPacketSent, now,
+                  net::packet_payload(p));
+  }
 
   // Pacing clock for the next packet.
   const double pacing = std::max(cc_->pacing_rate_bps(), 1e5);

@@ -87,6 +87,13 @@ class VideoSender {
     proactive_ = adapter;
   }
 
+  // Publish kFrameEncoded / kPacketSent (and the controller's rate events)
+  // onto the session's event bus.
+  void attach_observer(obs::EventBus* bus) {
+    bus_ = bus;
+    cc_->attach_observer(bus);
+  }
+
   [[nodiscard]] cc::RateController& controller() { return *cc_; }
   [[nodiscard]] const cc::RateController& controller() const { return *cc_; }
   [[nodiscard]] std::uint32_t frames_encoded() const { return frames_encoded_; }
@@ -123,6 +130,7 @@ class VideoSender {
   rtp::Packetizer packetizer_;
   std::unique_ptr<rtp::FecEncoder> fec_;
   predict::ProactiveAdapter* proactive_ = nullptr;
+  obs::EventBus* bus_ = nullptr;
   bool keyframe_pending_ = false;  // deferred out of a predicted HO window
 
   sim::TimePoint end_time_;

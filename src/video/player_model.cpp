@@ -63,6 +63,7 @@ void PlayerModel::try_play() {
       ++stall_count_;
       stall_times_.push_back(now);
       stall_durations_ms_.push_back(gap.ms());
+      if (stall_hook_) stall_hook_(now, gap.ms());
     }
   }
   last_play_time_ = now;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -40,6 +41,12 @@ class PlayerModel {
   // Finalize windowed statistics (call once after the simulation drains).
   void finish();
 
+  // Invoked when a frozen gap ends, with (end time, gap length in ms). The
+  // video layer stays observability-agnostic; VideoReceiver relays this into
+  // the obs event stream.
+  using StallFn = std::function<void(sim::TimePoint, double)>;
+  void set_stall_hook(StallFn fn) { stall_hook_ = std::move(fn); }
+
   // --- Metrics (valid after finish(), traces valid anytime) ---
   [[nodiscard]] const metrics::TimeSeries& playback_latency_ms() const {
     return playback_latency_ms_;
@@ -65,6 +72,7 @@ class PlayerModel {
 
   sim::Simulator& sim_;
   PlayerConfig cfg_;
+  StallFn stall_hook_;
   std::map<std::uint32_t, std::pair<Frame, double>> queue_;  // by frame id
   double rate_ = 1.0;
   sim::TimePoint next_play_at_ = sim::TimePoint::origin();

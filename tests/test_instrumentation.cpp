@@ -1,12 +1,12 @@
 // Tests for the data-collection fidelity pieces: the RRC message log
-// (QCSuper analogue), the packet capture (tcpdump analogue), bootstrap
-// confidence intervals, and the RP QoE score.
+// (QCSuper analogue), the obs-layer packet ledger (tcpdump analogue),
+// bootstrap confidence intervals, and the RP QoE score.
 #include <gtest/gtest.h>
 
 #include "cellular/rrc_log.hpp"
 #include "experiment/scenario.hpp"
 #include "metrics/bootstrap.hpp"
-#include "net/packet_capture.hpp"
+#include "obs/packet_log.hpp"
 #include "pipeline/multipath_session.hpp"
 #include "pipeline/qoe.hpp"
 
@@ -78,37 +78,43 @@ TEST(RrcLog, SessionRrcMatchesHandoverLog) {
   }
 }
 
-// --- PacketCapture ---
+// --- PacketLog (obs-layer packet ledger) ---
 
-TEST(PacketCapture, RecordsDeliveriesAndLosses) {
-  net::PacketCapture cap;
-  net::Packet p;
+TEST(PacketLog, RecordsDeliveriesAndLosses) {
+  obs::PacketLog log;
+  obs::EventBus bus;
+  bus.subscribe(&log);
+  obs::PacketPayload p;
   p.id = 1;
   p.size_bytes = 1000;
-  p.enqueued = TimePoint::from_us(100);
-  p.received = TimePoint::from_us(40'100);
-  cap.record_delivery(p);
+  p.owd_ms = 40.0;
+  bus.publish(obs::Component::kReceiver, obs::EventKind::kPacketReceived,
+              TimePoint::from_us(40'100), p);
   p.id = 2;
-  cap.record_loss(p);
-  EXPECT_EQ(cap.count(), 2u);
-  EXPECT_EQ(cap.lost_count(), 1u);
-  EXPECT_FALSE(cap.records()[0].lost);
-  EXPECT_TRUE(cap.records()[1].lost);
-  EXPECT_TRUE(cap.records()[1].received.is_never());
+  bus.publish(obs::Component::kCellular, obs::EventKind::kPacketLost,
+              TimePoint::from_us(41'000), p);
+  EXPECT_EQ(log.count(), 2u);
+  EXPECT_EQ(log.lost_count(), 1u);
+  EXPECT_FALSE(log.records()[0].lost);
+  EXPECT_DOUBLE_EQ(log.records()[0].owd_ms, 40.0);
+  EXPECT_TRUE(log.records()[1].lost);
 }
 
-TEST(PacketCapture, BoundedMemory) {
-  net::PacketCapture cap{10};
-  net::Packet p;
+TEST(PacketLog, BoundedMemory) {
+  obs::PacketLog log{10};
+  obs::EventBus bus;
+  bus.subscribe(&log);
+  obs::PacketPayload p;
   for (std::uint64_t i = 0; i < 20; ++i) {
     p.id = i;
-    cap.record_delivery(p);
+    bus.publish(obs::Component::kReceiver, obs::EventKind::kPacketReceived,
+                TimePoint::from_us(100 * i), p);
   }
-  EXPECT_EQ(cap.count(), 10u);
-  EXPECT_EQ(cap.dropped_records(), 10u);
+  EXPECT_EQ(log.count(), 10u);
+  EXPECT_EQ(log.dropped_records(), 10u);
 }
 
-TEST(PacketCapture, SessionCaptureConsistentWithCounters) {
+TEST(PacketLog, SessionCaptureConsistentWithCounters) {
   experiment::Scenario s;
   s.env = experiment::Environment::kRuralP1;
   s.cc = pipeline::CcKind::kStatic;
@@ -117,17 +123,19 @@ TEST(PacketCapture, SessionCaptureConsistentWithCounters) {
   auto layout = experiment::make_layout(s, rng);
   auto traj = experiment::make_trajectory(s, rng);
   auto cfg = experiment::make_session_config(s);
-  cfg.capture_packets = true;
+  cfg.obs.capture_packets = true;
   pipeline::Session session{cfg, std::move(layout), &traj, "cap-test"};
   const auto r = session.run();
   ASSERT_NE(session.capture(), nullptr);
-  // Deliveries + radio losses match the report's accounting (WAN loss is
-  // negligible but allowed for with a small slack).
+  // Deliveries + radio losses match the report's accounting (WAN drops are
+  // ledgered separately; small slack for feedback-path records).
   const auto cap_delivered = session.capture()->count() -
-                             session.capture()->lost_count();
+                             session.capture()->lost_count() -
+                             session.capture()->wan_drop_count();
   EXPECT_NEAR(static_cast<double>(cap_delivered),
               static_cast<double>(r.packets_received), 5.0);
   EXPECT_EQ(session.capture()->lost_count(), r.radio_losses + r.buffer_drops);
+  EXPECT_EQ(session.capture()->wan_drop_count(), r.wan_drops);
 }
 
 // --- Bootstrap CI ---

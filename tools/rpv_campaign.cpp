@@ -106,7 +106,9 @@ void print_usage() {
          "  --jobs J   worker threads (default 0 = all hardware threads)\n"
          "  --out DIR  artifact store root; writes DIR/<name>/manifest.json\n"
          "             plus one JSON report per run\n"
-         "  --name N   campaign name under --out (default: the grid name)\n";
+         "  --name N   campaign name under --out (default: the grid name)\n"
+         "  --observe  attach the rpv::obs recorder to every run; with --out\n"
+         "             each run also gets a runs/*.events.jsonl timeline\n";
 }
 
 void print_summary(const std::vector<exec::GridCellResult>& cells) {
@@ -145,6 +147,7 @@ int main(int argc, char** argv) {
   int runs = 5;
   std::uint64_t seed = 1000;
   int jobs = 0;
+  bool observe = false;
 
   auto value_of = [&](int& i, const std::string& flag) -> std::string {
     if (i + 1 >= argc) {
@@ -162,6 +165,7 @@ int main(int argc, char** argv) {
       else if (arg == "--out") out_dir = value_of(i, arg);
       else if (arg == "--name") campaign_name = value_of(i, arg);
       else if (arg == "--load") load_dir = value_of(i, arg);
+      else if (arg == "--observe") observe = true;
       else if (arg == "--list") {
         for (const auto& g : named_grids()) {
           const auto cells = exec::expand_grid(g.axes, g.base);
@@ -220,7 +224,9 @@ int main(int argc, char** argv) {
 
   try {
     const exec::CampaignEngine engine{{.jobs = jobs}};
-    const auto cells = exec::expand_grid(grid->axes, grid->base);
+    experiment::Scenario base = grid->base;
+    base.observe = observe;
+    const auto cells = exec::expand_grid(grid->axes, base);
     std::cout << "grid '" << grid->name << "': " << cells.size() << " cells x "
               << runs << " runs on " << engine.jobs() << " worker(s)\n";
     const auto result = engine.run_grid(cells, runs, seed);
