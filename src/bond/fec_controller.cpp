@@ -1,0 +1,60 @@
+#include "bond/fec_controller.hpp"
+
+#include <algorithm>
+
+#include "sim/validate.hpp"
+
+namespace rpv::bond {
+
+AdaptiveFecController::AdaptiveFecController(FecControllerConfig cfg)
+    : cfg_{std::move(cfg)} {
+  rpv::validate(!cfg_.ladder.empty(),
+                "AdaptiveFecController: ladder must not be empty");
+  for (const int g : cfg_.ladder) {
+    rpv::validate(g >= 2, "AdaptiveFecController: ladder entries must be >= 2");
+  }
+}
+
+int AdaptiveFecController::desired_level(const FecInputs& in) const {
+  int want = 0;
+  if (in.max_loss_ewma >= cfg_.loss_rung3) {
+    want = 3;
+  } else if (in.max_loss_ewma >= cfg_.loss_rung2) {
+    want = 2;
+  } else if (in.max_loss_ewma >= cfg_.loss_rung1) {
+    want = 1;
+  }
+  if (in.forecast_mbps >= 0.0 && in.capacity_mbps > 0.0 &&
+      in.forecast_mbps < cfg_.dip_fraction * in.capacity_mbps) {
+    want += 1;
+  }
+  if (in.ho_armed) want = std::max(want, cfg_.ho_rung);
+  return std::min<int>(want, static_cast<int>(cfg_.ladder.size()) - 1);
+}
+
+std::optional<FecChange> AdaptiveFecController::update(sim::TimePoint now,
+                                                       const FecInputs& in) {
+  const auto want = static_cast<std::size_t>(desired_level(in));
+  std::size_t next = level_;
+  if (want > level_) {
+    // Fast attack: jump straight to the pressure level.
+    next = want;
+    last_pressure_ = now;
+  } else if (want == level_ && want > 0) {
+    // Still under pressure at the current rung; hold.
+    last_pressure_ = now;
+  } else if (want < level_ && now - last_pressure_ >= cfg_.clean_interval) {
+    // Slow release: one rung per clean interval.
+    next = level_ - 1;
+    last_pressure_ = now;
+  }
+  if (next == level_) return std::nullopt;
+  FecChange change;
+  change.prev_group_size = cfg_.ladder[level_];
+  change.group_size = cfg_.ladder[next];
+  level_ = next;
+  ++rate_changes_;
+  return change;
+}
+
+}  // namespace rpv::bond

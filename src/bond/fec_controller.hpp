@@ -1,0 +1,70 @@
+// AdaptiveFecController — drives the XOR-FEC parity rate from link health.
+//
+// A fixed parity rate wastes airtime on clean links and under-protects dirty
+// ones. The controller walks a ladder of group sizes (larger group = less
+// parity): it RAISES protection immediately when per-path loss EWMAs grow,
+// when the capacity forecast dips below current capacity, or while a
+// handover prediction is armed (the moments the paper shows bursts cluster
+// in), and DECAYS one rung at a time only after a sustained clean interval —
+// fast attack, slow release, all deterministic and RNG-free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rpv::bond {
+
+struct FecControllerConfig {
+  // Group-size ladder, least protective first (index 0 = base rate). The
+  // defaults step 1/16 -> 1/4 parity overhead.
+  std::vector<int> ladder = {16, 12, 8, 4};
+  // Loss-EWMA thresholds that force at least rung 1 / 2 / 3.
+  double loss_rung1 = 0.01;
+  double loss_rung2 = 0.04;
+  double loss_rung3 = 0.10;
+  // A forecast below this fraction of current capacity counts as a dip and
+  // raises protection one rung.
+  double dip_fraction = 0.7;
+  // An armed handover prediction forces at least this rung.
+  int ho_rung = 2;
+  // Decay one rung after this long without any raise pressure.
+  sim::Duration clean_interval = sim::Duration::seconds(3.0);
+};
+
+// The link-health inputs sampled at each controller tick.
+struct FecInputs {
+  double max_loss_ewma = 0.0;     // worst per-path loss EWMA
+  double capacity_mbps = 0.0;     // current serving capacity (best path)
+  double forecast_mbps = -1.0;    // capacity forecast; < 0 = not ready
+  bool ho_armed = false;          // a handover prediction is armed
+};
+
+struct FecChange {
+  int group_size = 0;
+  int prev_group_size = 0;
+};
+
+class AdaptiveFecController {
+ public:
+  explicit AdaptiveFecController(FecControllerConfig cfg = {});
+
+  // Evaluate one tick; returns the retune to apply, if any.
+  std::optional<FecChange> update(sim::TimePoint now, const FecInputs& in);
+
+  [[nodiscard]] int group_size() const { return cfg_.ladder[level_]; }
+  [[nodiscard]] int level() const { return level_; }
+  [[nodiscard]] std::uint64_t rate_changes() const { return rate_changes_; }
+
+ private:
+  [[nodiscard]] int desired_level(const FecInputs& in) const;
+
+  FecControllerConfig cfg_;
+  std::size_t level_ = 0;
+  sim::TimePoint last_pressure_ = sim::TimePoint::origin();
+  std::uint64_t rate_changes_ = 0;
+};
+
+}  // namespace rpv::bond

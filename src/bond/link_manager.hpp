@@ -1,0 +1,145 @@
+// LinkManager — owns the set of operator links of a bonded session and
+// decides, per packet, which link(s) carry it.
+//
+// Replaces the three hard-coded MultipathMode branches with named policies
+// (see policy.hpp). The manager tracks per-path health (radio down/up, loss
+// EWMA, queue depth, capacity), degrades gracefully as links fail — a dead
+// path simply leaves the candidate set — and re-admits a recovered path only
+// after a probation window so a flapping radio cannot drag traffic back and
+// forth. Traffic is scheduled in three DSCP-style classes (C2 > telemetry >
+// video): priority classes are diverted around a video-congested path, with
+// kClassPreempt published on each diversion transition.
+//
+// Everything is deterministic: capacity-weighted spraying uses integer-free
+// credit accounting, not randomness, so byte-identical reruns hold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bond/policy.hpp"
+#include "cellular/cellular_link.hpp"
+#include "net/packet.hpp"
+#include "obs/event_sink.hpp"
+#include "predict/proactive_adapter.hpp"
+#include "sim/simulator.hpp"
+
+namespace rpv::bond {
+
+struct LinkManagerConfig {
+  Policy policy = Policy::kDuplicate;
+  // A recovered path carries traffic again only after staying up this long.
+  sim::Duration probation = sim::Duration::seconds(1.0);
+  // Per-path radio loss EWMA smoothing (feeds the FEC controller).
+  double loss_alpha = 0.02;
+  // kLowLatency only re-anchors when another path is this much faster.
+  double switch_hysteresis_ms = 2.0;
+  // C2/telemetry divert around the video anchor once its standing queue
+  // exceeds this.
+  double preempt_queue_ms = 20.0;
+};
+
+// Where to send one packet: the primary path index, plus an optional
+// duplicate path (-1 = no duplication).
+struct RouteDecision {
+  int primary = 0;
+  int duplicate = -1;
+};
+
+class LinkManager {
+ public:
+  LinkManager(sim::Simulator& simulator, LinkManagerConfig cfg);
+
+  // Register one operator link (with its per-operator predictor, may be
+  // null). Returns the path index. Paths are fixed for the session lifetime.
+  int add_path(cellular::CellularLink* link, predict::ProactiveAdapter* adapter);
+
+  // Publish kPathSwitch / kClassPreempt onto the session's event stream.
+  void attach_observer(obs::EventBus* bus) { bus_ = bus; }
+
+  // Decide the path(s) for one outgoing packet. Legacy policies replicate
+  // the MultipathMode semantics verbatim (two-path); bonded policies use the
+  // health-gated candidate machinery over any path count.
+  RouteDecision route(TrafficClass cls, const net::Packet& p);
+
+  // --- Outcome accounting (drives loss EWMAs and airtime) ---
+  void note_sent(int path, std::size_t bytes);
+  void note_lost(int path);       // copy died on the radio
+  void note_delivered(int path);  // copy survived the radio
+
+  [[nodiscard]] std::size_t path_count() const { return paths_.size(); }
+  [[nodiscard]] double loss_ewma(int path) const {
+    return paths_[static_cast<std::size_t>(path)].loss_ewma;
+  }
+  // Worst per-path loss EWMA among paths currently carrying traffic.
+  [[nodiscard]] double max_loss_ewma() const;
+  // Capacity of the best currently-usable path (FEC controller input).
+  [[nodiscard]] double best_capacity_mbps() const;
+  // True while any registered predictor has an armed handover prediction.
+  [[nodiscard]] bool any_ho_armed() const;
+  // Capacity forecast of the current video anchor path; < 0 if not ready.
+  [[nodiscard]] double anchor_forecast_mbps() const;
+
+  [[nodiscard]] std::uint64_t path_switches() const { return path_switches_; }
+  [[nodiscard]] std::uint64_t class_preemptions() const {
+    return class_preemptions_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_routed() const {
+    return duplicates_routed_;
+  }
+  [[nodiscard]] std::uint64_t airtime_bytes() const { return airtime_bytes_; }
+  // Legacy kFailover switch counter (either direction), kept name-compatible
+  // with MultipathSession::failover_events(). For bonded policies this counts
+  // video-anchor switches.
+  [[nodiscard]] std::uint64_t failover_events() const {
+    return failover_events_;
+  }
+  [[nodiscard]] int active_path() const { return anchor_; }
+
+ private:
+  struct PathState {
+    cellular::CellularLink* link = nullptr;
+    predict::ProactiveAdapter* adapter = nullptr;
+    bool down = false;
+    bool in_probation = false;
+    bool just_readmitted = false;  // left probation since the last route()
+    bool ho_flagged = false;       // predictor says vacate this path
+    sim::TimePoint probation_until = sim::TimePoint::origin();
+    double loss_ewma = 0.0;
+    double credit = 0.0;  // weighted-round-robin spray credit
+    std::uint64_t sent_packets = 0;
+    std::uint64_t lost_packets = 0;
+    std::uint64_t delivered_packets = 0;
+  };
+
+  // Refresh down/probation/ho flags; fills `candidates` with the indices
+  // eligible for new traffic (falls back to usable, then to all paths).
+  void refresh(std::vector<int>& candidates);
+  [[nodiscard]] int least_queued(const std::vector<int>& candidates) const;
+  [[nodiscard]] int spray_pick(const std::vector<int>& candidates);
+  RouteDecision route_legacy(const net::Packet& p);
+  RouteDecision route_bonded_video(const std::vector<int>& candidates,
+                                   const net::Packet& p);
+  RouteDecision route_priority(TrafficClass cls,
+                               const std::vector<int>& candidates);
+  void switch_anchor(int to, std::uint8_t reason, TrafficClass cls);
+  void publish_preempt(TrafficClass cls, int from, int to, double queue_ms);
+
+  sim::Simulator& sim_;
+  LinkManagerConfig cfg_;
+  obs::EventBus* bus_ = nullptr;
+  std::vector<PathState> paths_;
+
+  int anchor_ = 0;  // current video path (kLowLatency / legacy kFailover)
+  bool failover_on_b_ = false;  // legacy kFailover state
+  // Per-class diversion state (kClassPreempt publishes on transitions only).
+  bool diverted_[2] = {false, false};  // indexed by TrafficClass kC2/kTelemetry
+
+  std::uint64_t path_switches_ = 0;
+  std::uint64_t failover_events_ = 0;
+  std::uint64_t class_preemptions_ = 0;
+  std::uint64_t duplicates_routed_ = 0;
+  std::uint64_t airtime_bytes_ = 0;
+};
+
+}  // namespace rpv::bond

@@ -151,7 +151,7 @@ void CellularLink::measurement_tick() {
 
   const bool bus_wants_meas =
       bus_ != nullptr && bus_->wants(obs::EventKind::kLinkMeasurement);
-  if (on_measurement_ || bus_wants_meas) {
+  if (bus_wants_meas) {
     LinkMeasurement m;
     m.t = now;
     m.serving_cell = ho_->serving_cell();
@@ -168,16 +168,13 @@ void CellularLink::measurement_tick() {
     m.in_handover = ho_->in_handover(now);
     m.ho_triggered = ho_triggered;
     m.het = ho_het;
-    if (bus_wants_meas) {
-      bus_->publish(obs::Component::kCellular, obs::EventKind::kLinkMeasurement,
-                    now,
-                    obs::MeasurementPayload{
-                        m.serving_cell, m.serving_rsrp_dbm,
-                        m.best_neighbor_cell, m.best_neighbor_rsrp_dbm,
-                        m.capacity_mbps, m.queuing_delay_ms, m.in_handover,
-                        m.ho_triggered, m.het.us()});
-    }
-    if (on_measurement_) on_measurement_(m);
+    bus_->publish(obs::Component::kCellular, obs::EventKind::kLinkMeasurement,
+                  now,
+                  obs::MeasurementPayload{
+                      m.serving_cell, m.serving_rsrp_dbm,
+                      m.best_neighbor_cell, m.best_neighbor_rsrp_dbm,
+                      m.capacity_mbps, m.queuing_delay_ms, m.in_handover,
+                      m.ho_triggered, m.het.us()});
   }
   if (bus_ && bus_->wants(obs::EventKind::kQueueDepth)) {
     // Low-rate depth snapshot riding the RRC tick; the per-packet enqueue

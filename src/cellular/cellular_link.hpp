@@ -84,7 +84,6 @@ class CellularLink {
  public:
   using DeliverFn = std::function<void(net::Packet)>;
   using LossFn = std::function<void(const net::Packet&)>;
-  using MeasurementFn = std::function<void(const LinkMeasurement&)>;
 
   CellularLink(sim::Simulator& simulator, CellLayout layout,
                CellularLinkConfig cfg, const geo::Trajectory* trajectory,
@@ -103,19 +102,10 @@ class CellularLink {
 
   // Attach the session's event bus. The link publishes kLinkMeasurement,
   // kHandoverStart/End, kRlf, kQueueDepth and kPacketLost; the uplink queue
-  // (forwarded here) publishes its enqueue/drop events. This supersedes
-  // set_measurement_callback: subscribe an EventSink with the
-  // kLinkMeasurement bit instead.
+  // (forwarded here) publishes its enqueue/drop events. Measurement consumers
+  // (rpv::predict, rpv::bond) subscribe an EventSink with the
+  // kLinkMeasurement bit.
   void attach_observer(obs::EventBus* bus);
-
-  // Invoked at the end of every RRC measurement tick with the serving /
-  // best-neighbor snapshot (the feed for rpv::predict).
-  [[deprecated(
-      "subscribe an obs::EventSink to the session bus for kLinkMeasurement "
-      "events instead")]]
-  void set_measurement_callback(MeasurementFn fn) {
-    on_measurement_ = std::move(fn);
-  }
 
   // --- Fault-injection hooks (driven by fault::FaultInjector) ---
   // Radio link failure: T310 expiry, cell re-selection, RRC connection
@@ -175,7 +165,6 @@ class CellularLink {
   RrcLog rrc_;
   LossModel loss_;
   LossFn on_loss_;
-  MeasurementFn on_measurement_;
   obs::EventBus* bus_ = nullptr;
   double capacity_mbps_ = 10.0;
   sim::TimePoint last_uplink_delivery_;  // enforce in-order delivery (RLC)

@@ -17,6 +17,25 @@ std::string policy_suffix(experiment::Policy policy) {
   return policy == experiment::Policy::kProactive ? "-proactive" : "";
 }
 
+std::string multipath_suffix(experiment::Multipath m) {
+  switch (m) {
+    case experiment::Multipath::kNone: return "";
+    case experiment::Multipath::kDuplicate: return "-mpdup";
+    case experiment::Multipath::kScheduled: return "-mpsched";
+    case experiment::Multipath::kFailover: return "-mpfail";
+    case experiment::Multipath::kBondLowLatency: return "-bond-ll";
+    case experiment::Multipath::kBondBalanced: return "-bond-bal";
+    case experiment::Multipath::kBondHighReliability: return "-bond-hr";
+  }
+  return "";
+}
+
+std::string fault_preset_suffix(experiment::FaultPreset p) {
+  return p == experiment::FaultPreset::kNone
+             ? ""
+             : "-" + experiment::fault_preset_name(p);
+}
+
 double elapsed_seconds(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - since)
       .count();
@@ -41,27 +60,43 @@ std::vector<GridCell> expand_grid(const GridAxes& axes,
   const std::vector<experiment::Policy> policies =
       axes.policies.empty() ? std::vector<experiment::Policy>{base.policy}
                             : axes.policies;
+  const std::vector<experiment::Multipath> multipaths =
+      axes.multipaths.empty()
+          ? std::vector<experiment::Multipath>{base.multipath}
+          : axes.multipaths;
+  const std::vector<experiment::FaultPreset> fault_presets =
+      axes.fault_presets.empty()
+          ? std::vector<experiment::FaultPreset>{base.fault_preset}
+          : axes.fault_presets;
 
   std::vector<GridCell> cells;
   cells.reserve(envs.size() * mobilities.size() * ccs.size() * techs.size() *
-                policies.size());
+                policies.size() * multipaths.size() * fault_presets.size());
   for (const auto env : envs) {
     for (const auto mobility : mobilities) {
       for (const auto cc : ccs) {
         for (const auto tech : techs) {
           for (const auto policy : policies) {
-            GridCell cell;
-            cell.scenario = base;
-            cell.scenario.env = env;
-            cell.scenario.mobility = mobility;
-            cell.scenario.cc = cc;
-            cell.scenario.tech = tech;
-            cell.scenario.policy = policy;
-            cell.label = experiment::environment_name(env) + "-" +
-                         experiment::mobility_name(mobility) + "-" +
-                         pipeline::cc_name(cell.scenario.cc) +
-                         tech_suffix(tech) + policy_suffix(policy);
-            cells.push_back(std::move(cell));
+            for (const auto multipath : multipaths) {
+              for (const auto preset : fault_presets) {
+                GridCell cell;
+                cell.scenario = base;
+                cell.scenario.env = env;
+                cell.scenario.mobility = mobility;
+                cell.scenario.cc = cc;
+                cell.scenario.tech = tech;
+                cell.scenario.policy = policy;
+                cell.scenario.multipath = multipath;
+                cell.scenario.fault_preset = preset;
+                cell.label = experiment::environment_name(env) + "-" +
+                             experiment::mobility_name(mobility) + "-" +
+                             pipeline::cc_name(cell.scenario.cc) +
+                             tech_suffix(tech) + policy_suffix(policy) +
+                             multipath_suffix(multipath) +
+                             fault_preset_suffix(preset);
+                cells.push_back(std::move(cell));
+              }
+            }
           }
         }
       }

@@ -46,11 +46,19 @@ struct GridAxes {
   // Reactive vs. proactive (rpv::predict) adaptation. Labels stay unchanged
   // for kReactive cells; kProactive cells gain a "-proactive" suffix.
   std::vector<experiment::Policy> policies;
+  // Multi-operator bonding (rpv::bond). kNone keeps the single-path Session
+  // and an unchanged label; every other value gains a policy suffix
+  // ("-mpdup", "-bond-hr", ...).
+  std::vector<experiment::Multipath> multipaths;
+  // Named fault patterns. kNone cells keep the label; others gain the preset
+  // suffix ("-rlf-storm", "-chaos", ...).
+  std::vector<experiment::FaultPreset> fault_presets;
 };
 
 // Expand axes against a base scenario into labeled cells, in axis-major
-// order (env, then mobility, then cc, then tech, then policy). Throws
-// std::invalid_argument when the expansion is empty.
+// order (env, then mobility, then cc, then tech, then policy, then
+// multipath, then fault preset). Throws std::invalid_argument when the
+// expansion is empty.
 [[nodiscard]] std::vector<GridCell> expand_grid(
     const GridAxes& axes, const experiment::Scenario& base = {});
 

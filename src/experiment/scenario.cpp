@@ -1,5 +1,7 @@
 #include "experiment/scenario.hpp"
 
+#include "pipeline/multipath_session.hpp"
+
 namespace rpv::experiment {
 
 std::string environment_name(Environment env) {
@@ -24,6 +26,73 @@ std::string policy_name(Policy p) {
   return p == Policy::kProactive ? "proactive" : "reactive";
 }
 
+std::string multipath_name(Multipath m) {
+  switch (m) {
+    case Multipath::kNone: return "none";
+    case Multipath::kDuplicate: return "duplicate";
+    case Multipath::kScheduled: return "scheduled";
+    case Multipath::kFailover: return "failover";
+    case Multipath::kBondLowLatency: return "bond-low-latency";
+    case Multipath::kBondBalanced: return "bond-balanced";
+    case Multipath::kBondHighReliability: return "bond-high-reliability";
+  }
+  return "?";
+}
+
+std::string fault_preset_name(FaultPreset p) {
+  switch (p) {
+    case FaultPreset::kNone: return "none";
+    case FaultPreset::kRlfStorm: return "rlf-storm";
+    case FaultPreset::kCapacityDips: return "cap-dips";
+    case FaultPreset::kWanOutage: return "wan-outage";
+    case FaultPreset::kChaos: return "chaos";
+  }
+  return "?";
+}
+
+bond::Policy bond_policy_of(Multipath m) {
+  switch (m) {
+    case Multipath::kScheduled: return bond::Policy::kScheduled;
+    case Multipath::kFailover: return bond::Policy::kFailover;
+    case Multipath::kBondLowLatency: return bond::Policy::kLowLatency;
+    case Multipath::kBondBalanced: return bond::Policy::kBalanced;
+    case Multipath::kBondHighReliability: return bond::Policy::kHighReliability;
+    case Multipath::kNone:
+    case Multipath::kDuplicate:
+      break;
+  }
+  return bond::Policy::kDuplicate;
+}
+
+fault::FaultSchedule fault_preset_schedule(FaultPreset p) {
+  // All presets are fixed data (the chaos preset draws from a pinned seed):
+  // the same preset always injects the same faults, keeping campaign cells
+  // byte-reproducible. Times sit inside the 360 s flight/static horizon.
+  fault::FaultSchedule fs;
+  switch (p) {
+    case FaultPreset::kNone:
+      break;
+    case FaultPreset::kRlfStorm:
+      fs.rlf(60.0).rlf(150.0).rlf(240.0);
+      break;
+    case FaultPreset::kCapacityDips:
+      fs.capacity_collapse(90.0, 3.0, 0.1)
+          .capacity_collapse(180.0, 4.0, 0.05)
+          .capacity_collapse(270.0, 3.0, 0.1);
+      break;
+    case FaultPreset::kWanOutage:
+      fs.wan_outage(150.0, 2.0).wan_outage(240.0, 4.0);
+      break;
+    case FaultPreset::kChaos:
+      fs = fault::FaultSchedule::random(0xB0DD5EEDULL,
+                                        sim::Duration::seconds(360.0),
+                                        /*mean_gap_sec=*/40.0,
+                                        /*mean_duration_sec=*/2.0);
+      break;
+  }
+  return fs;
+}
+
 double static_bitrate_bps(Environment env) {
   // Paper §3.2: 25 Mbps urban, 8 Mbps rural, from trial runs.
   return env == Environment::kUrban ? 25e6 : 8e6;
@@ -40,6 +109,10 @@ pipeline::SessionConfig make_session_config(const Scenario& s) {
   cfg.fec_group_size = s.fec_group_size;
   cfg.c2.enabled = s.c2;
   cfg.faults = s.faults;
+  const auto preset_schedule = fault_preset_schedule(s.fault_preset);
+  for (const auto& ev : preset_schedule.events()) {
+    cfg.faults.add(ev);
+  }
   cfg.resilience = s.resilience;
   cfg.receiver.model_reference_loss = s.model_reference_loss;
   cfg.predict.proactive = (s.policy == Policy::kProactive);
@@ -116,6 +189,29 @@ geo::Trajectory make_trajectory(const Scenario& s, sim::Rng& rng) {
 pipeline::SessionReport run_scenario(const Scenario& s) {
   sim::Rng rng{s.seed * 0x9E3779B97F4A7C15ULL + 0x1234567};
   auto layout = make_layout(s, rng);
+  if (s.multipath != Multipath::kNone) {
+    // Bonded runs pair the scenario's operator with the environment's
+    // competitor: rural P1 <-> P2 (the paper's Fig. 10 operator pair), urban
+    // with a second independent urban deployment.
+    Scenario other = s;
+    switch (s.env) {
+      case Environment::kRuralP1: other.env = Environment::kRuralP2; break;
+      case Environment::kRuralP2: other.env = Environment::kRuralP1; break;
+      case Environment::kUrban: break;  // second urban layout, fresh draw
+    }
+    auto layout_b = make_layout(other, rng);
+    auto trajectory = make_trajectory(s, rng);
+    auto cfg = make_session_config(s);
+    pipeline::MultipathSession session{
+        cfg,
+        std::move(layout),
+        std::move(layout_b),
+        &trajectory,
+        environment_name(s.env) + "+" + environment_name(other.env) + "/" +
+            mobility_name(s.mobility),
+        bond_policy_of(s.multipath)};
+    return session.run();
+  }
   auto trajectory = make_trajectory(s, rng);
   auto cfg = make_session_config(s);
   pipeline::Session session{cfg, std::move(layout), &trajectory,

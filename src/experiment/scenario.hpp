@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "bond/policy.hpp"
 #include "cellular/base_station.hpp"
 #include "fault/fault_schedule.hpp"
 #include "geo/flight_profiles.hpp"
@@ -32,9 +33,32 @@ enum class AccessTech { kLte, k5gSa };
 // (pre-HO bitrate dip, keyframe deferral, post-HO flush).
 enum class Policy { kReactive, kProactive };
 
+// Multi-operator bonding (rpv::bond). kNone runs the single-path Session;
+// everything else runs a MultipathSession over the environment's operator
+// pair under the named bond::Policy.
+enum class Multipath {
+  kNone,
+  kDuplicate,
+  kScheduled,
+  kFailover,
+  kBondLowLatency,
+  kBondBalanced,
+  kBondHighReliability,
+};
+
+// Canned fault schedules for the robustness campaigns, so grid cells can
+// name a fault pattern instead of hand-building a schedule per run.
+enum class FaultPreset { kNone, kRlfStorm, kCapacityDips, kWanOutage, kChaos };
+
 [[nodiscard]] std::string environment_name(Environment env);
 [[nodiscard]] std::string mobility_name(Mobility m);
 [[nodiscard]] std::string policy_name(Policy p);
+[[nodiscard]] std::string multipath_name(Multipath m);
+[[nodiscard]] std::string fault_preset_name(FaultPreset p);
+// The bond policy a non-kNone Multipath maps onto.
+[[nodiscard]] bond::Policy bond_policy_of(Multipath m);
+// The schedule a preset expands to (kNone -> empty).
+[[nodiscard]] fault::FaultSchedule fault_preset_schedule(FaultPreset p);
 
 // The static-baseline bitrate the paper hand-picked per environment.
 [[nodiscard]] double static_bitrate_bps(Environment env);
@@ -59,6 +83,12 @@ struct Scenario {
   // Scripted fault injection (RLF, blackouts, capacity collapse, WAN
   // outages); empty injects nothing. Composable with every scenario above.
   fault::FaultSchedule faults;
+  // Named fault pattern appended to `faults` (grid-friendly alternative to
+  // hand-building a schedule).
+  FaultPreset fault_preset = FaultPreset::kNone;
+  // Multi-operator bonding; anything but kNone streams over the paired
+  // operator layouts through a bond::LinkManager.
+  Multipath multipath = Multipath::kNone;
   // End-to-end resilience stack (sender watchdog + ladder, receiver PLI).
   bool resilience = false;
   // HO-aware proactive adaptation (rpv::predict); reactive reproduces the

@@ -28,8 +28,13 @@ struct Packet {
   std::uint16_t transport_seq = 0;    // transport-wide CC sequence (wraps)
   std::uint32_t frame_id = 0;         // which video frame this packet carries
   bool frame_last = false;            // marker bit: last packet of the frame
+  bool keyframe = false;              // carries part of an IDR frame
   sim::TimePoint rtp_timestamp;       // RTP timestamp: frame capture time
   std::int32_t fec_group = -1;        // FEC group membership; -1 unprotected
+
+  // Logical identity preserved across bonded duplicate copies (each copy gets
+  // its own descriptor `id`); 0 means "same as id".
+  std::uint64_t origin_id = 0;
 
   sim::TimePoint enqueued;   // handed to the sender pacer / link
   sim::TimePoint sent;       // began transmission on the radio

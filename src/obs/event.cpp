@@ -13,7 +13,7 @@ namespace {
 
 constexpr std::array<std::string_view, kComponentCount> kComponentNames = {
     "cellular", "link-queue", "cc",  "sender",
-    "receiver", "wan",        "fault", "session",
+    "receiver", "wan",        "fault", "session", "bond",
 };
 
 constexpr std::array<std::string_view, kEventKindCount> kKindNames = {
@@ -21,7 +21,8 @@ constexpr std::array<std::string_view, kEventKindCount> kKindNames = {
     "queue-enqueue",    "queue-drop",     "queue-depth",  "target-rate",
     "overuse",          "frame-encoded",  "frame-decoded", "packet-sent",
     "packet-received",  "packet-lost",    "stall",        "wan-drop",
-    "fault-injected",   "fault-ended",
+    "fault-injected",   "fault-ended",    "path-switch",  "fec-rate-change",
+    "reorder-flush",    "class-preempt",
 };
 
 std::string fmt(const char* format, ...) {
@@ -105,6 +106,25 @@ json::Value payload_to_json(const Payload& p) {
     v.set("kind", std::uint64_t{fa->kind})
         .set("duration_us", fa->duration_us)
         .set("magnitude", fa->magnitude);
+  } else if (const auto* ps = std::get_if<PathSwitchPayload>(&p)) {
+    v.set("from_path", std::uint64_t{ps->from_path})
+        .set("to_path", std::uint64_t{ps->to_path})
+        .set("reason", std::uint64_t{ps->reason})
+        .set("traffic_class", std::uint64_t{ps->traffic_class});
+  } else if (const auto* fr = std::get_if<FecRatePayload>(&p)) {
+    v.set("group_size", std::int64_t{fr->group_size})
+        .set("prev_group_size", std::int64_t{fr->prev_group_size})
+        .set("loss_ewma", fr->loss_ewma)
+        .set("ho_armed", fr->ho_armed);
+  } else if (const auto* rf = std::get_if<ReorderFlushPayload>(&p)) {
+    v.set("released", std::uint64_t{rf->released})
+        .set("reason", std::uint64_t{rf->reason})
+        .set("hold_ms", rf->hold_ms);
+  } else if (const auto* pr = std::get_if<PreemptPayload>(&p)) {
+    v.set("traffic_class", std::uint64_t{pr->traffic_class})
+        .set("from_path", std::uint64_t{pr->from_path})
+        .set("to_path", std::uint64_t{pr->to_path})
+        .set("queue_delay_ms", pr->queue_delay_ms);
   }
   return v;
 }
@@ -199,6 +219,40 @@ Payload payload_from_json(EventKind k, const json::Value* p) {
     case EventKind::kFaultInjected:
     case EventKind::kFaultEnded:
       return fault_from_json(*p);
+    case EventKind::kPathSwitch: {
+      PathSwitchPayload ps;
+      ps.from_path = static_cast<std::uint8_t>(p->at("from_path").as_u64());
+      ps.to_path = static_cast<std::uint8_t>(p->at("to_path").as_u64());
+      ps.reason = static_cast<std::uint8_t>(p->at("reason").as_u64());
+      ps.traffic_class =
+          static_cast<std::uint8_t>(p->at("traffic_class").as_u64());
+      return ps;
+    }
+    case EventKind::kFecRateChange: {
+      FecRatePayload fr;
+      fr.group_size = static_cast<std::int32_t>(p->at("group_size").as_i64());
+      fr.prev_group_size =
+          static_cast<std::int32_t>(p->at("prev_group_size").as_i64());
+      fr.loss_ewma = p->at("loss_ewma").as_double();
+      fr.ho_armed = p->at("ho_armed").as_bool();
+      return fr;
+    }
+    case EventKind::kReorderFlush: {
+      ReorderFlushPayload rf;
+      rf.released = static_cast<std::uint32_t>(p->at("released").as_u64());
+      rf.reason = static_cast<std::uint8_t>(p->at("reason").as_u64());
+      rf.hold_ms = p->at("hold_ms").as_double();
+      return rf;
+    }
+    case EventKind::kClassPreempt: {
+      PreemptPayload pr;
+      pr.traffic_class =
+          static_cast<std::uint8_t>(p->at("traffic_class").as_u64());
+      pr.from_path = static_cast<std::uint8_t>(p->at("from_path").as_u64());
+      pr.to_path = static_cast<std::uint8_t>(p->at("to_path").as_u64());
+      pr.queue_delay_ms = p->at("queue_delay_ms").as_double();
+      return pr;
+    }
   }
   throw std::runtime_error("obs: unknown event kind in payload");
 }
@@ -292,6 +346,24 @@ std::string describe(const Event& e) {
   } else if (const auto* fa = std::get_if<FaultPayload>(&e.payload)) {
     out += fmt(" kind=%u duration %.1f ms magnitude %.2f", fa->kind,
                static_cast<double>(fa->duration_us) / 1000.0, fa->magnitude);
+  } else if (const auto* ps = std::get_if<PathSwitchPayload>(&e.payload)) {
+    const char* why = ps->reason == 0   ? "path-down"
+                      : ps->reason == 1 ? "predicted-ho"
+                      : ps->reason == 2 ? "faster-path"
+                                        : "probation-end";
+    out += fmt(" class %u path %u -> %u (%s)", ps->traffic_class, ps->from_path,
+               ps->to_path, why);
+  } else if (const auto* fr = std::get_if<FecRatePayload>(&e.payload)) {
+    out += fmt(" group %d -> %d (loss ewma %.3f%s)", fr->prev_group_size,
+               fr->group_size, fr->loss_ewma, fr->ho_armed ? ", HO armed" : "");
+  } else if (const auto* rf = std::get_if<ReorderFlushPayload>(&e.payload)) {
+    const char* why = rf->reason == 0   ? "timeout"
+                      : rf->reason == 1 ? "overflow"
+                                        : "drain";
+    out += fmt(" released %u (%s, held %.1f ms)", rf->released, why, rf->hold_ms);
+  } else if (const auto* pr = std::get_if<PreemptPayload>(&e.payload)) {
+    out += fmt(" class %u path %u -> %u (queue %.1f ms)", pr->traffic_class,
+               pr->from_path, pr->to_path, pr->queue_delay_ms);
   }
   return out;
 }

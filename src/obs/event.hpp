@@ -36,8 +36,9 @@ enum class Component : std::uint8_t {
   kWan,        // wide-area path
   kFault,      // fault injector
   kSession,    // session-level bookkeeping
+  kBond,       // bonded link manager (rpv::bond)
 };
-inline constexpr int kComponentCount = 8;
+inline constexpr int kComponentCount = 9;
 
 // What happened. At most 64 kinds so a subscription is one uint64 bitmask.
 enum class EventKind : std::uint8_t {
@@ -59,8 +60,12 @@ enum class EventKind : std::uint8_t {
   kWanDrop,          // packet dropped on the WAN leg
   kFaultInjected,    // scripted fault fired
   kFaultEnded,       // scripted fault window closed
+  kPathSwitch,       // bond: traffic moved to another operator link
+  kFecRateChange,    // bond: adaptive FEC retuned the parity rate
+  kReorderFlush,     // bond: receiver reorder window flushed out of order
+  kClassPreempt,     // bond: QoS class diverted around a loaded path
 };
-inline constexpr int kEventKindCount = 18;
+inline constexpr int kEventKindCount = 22;
 
 [[nodiscard]] constexpr std::uint64_t kind_bit(EventKind k) {
   return std::uint64_t{1} << static_cast<unsigned>(k);
@@ -170,10 +175,52 @@ struct FaultPayload {
   bool operator==(const FaultPayload&) const = default;
 };
 
+// kPathSwitch — the bonded LinkManager moved a traffic class to another path.
+// `reason`: 0 = path down (reactive failover), 1 = predicted HO (proactive),
+// 2 = faster path available, 3 = probation ended (path re-admitted).
+struct PathSwitchPayload {
+  std::uint8_t from_path = 0;
+  std::uint8_t to_path = 0;
+  std::uint8_t reason = 0;
+  std::uint8_t traffic_class = 0;  // bond::TrafficClass as int
+  bool operator==(const PathSwitchPayload&) const = default;
+};
+
+// kFecRateChange — the adaptive FEC controller retuned the parity group size
+// (smaller group = more parity overhead = more protection).
+struct FecRatePayload {
+  std::int32_t group_size = 0;
+  std::int32_t prev_group_size = 0;
+  double loss_ewma = 0.0;
+  bool ho_armed = false;
+  bool operator==(const FecRatePayload&) const = default;
+};
+
+// kReorderFlush — the receive-side reorder window released packets without
+// waiting for the gap to fill. `reason`: 0 = hold timeout, 1 = overflow,
+// 2 = end-of-run drain.
+struct ReorderFlushPayload {
+  std::uint32_t released = 0;
+  std::uint8_t reason = 0;
+  double hold_ms = 0.0;
+  bool operator==(const ReorderFlushPayload&) const = default;
+};
+
+// kClassPreempt — a high-priority class (C2/telemetry) was diverted off the
+// video-loaded path; published on diversion state changes, not per packet.
+struct PreemptPayload {
+  std::uint8_t traffic_class = 0;
+  std::uint8_t from_path = 0;
+  std::uint8_t to_path = 0;
+  double queue_delay_ms = 0.0;  // standing delay of the path vacated
+  bool operator==(const PreemptPayload&) const = default;
+};
+
 using Payload =
     std::variant<std::monostate, MeasurementPayload, HandoverPayload,
                  QueuePayload, RatePayload, SignalPayload, FramePayload,
-                 PacketPayload, StallPayload, FaultPayload>;
+                 PacketPayload, StallPayload, FaultPayload, PathSwitchPayload,
+                 FecRatePayload, ReorderFlushPayload, PreemptPayload>;
 
 // One record on the stream. `seq` is assigned by the bus in publish order;
 // inside one (single-threaded, deterministic) simulation, sorting by

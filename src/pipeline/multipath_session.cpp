@@ -1,5 +1,7 @@
 #include "pipeline/multipath_session.hpp"
 
+#include <algorithm>
+
 #include "cc/static_rate.hpp"
 #include "cc/gcc/gcc_controller.hpp"
 #include "cc/scream/scream_controller.hpp"
@@ -22,6 +24,10 @@ std::unique_ptr<cc::RateController> make_controller(const SessionConfig& cfg) {
   return std::make_unique<cc::StaticRate>(cfg.static_bitrate_bps);
 }
 
+// FEC controller tick cadence: fast enough to react within a loss burst,
+// slow enough that the group size is stable across an interleave set.
+constexpr sim::Duration kFecTickInterval = sim::Duration::millis(250);
+
 }  // namespace
 
 MultipathSession::MultipathSession(SessionConfig cfg,
@@ -29,20 +35,27 @@ MultipathSession::MultipathSession(SessionConfig cfg,
                                    cellular::CellLayout layout_b,
                                    const geo::Trajectory* trajectory,
                                    std::string environment_name,
-                                   MultipathMode mode)
+                                   bond::Policy policy)
     : cfg_{cfg},
-      mode_{mode},
+      policy_{policy},
       trajectory_{trajectory},
       environment_{std::move(environment_name)},
       rng_{cfg.seed ^ 0xABCDEF12345ULL} {
   cfg_.validate();
+  if (cfg_.obs.enabled) {
+    // One recorder + registry across both operator streams and the bond
+    // layer; events interleave in deterministic publish order.
+    recorder_ = std::make_unique<obs::RingBufferRecorder>(cfg_.obs.ring_capacity);
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    bus_a_.subscribe(recorder_.get());
+    bus_a_.subscribe(metrics_.get());
+    bus_b_.subscribe(recorder_.get());
+    bus_b_.subscribe(metrics_.get());
+  }
   link_a_ = std::make_unique<cellular::CellularLink>(
       sim_, std::move(layout_a), cfg_.link, trajectory_, rng_.fork());
   link_b_ = std::make_unique<cellular::CellularLink>(
       sim_, std::move(layout_b), cfg_.link, trajectory_, rng_.fork());
-  auto count_loss = [this](const net::Packet&) { ++radio_losses_; };
-  link_a_->set_loss_callback(count_loss);
-  link_b_->set_loss_callback(count_loss);
   cfg_.predict.ho.hysteresis_db = cfg_.link.handover.hysteresis_db;
   adapter_a_ = std::make_unique<predict::ProactiveAdapter>(cfg_.predict);
   adapter_b_ = std::make_unique<predict::ProactiveAdapter>(cfg_.predict);
@@ -60,6 +73,22 @@ MultipathSession::MultipathSession(SessionConfig cfg,
   bus_b_.subscribe(relay_b_.get());
   link_a_->attach_observer(&bus_a_);
   link_b_->attach_observer(&bus_b_);
+
+  bond::LinkManagerConfig lm_cfg;
+  lm_cfg.policy = policy_;
+  lm_ = std::make_unique<bond::LinkManager>(sim_, lm_cfg);
+  lm_->add_path(link_a_.get(), adapter_a_.get());
+  lm_->add_path(link_b_.get(), adapter_b_.get());
+  lm_->attach_observer(&bus_a_);
+
+  link_a_->set_loss_callback([this](const net::Packet&) {
+    ++radio_losses_;
+    lm_->note_lost(0);
+  });
+  link_b_->set_loss_callback([this](const net::Packet&) {
+    ++radio_losses_;
+    lm_->note_lost(1);
+  });
   wan_up_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
   wan_down_ = std::make_unique<net::WanPath>(cfg_.wan, rng_.fork());
 
@@ -69,6 +98,7 @@ MultipathSession::MultipathSession(SessionConfig cfg,
     injector_ = std::make_unique<fault::FaultInjector>(sim_, cfg_.faults);
     injector_->attach_cellular(link_a_.get());
     injector_->attach_wan(wan_up_.get(), wan_down_.get());
+    injector_->attach_observer(&bus_a_);
   }
   if (cfg_.resilience) {
     cfg_.sender.resilience.enabled = true;
@@ -90,60 +120,53 @@ MultipathSession::MultipathSession(SessionConfig cfg,
       break;
   }
 
+  // Bonded receive path: reorder window + duplicate suppression. FEC-backed
+  // policies additionally share a group table between sender and receiver
+  // and start from the controller's base parity rate.
+  std::shared_ptr<rtp::FecGroupTable> fec_table;
+  if (bond::is_bonded(policy_)) {
+    if (bond::uses_fec(policy_)) {
+      bond::FecControllerConfig fc;
+      if (cfg_.fec_group_size > 0) {
+        // An explicit base group size re-bases the whole ladder. Rungs are
+        // floored at group 4 (25% parity) — denser parity under sustained
+        // loss just overloads the bearer and feeds the loss it is trying to
+        // repair.
+        const int floor = std::max(2, std::min(cfg_.fec_group_size, 4));
+        fc.ladder = {cfg_.fec_group_size,
+                     std::max(cfg_.fec_group_size * 3 / 4, floor),
+                     std::max(cfg_.fec_group_size / 2, floor),
+                     std::max(cfg_.fec_group_size / 4, floor)};
+      }
+      if (policy_ == bond::Policy::kHighReliability) {
+        // Elevated parity floor: never run fully unprotected.
+        fc.ladder[0] = std::min(fc.ladder[0], 12);
+      }
+      fec_ctrl_ = std::make_unique<bond::AdaptiveFecController>(fc);
+      cfg_.sender.fec_group_size = fec_ctrl_->group_size();
+      fec_table = std::make_shared<rtp::FecGroupTable>();
+    }
+    window_ = std::make_unique<bond::ReorderWindow>(
+        sim_, bond::ReorderWindowConfig{},
+        [this](net::Packet p, int path) {
+          if (path == 1) ++rescued_by_b_;
+          p.received = sim_.now();
+          receiver_->on_packet(p);
+        });
+    window_->attach_observer(&bus_a_);
+  }
+
   receiver_ = std::make_unique<VideoReceiver>(
       sim_, cfg_.receiver, table_,
       [this](const rtp::FeedbackReport& report, std::size_t size) {
         send_feedback(report, size);
       },
-      rng_.fork());
+      rng_.fork(), fec_table);
 
   sender_ = std::make_unique<VideoSender>(
       sim_, cfg_.sender, make_controller(cfg_), table_,
-      [this](net::Packet p) {
-        if (mode_ == MultipathMode::kFailover) {
-          // Primary unless its radio is down (handover gap, RLF, blackout).
-          // In proactive mode also vacate the primary while its predictor
-          // says an HO is imminent — switching *before* the break instead of
-          // after — provided the secondary is actually usable.
-          const bool reactive_b = link_a_->link_down();
-          bool use_b = reactive_b;
-          if (!use_b && adapter_a_->proactive() &&
-              adapter_a_->ho_imminent(sim_.now()) && !link_b_->link_down()) {
-            use_b = true;
-          }
-          if (use_b != failover_on_b_) {
-            failover_on_b_ = use_b;
-            ++failover_events_;
-            if (use_b && !reactive_b) adapter_a_->note_predictive_switch();
-          }
-          auto& link = use_b ? *link_b_ : *link_a_;
-          link.send_uplink(std::move(p), [this, use_b](net::Packet q) {
-            deliver_to_receiver(std::move(q), use_b);
-          });
-          return;
-        }
-        if (mode_ == MultipathMode::kScheduled) {
-          // MPTCP-style: pick the link with the shorter standing queue.
-          const bool use_b =
-              link_b_->queuing_delay_ms() < link_a_->queuing_delay_ms();
-          auto& link = use_b ? *link_b_ : *link_a_;
-          link.send_uplink(std::move(p), [this, use_b](net::Packet q) {
-            deliver_to_receiver(std::move(q), use_b);
-          });
-          return;
-        }
-        // Duplicate onto both uplinks; distinct descriptor ids so the links'
-        // bookkeeping stays independent while the RTP metadata is identical.
-        net::Packet copy = p;
-        copy.id = next_id_++;
-        link_a_->send_uplink(std::move(p), [this](net::Packet q) {
-          deliver_to_receiver(std::move(q), /*via_b=*/false);
-        });
-        link_b_->send_uplink(std::move(copy), [this](net::Packet q) {
-          deliver_to_receiver(std::move(q), /*via_b=*/true);
-        });
-      },
-      rng_.fork());
+      [this](net::Packet p) { transmit_media(std::move(p)); }, rng_.fork(),
+      fec_table);
   // Dip/deferral follows the primary operator's predictor (faults and the
   // reported handover log are primary-side too).
   sender_->set_proactive_adapter(adapter_a_.get());
@@ -153,14 +176,48 @@ MultipathSession::MultipathSession(SessionConfig cfg,
   receiver_->set_goodput_hook([this](sim::TimePoint t, double mbps) {
     adapter_a_->on_goodput_sample(t, mbps);
   });
+  if (cfg_.obs.enabled) {
+    sender_->attach_observer(&bus_a_);
+    receiver_->attach_observer(&bus_a_);
+  }
+}
+
+void MultipathSession::send_on_path(int path, net::Packet p) {
+  lm_->note_sent(path, p.size_bytes);
+  path_link(path).send_uplink(std::move(p), [this, path](net::Packet q) {
+    lm_->note_delivered(path);
+    deliver_to_receiver(std::move(q), /*via_b=*/path == 1);
+  });
+}
+
+void MultipathSession::transmit_media(net::Packet p) {
+  const auto d = lm_->route(bond::TrafficClass::kVideo, p);
+  if (d.duplicate >= 0) {
+    // Distinct descriptor ids so the links' bookkeeping stays independent
+    // while the RTP identity is shared (dedup happens at the receiver edge).
+    net::Packet copy = p;
+    copy.id = next_id_++;
+    copy.origin_id = p.id;
+    send_on_path(d.primary, std::move(p));
+    send_on_path(d.duplicate, std::move(copy));
+    return;
+  }
+  send_on_path(d.primary, std::move(p));
 }
 
 void MultipathSession::deliver_to_receiver(net::Packet p, bool via_b) {
   if (wan_up_->drops_packet()) return;
   const auto delay = wan_up_->sample_delay();
   sim_.schedule_in(delay, [this, p, via_b]() mutable {
-    // Deduplicate on the RTP identity (transport seq + frame id suffices for
-    // a 16-bit window far larger than any realistic reorder span).
+    if (window_) {
+      // Bonded path: duplicate suppression and in-order release live in the
+      // reorder window; it invokes the receiver callback set at construction.
+      window_->on_packet(std::move(p), via_b ? 1 : 0);
+      return;
+    }
+    // Legacy path: first copy wins, deduplicated on the RTP identity
+    // (transport seq + frame id suffices for a 16-bit window far larger than
+    // any realistic reorder span).
     const std::uint64_t key =
         (static_cast<std::uint64_t>(p.frame_id) << 16) | p.transport_seq;
     if (!delivered_ids_.insert(key).second) {
@@ -209,6 +266,84 @@ void MultipathSession::send_feedback(const rtp::FeedbackReport& report,
   });
 }
 
+void MultipathSession::send_command() {
+  const auto now = sim_.now();
+  if (now > trajectory_->end()) return;
+  // Pilot-side C2: WAN back-haul once, then the chosen cellular downlink(s).
+  // The reliability policies duplicate the command across operators; the
+  // first copy to reach the UAV wins.
+  net::Packet p;
+  p.id = next_id_++;
+  p.kind = net::PacketKind::kProbe;
+  p.size_bytes = cfg_.c2.command_bytes + 40;
+  ++commands_sent_;
+  const std::uint64_t cseq = commands_sent_;
+  const auto sent_at = now;
+  const auto d = lm_->route(bond::TrafficClass::kC2, p);
+  const auto wan = wan_down_->sample_delay();
+  sim_.schedule_in(wan, [this, p, d, cseq, sent_at] {
+    auto done = [this, cseq, sent_at](net::Packet) {
+      if (cseq <= last_command_done_) return;  // duplicate copy: suppress
+      last_command_done_ = cseq;
+      command_latency_ms_.add(sim_.now(), (sim_.now() - sent_at).ms());
+    };
+    path_link(d.primary).send_downlink(p, done);
+    if (d.duplicate >= 0) {
+      net::Packet copy = p;
+      copy.id = next_id_++;
+      copy.origin_id = p.id;
+      path_link(d.duplicate).send_downlink(copy, done);
+    }
+  });
+  sim_.schedule_in(cfg_.c2.command_interval, [this] { send_command(); });
+}
+
+void MultipathSession::send_telemetry() {
+  const auto now = sim_.now();
+  if (now > trajectory_->end()) return;
+  // UAV-side telemetry shares the uplink bearer (and its deep queue) with the
+  // video stream; the class scheduler steers it around a congested path.
+  net::Packet p;
+  p.id = next_id_++;
+  p.kind = net::PacketKind::kProbe;
+  p.size_bytes = cfg_.c2.telemetry_bytes + 40;
+  ++telemetry_sent_;
+  const auto sent_at = now;
+  const auto d = lm_->route(bond::TrafficClass::kTelemetry, p);
+  lm_->note_sent(d.primary, p.size_bytes);
+  path_link(d.primary).send_uplink(
+      p, [this, sent_at, path = d.primary](net::Packet) {
+        lm_->note_delivered(path);
+        const auto wan = wan_up_->sample_delay();
+        sim_.schedule_in(wan, [this, sent_at] {
+          telemetry_latency_ms_.add(sim_.now(), (sim_.now() - sent_at).ms());
+        });
+      });
+  sim_.schedule_in(cfg_.c2.telemetry_interval, [this] { send_telemetry(); });
+}
+
+void MultipathSession::fec_tick(sim::TimePoint end) {
+  bond::FecInputs in;
+  in.max_loss_ewma = lm_->max_loss_ewma();
+  in.capacity_mbps = lm_->best_capacity_mbps();
+  in.forecast_mbps = lm_->anchor_forecast_mbps();
+  in.ho_armed = lm_->any_ho_armed();
+  if (const auto change = fec_ctrl_->update(sim_.now(), in)) {
+    sender_->set_fec_group_size(change->group_size);
+    ++fec_rate_changes_;
+    if (bus_a_.wants(obs::EventKind::kFecRateChange)) {
+      bus_a_.publish(obs::Component::kBond, obs::EventKind::kFecRateChange,
+                     sim_.now(),
+                     obs::FecRatePayload{change->group_size,
+                                         change->prev_group_size,
+                                         in.max_loss_ewma, in.ho_armed});
+    }
+  }
+  if (sim_.now() < end) {
+    sim_.schedule_in(kFecTickInterval, [this, end] { fec_tick(end); });
+  }
+}
+
 SessionReport MultipathSession::run() {
   link_a_->start();
   link_b_->start();
@@ -217,16 +352,21 @@ SessionReport MultipathSession::run() {
   const auto end = trajectory_->end();
   sender_->start(start, end);
   receiver_->start(start, end);
+  if (cfg_.c2.enabled) {
+    sim_.schedule_at(start, [this] { send_command(); });
+    sim_.schedule_at(start, [this] { send_telemetry(); });
+  }
+  if (fec_ctrl_) {
+    sim_.schedule_at(start + kFecTickInterval, [this, end] { fec_tick(end); });
+  }
   sim_.run_until(end + sim::Duration::seconds(2.0));
+  if (window_) window_->flush_all();
   receiver_->finish();
   adapter_a_->finish();
   adapter_b_->finish();
 
   SessionReport r;
-  r.cc_name = cc_name(cfg_.cc) +
-              (mode_ == MultipathMode::kDuplicate   ? "+mpdup"
-               : mode_ == MultipathMode::kScheduled ? "+mpsched"
-                                                    : "+mpfail");
+  r.cc_name = cc_name(cfg_.cc) + bond::policy_suffix(policy_);
   r.environment = environment_;
   r.duration = trajectory_->duration();
 
@@ -277,7 +417,7 @@ SessionReport MultipathSession::run() {
   r.ho_latency_ratios = r.handovers.latency_ratios(receiver_->owd_ms());
 
   r.fault_drops = link_a_->fault_drops() + link_b_->fault_drops();
-  r.failover_events = failover_events_;
+  r.failover_events = lm_->failover_events();
   // Prediction block follows the primary operator (matching the handover log
   // and fault placement above).
   r.prediction = adapter_a_->stats();
@@ -293,6 +433,30 @@ SessionReport MultipathSession::run() {
                               receiver_->player().stall_times());
     r.fault_outcomes = injector_->outcomes();
   }
+
+  // Bonded link management.
+  r.bond_policy = bond::policy_name(policy_);
+  r.bond_path_switches = lm_->path_switches();
+  r.bond_class_preemptions = lm_->class_preemptions();
+  r.bond_fec_rate_changes = fec_rate_changes_;
+  r.bond_reorder_flushes = window_ ? window_->flushes() : 0;
+  r.bond_duplicates_suppressed = duplicates_discarded();
+  r.bond_fec_recovered = receiver_->fec_recovered();
+  r.bond_airtime_bytes = lm_->airtime_bytes();
+  r.bond_media_bytes = sender_->bytes_sent();
+
+  r.obs_enabled = cfg_.obs.enabled;
+  if (recorder_) {
+    r.events = recorder_->snapshot();
+    r.obs_events_recorded = recorder_->recorded();
+    r.obs_events_dropped = recorder_->dropped();
+  }
+  if (metrics_) r.obs_metrics = metrics_->summary();
+
+  r.command_latency_ms = command_latency_ms_.values();
+  r.telemetry_latency_ms = telemetry_latency_ms_.values();
+  r.commands_sent = commands_sent_;
+  r.telemetry_sent = telemetry_sent_;
   return r;
 }
 

@@ -1,9 +1,16 @@
 // Multipath extension (paper Section 5 / reference [9]): stream the video
-// redundantly over TWO cellular operators at once. Each RTP packet is
-// duplicated onto both uplinks and the receiver forwards the first copy to
-// arrive, so an outage (handover stall, deep fade) on one operator is masked
-// whenever the other is healthy — the mechanism the paper proposes for
-// meeting the 99.999% availability requirement.
+// over TWO cellular operators at once, with the packet-level scheduling
+// delegated to a bond::LinkManager.
+//
+// The manager implements six named policies: the three legacy MultipathModes
+// (kDuplicate / kScheduled / kFailover, semantics preserved verbatim for
+// campaign comparability) plus the bonded policies — kLowLatency (fastest
+// path + adaptive FEC), kBalanced (capacity-weighted spray, keyframe/C2
+// duplication), kHighReliability (C2 duplicated everywhere, FEC-bonded video
+// at a fraction of kDuplicate's 2x airtime). Bonded receive goes through a
+// bounded reorder window with per-path skew estimation; the FEC parity rate
+// follows the link-health feed (loss EWMAs, capacity forecast, armed HO
+// predictions) via bond::AdaptiveFecController.
 //
 // The two links run independent radio/handover state over their own cell
 // layouts (e.g. rural P1 + rural P2) but share the UAV trajectory.
@@ -12,71 +19,112 @@
 #include <memory>
 #include <unordered_set>
 
+#include "bond/fec_controller.hpp"
+#include "bond/link_manager.hpp"
+#include "bond/policy.hpp"
 #include "cellular/cellular_link.hpp"
 #include "geo/trajectory.hpp"
 #include "net/wan_path.hpp"
 #include "obs/event_sink.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/recorder.hpp"
 #include "pipeline/report.hpp"
 #include "pipeline/session.hpp"
 #include "pipeline/video_receiver.hpp"
 #include "pipeline/video_sender.hpp"
+#include "bond/reorder_window.hpp"
 #include "sim/simulator.hpp"
 
 namespace rpv::pipeline {
 
-// How the two uplinks are used:
-//  * kDuplicate — every packet on both links, first copy wins (reliability;
-//    the paper's reference [9]);
-//  * kScheduled — each packet on the link with the currently shorter uplink
-//    queue (capacity aggregation, MPTCP/MP-QUIC style per Section 5);
-//  * kFailover — primary-only until the primary radio goes down (handover
-//    gap, RLF, injected blackout), then the secondary carries the stream
-//    until the primary heals. Half the airtime cost of kDuplicate.
+// Legacy mode selector, kept for source compatibility; maps 1:1 onto the
+// first three bond::Policy values.
 enum class MultipathMode { kDuplicate, kScheduled, kFailover };
+
+[[nodiscard]] constexpr bond::Policy policy_from_mode(MultipathMode m) {
+  switch (m) {
+    case MultipathMode::kScheduled: return bond::Policy::kScheduled;
+    case MultipathMode::kFailover: return bond::Policy::kFailover;
+    case MultipathMode::kDuplicate: break;
+  }
+  return bond::Policy::kDuplicate;
+}
 
 class MultipathSession {
  public:
   MultipathSession(SessionConfig cfg, cellular::CellLayout layout_a,
                    cellular::CellLayout layout_b,
                    const geo::Trajectory* trajectory,
+                   std::string environment_name, bond::Policy policy);
+
+  MultipathSession(SessionConfig cfg, cellular::CellLayout layout_a,
+                   cellular::CellLayout layout_b,
+                   const geo::Trajectory* trajectory,
                    std::string environment_name,
-                   MultipathMode mode = MultipathMode::kDuplicate);
+                   MultipathMode mode = MultipathMode::kDuplicate)
+      : MultipathSession(std::move(cfg), std::move(layout_a),
+                         std::move(layout_b), trajectory,
+                         std::move(environment_name), policy_from_mode(mode)) {}
 
   SessionReport run();
 
+  [[nodiscard]] bond::Policy policy() const { return policy_; }
   [[nodiscard]] cellular::CellularLink& link_a() { return *link_a_; }
   [[nodiscard]] cellular::CellularLink& link_b() { return *link_b_; }
-  // Packets whose first copy arrived via the secondary link: how often the
+  [[nodiscard]] bond::LinkManager& link_manager() { return *lm_; }
+  // Null for legacy policies (they keep the first-copy-wins direct path).
+  [[nodiscard]] const bond::ReorderWindow* reorder_window() const {
+    return window_.get();
+  }
+  // Packets whose accepted copy arrived via the secondary link: how often the
   // redundancy actually rescued delivery.
   [[nodiscard]] std::uint64_t rescued_by_b() const { return rescued_by_b_; }
   [[nodiscard]] std::uint64_t duplicates_discarded() const {
-    return duplicates_discarded_;
+    return window_ ? window_->duplicates_suppressed() : duplicates_discarded_;
   }
-  // kFailover: number of active-link switches (either direction).
-  [[nodiscard]] std::uint64_t failover_events() const { return failover_events_; }
+  // kFailover: number of active-link switches (either direction). Bonded
+  // policies: video-anchor switches.
+  [[nodiscard]] std::uint64_t failover_events() const {
+    return lm_->failover_events();
+  }
 
  private:
+  [[nodiscard]] cellular::CellularLink& path_link(int i) {
+    return i == 0 ? *link_a_ : *link_b_;
+  }
+  void transmit_media(net::Packet p);
+  void send_on_path(int path, net::Packet p);
   void deliver_to_receiver(net::Packet p, bool via_b);
   void send_feedback(const rtp::FeedbackReport& report, std::size_t size);
+  void send_command();
+  void send_telemetry();
+  void fec_tick(sim::TimePoint end);
 
   SessionConfig cfg_;
-  MultipathMode mode_;
+  bond::Policy policy_;
   const geo::Trajectory* trajectory_;
   std::string environment_;
   sim::Simulator sim_;
   sim::Rng rng_;
   // Per-operator event buses: each link publishes onto its own stream, and a
-  // relay sink feeds that operator's predictor (no cross-talk between modems).
+  // relay sink feeds that operator's predictor (no cross-talk between
+  // modems). Bond-layer events (path switches, FEC retunes, reorder flushes,
+  // class preemptions) ride bus A, the session-level stream.
   obs::EventBus bus_a_;
   obs::EventBus bus_b_;
+  std::unique_ptr<obs::RingBufferRecorder> recorder_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::FunctionSink> relay_a_;
   std::unique_ptr<obs::FunctionSink> relay_b_;
   std::unique_ptr<cellular::CellularLink> link_a_;
   std::unique_ptr<cellular::CellularLink> link_b_;
   // Predictor per operator; adapter A also drives the sender's dip/deferral
-  // and (in kFailover mode) predictive switching away from the primary.
+  // and (via the LinkManager) predictive switching away from the primary.
   std::unique_ptr<predict::ProactiveAdapter> adapter_a_;
   std::unique_ptr<predict::ProactiveAdapter> adapter_b_;
+  std::unique_ptr<bond::LinkManager> lm_;
+  std::unique_ptr<bond::ReorderWindow> window_;       // bonded policies only
+  std::unique_ptr<bond::AdaptiveFecController> fec_ctrl_;  // FEC policies only
   std::unique_ptr<net::WanPath> wan_up_;
   std::unique_ptr<net::WanPath> wan_down_;
   FrameTable table_;
@@ -84,10 +132,14 @@ class MultipathSession {
   std::unique_ptr<VideoReceiver> receiver_;
 
   std::unique_ptr<fault::FaultInjector> injector_;  // faults hit link A only
-  std::unordered_set<std::uint64_t> delivered_ids_;
+  std::unordered_set<std::uint64_t> delivered_ids_;  // legacy first-copy-wins
   sim::TimePoint last_feedback_forwarded_ = sim::TimePoint::never();
-  bool failover_on_b_ = false;
-  std::uint64_t failover_events_ = 0;
+  std::uint64_t last_command_done_ = 0;
+  metrics::TimeSeries command_latency_ms_;
+  metrics::TimeSeries telemetry_latency_ms_;
+  std::uint64_t commands_sent_ = 0;
+  std::uint64_t telemetry_sent_ = 0;
+  std::uint64_t fec_rate_changes_ = 0;
   std::uint64_t rescued_by_b_ = 0;
   std::uint64_t duplicates_discarded_ = 0;
   std::uint64_t radio_losses_ = 0;

@@ -65,6 +65,22 @@ struct SessionReport {
   // --- Prediction & proactive adaptation (rpv::predict) ---
   predict::PredictionStats prediction;
 
+  // --- Bonded link management (rpv::bond) ---
+  // Empty/zero for single-path sessions; multipath sessions fill the policy
+  // name ("duplicate", ..., "high-reliability") and the scheduler counters.
+  std::string bond_policy;
+  std::uint64_t bond_path_switches = 0;       // kPathSwitch events
+  std::uint64_t bond_class_preemptions = 0;   // C2/telemetry diversions
+  std::uint64_t bond_fec_rate_changes = 0;    // adaptive parity retunes
+  std::uint64_t bond_reorder_flushes = 0;     // reorder-window releases
+  std::uint64_t bond_duplicates_suppressed = 0;  // second copies discarded
+  std::uint64_t bond_fec_recovered = 0;       // packets rebuilt from parity
+  // Total bytes offered to the radios (every copy + parity) vs the sender's
+  // unique media bytes: the airtime-overhead numerator/denominator for the
+  // airtime-vs-stall tradeoff tables.
+  std::uint64_t bond_airtime_bytes = 0;
+  std::uint64_t bond_media_bytes = 0;
+
   // --- Observability (rpv::obs) ---
   bool obs_enabled = false;
   std::uint64_t obs_events_recorded = 0;  // accepted by the ring recorder

@@ -198,6 +198,21 @@ json::Value report_to_json(const SessionReport& r) {
     v.set("prediction", std::move(o));
   }
 
+  // Bonded link management (schema v4).
+  {
+    json::Value o = json::Value::object();
+    o.set("policy", r.bond_policy)
+        .set("path_switches", r.bond_path_switches)
+        .set("class_preemptions", r.bond_class_preemptions)
+        .set("fec_rate_changes", r.bond_fec_rate_changes)
+        .set("reorder_flushes", r.bond_reorder_flushes)
+        .set("duplicates_suppressed", r.bond_duplicates_suppressed)
+        .set("fec_recovered", r.bond_fec_recovered)
+        .set("airtime_bytes", r.bond_airtime_bytes)
+        .set("media_bytes", r.bond_media_bytes);
+    v.set("bond", std::move(o));
+  }
+
   // Observability. Counters and histograms are small and round-trip here;
   // the recorder's event snapshot is exported as a sibling events.jsonl by
   // the artifact store, never inlined into the report document.
@@ -327,6 +342,19 @@ SessionReport report_from_json(const json::Value& v) {
     p.keyframes_deferred = o.at("keyframes_deferred").as_u64();
     p.proactive_flushes = o.at("proactive_flushes").as_u64();
     p.predictive_switches = o.at("predictive_switches").as_u64();
+  }
+
+  {
+    const auto& o = v.at("bond");
+    r.bond_policy = o.at("policy").as_string();
+    r.bond_path_switches = o.at("path_switches").as_u64();
+    r.bond_class_preemptions = o.at("class_preemptions").as_u64();
+    r.bond_fec_rate_changes = o.at("fec_rate_changes").as_u64();
+    r.bond_reorder_flushes = o.at("reorder_flushes").as_u64();
+    r.bond_duplicates_suppressed = o.at("duplicates_suppressed").as_u64();
+    r.bond_fec_recovered = o.at("fec_recovered").as_u64();
+    r.bond_airtime_bytes = o.at("airtime_bytes").as_u64();
+    r.bond_media_bytes = o.at("media_bytes").as_u64();
   }
 
   {

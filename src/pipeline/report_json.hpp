@@ -15,8 +15,9 @@
 namespace rpv::pipeline {
 
 // Version 2 added stall_duration_ms and the prediction block; version 3 the
-// observability block (enabled flag, recorder totals, counters, histograms).
-inline constexpr int kReportSchemaVersion = 3;
+// observability block (enabled flag, recorder totals, counters, histograms);
+// version 4 the bond block (policy name + bonded-scheduler counters).
+inline constexpr int kReportSchemaVersion = 4;
 
 [[nodiscard]] json::Value report_to_json(const SessionReport& r);
 

@@ -94,6 +94,16 @@ class VideoSender {
     cc_->attach_observer(bus);
   }
 
+  // Retune the FEC parity rate mid-stream (bonded sessions drive this from
+  // the adaptive controller). No-op when FEC is disabled; takes effect as
+  // interleave slots reach the new group size.
+  void set_fec_group_size(int n) {
+    if (fec_) fec_->set_group_size(n);
+  }
+  [[nodiscard]] int fec_group_size() const {
+    return fec_ ? fec_->group_size() : 0;
+  }
+
   [[nodiscard]] cc::RateController& controller() { return *cc_; }
   [[nodiscard]] const cc::RateController& controller() const { return *cc_; }
   [[nodiscard]] std::uint32_t frames_encoded() const { return frames_encoded_; }

@@ -72,6 +72,9 @@ class ProactiveAdapter {
   [[nodiscard]] double forecast_capacity_mbps() const {
     return forecaster_.forecast_mbps();
   }
+  // False until the Holt filter has enough samples to extrapolate (the
+  // bonded FEC controller ignores the forecast until then).
+  [[nodiscard]] bool forecast_ready() const { return forecaster_.ready(); }
   [[nodiscard]] double owd_ewma_ms() const { return owd_.value(); }
   [[nodiscard]] double goodput_ewma_mbps() const { return goodput_.value(); }
   [[nodiscard]] const HandoverPredictor& ho_predictor() const {

@@ -4,6 +4,10 @@
 
 namespace rpv::rtp {
 
+void FecEncoder::set_group_size(int n) {
+  cfg_.group_size = n < 2 ? 2 : n;
+}
+
 std::optional<net::Packet> FecEncoder::on_media_packet(net::Packet& media) {
   if (slots_.empty()) slots_.resize(static_cast<std::size_t>(cfg_.interleave_depth));
   Slot& slot = slots_[next_slot_];

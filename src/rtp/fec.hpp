@@ -58,6 +58,12 @@ class FecEncoder {
   // return the parity packet to transmit after it.
   std::optional<net::Packet> on_media_packet(net::Packet& media);
 
+  // Retune the parity rate mid-stream (rpv::bond adaptive FEC). Groups
+  // already filling emit as soon as they reach the new size, so lowering the
+  // group size takes effect within one interleave round trip. Clamped >= 2.
+  void set_group_size(int n);
+
+  [[nodiscard]] int group_size() const { return cfg_.group_size; }
   [[nodiscard]] std::uint64_t parity_packets() const { return parity_count_; }
 
  private:

@@ -19,6 +19,7 @@ std::vector<net::Packet> Packetizer::packetize(const video::Frame& frame) {
     p.transport_seq = transport_seq_++;
     p.frame_id = frame.id;
     p.frame_last = (i + 1 == n);
+    p.keyframe = frame.keyframe;
     p.rtp_timestamp = frame.capture_time;
     out.push_back(p);
   }

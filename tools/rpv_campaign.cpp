@@ -13,6 +13,7 @@
 //   operators  {rural-p1, rural-p2} x air x {gcc, scream}
 //   tech       urban x air x {gcc, static} x {lte, 5g-sa}
 //   predict    {urban, rural-p1} x air x all CCs x {reactive, proactive}
+//   bond       rural pair x {failover, duplicate, bond-*} x {rlf-storm, chaos}
 #include <cstdlib>
 #include <iostream>
 #include <optional>
@@ -90,6 +91,23 @@ std::vector<NamedGrid> named_grids() {
                   pipeline::CcKind::kStatic};
     g.axes.policies = {experiment::Policy::kReactive,
                        experiment::Policy::kProactive};
+    grids.push_back(std::move(g));
+  }
+  {
+    NamedGrid g;
+    g.name = "bond";
+    g.description =
+        "bonded operator pair: legacy modes vs rpv::bond policies x faults";
+    g.axes.envs = {experiment::Environment::kRuralP1};
+    g.axes.multipaths = {experiment::Multipath::kFailover,
+                         experiment::Multipath::kDuplicate,
+                         experiment::Multipath::kBondLowLatency,
+                         experiment::Multipath::kBondBalanced,
+                         experiment::Multipath::kBondHighReliability};
+    g.axes.fault_presets = {experiment::FaultPreset::kRlfStorm,
+                            experiment::FaultPreset::kChaos};
+    g.base.cc = pipeline::CcKind::kStatic;
+    g.base.c2 = true;
     grids.push_back(std::move(g));
   }
   return grids;
