@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate the committed fleet perf baselines (bench_out/BENCH_*.json).
+#
+# Run this on the CI reference machine class after any change that is
+# *supposed* to move fleet throughput, then commit the refreshed files; the
+# perf gate (scripts/perf_gate.sh) fails CI when events_per_second drops more
+# than 20% below these numbers.
+#
+# Usage: scripts/bench_baseline.sh [--quick]
+#   --quick   small sizes only (smoke-test the script itself, not a baseline)
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+sizes="1,4,16,64,256,1000"
+horizon=60
+[[ "${1:-}" == "--quick" ]] && { sizes="1,4,16"; horizon=20; }
+
+cmake -S "$repo" -B "$repo/build" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$repo/build" -j "$jobs" --target bench_ext_fleet
+
+mkdir -p "$repo/bench_out"
+for env in urban rural-p1; do
+  out="$repo/bench_out/BENCH_fleet_${env//-/_}.json"
+  echo "== fleet baseline: $env (sizes $sizes, horizon ${horizon}s) =="
+  "$repo/build/bench/bench_ext_fleet" \
+    --env "$env" --sizes "$sizes" --horizon "$horizon" \
+    --bench-json "$out"
+  echo
+done
+
+echo "baselines written; commit the bench_out/BENCH_*.json files"

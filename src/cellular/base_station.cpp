@@ -1,74 +1,97 @@
 #include "cellular/base_station.hpp"
 
-namespace rpv::cellular {
-namespace {
+#include "sim/validate.hpp"
 
-// Place `n` cells on a jittered grid covering [x0,x1]x[y0,y1].
-std::vector<BaseStation> jittered_grid(sim::Rng& rng, int n, double x0, double x1,
-                                       double y0, double y1, double jitter,
-                                       double mast_height) {
-  std::vector<BaseStation> cells;
-  cells.reserve(static_cast<std::size_t>(n));
-  // Near-square grid with enough sites for n cells.
+namespace rpv::cellular {
+
+GridLayoutSpec urban_grid_spec() {
+  // 32 cells covering the campus flight area plus surroundings; rooftop
+  // masts ~30 m, strong downtilt for dense street-level coverage, smaller
+  // urban cells transmit less.
+  GridLayoutSpec spec;
+  spec.name = "urban";
+  spec.cells = 32;
+  spec.x0 = -700.0; spec.x1 = 700.0;
+  spec.y0 = -700.0; spec.y1 = 700.0;
+  spec.jitter_m = 60.0;
+  spec.mast_height_m = 30.0;
+  spec.downtilt_deg = 8.0;
+  spec.tx_power_dbm = 43.0;
+  return spec;
+}
+
+GridLayoutSpec rural_p1_grid_spec() {
+  // 18 cells spread over a wide open area; tall masts, gentle downtilt,
+  // higher power for range. Inter-site distance ~2 km.
+  GridLayoutSpec spec;
+  spec.name = "rural-p1";
+  spec.cells = 18;
+  spec.x0 = -4000.0; spec.x1 = 4000.0;
+  spec.y0 = -4000.0; spec.y1 = 4000.0;
+  spec.jitter_m = 400.0;
+  spec.mast_height_m = 45.0;
+  spec.downtilt_deg = 4.0;
+  spec.tx_power_dbm = 46.0;
+  return spec;
+}
+
+GridLayoutSpec rural_p2_grid_spec() {
+  // Competing operator with a denser rural deployment (~30 cells in the
+  // same region), which yields both more capacity and more handovers. Its
+  // cell ids live 100 above P1's so bonded sessions never alias.
+  GridLayoutSpec spec;
+  spec.name = "rural-p2";
+  spec.cells = 30;
+  spec.x0 = -4000.0; spec.x1 = 4000.0;
+  spec.y0 = -4000.0; spec.y1 = 4000.0;
+  spec.jitter_m = 350.0;
+  spec.mast_height_m = 45.0;
+  spec.downtilt_deg = 4.0;
+  spec.tx_power_dbm = 46.0;
+  spec.first_cell_id = 101;
+  return spec;
+}
+
+CellLayout make_grid_layout(sim::Rng& rng, const GridLayoutSpec& spec) {
+  rpv::validate(spec.cells > 0, "GridLayoutSpec: cells must be positive");
+  CellLayout layout;
+  layout.name = spec.name;
+  layout.cells.reserve(static_cast<std::size_t>(spec.cells));
+  // Near-square grid with enough sites for the requested cell count.
+  const int n = spec.cells;
   int cols = 1;
   while (cols * cols < n) ++cols;
   const int rows = (n + cols - 1) / cols;
-  int id = 1;
-  for (int r = 0; r < rows && id <= n; ++r) {
-    for (int c = 0; c < cols && id <= n; ++c) {
+  int placed = 0;
+  for (int r = 0; r < rows && placed < n; ++r) {
+    for (int c = 0; c < cols && placed < n; ++c) {
       const double fx = cols > 1 ? static_cast<double>(c) / (cols - 1) : 0.5;
       const double fy = rows > 1 ? static_cast<double>(r) / (rows - 1) : 0.5;
       BaseStation bs;
-      bs.cell_id = static_cast<std::uint32_t>(id++);
-      bs.pos = {x0 + fx * (x1 - x0) + rng.uniform(-jitter, jitter),
-                y0 + fy * (y1 - y0) + rng.uniform(-jitter, jitter),
-                mast_height + rng.uniform(-5.0, 10.0)};
-      cells.push_back(bs);
+      bs.cell_id = spec.first_cell_id + static_cast<std::uint32_t>(placed++);
+      bs.pos = {spec.x0 + fx * (spec.x1 - spec.x0) +
+                    rng.uniform(-spec.jitter_m, spec.jitter_m),
+                spec.y0 + fy * (spec.y1 - spec.y0) +
+                    rng.uniform(-spec.jitter_m, spec.jitter_m),
+                spec.mast_height_m + rng.uniform(-5.0, 10.0)};
+      bs.downtilt_deg = spec.downtilt_deg;
+      bs.tx_power_dbm = spec.tx_power_dbm;
+      layout.cells.push_back(bs);
     }
   }
-  return cells;
+  return layout;
 }
 
-}  // namespace
-
 CellLayout make_urban_layout(sim::Rng& rng) {
-  CellLayout layout;
-  layout.name = "urban";
-  // 32 cells covering the campus flight area plus surroundings; rooftop
-  // masts ~30 m, strong downtilt for dense street-level coverage.
-  layout.cells = jittered_grid(rng, 32, -700.0, 700.0, -700.0, 700.0, 60.0, 30.0);
-  for (auto& bs : layout.cells) {
-    bs.downtilt_deg = 8.0;
-    bs.tx_power_dbm = 43.0;  // smaller urban cells transmit less
-  }
-  return layout;
+  return make_grid_layout(rng, urban_grid_spec());
 }
 
 CellLayout make_rural_layout_p1(sim::Rng& rng) {
-  CellLayout layout;
-  layout.name = "rural-p1";
-  // 18 cells spread over a wide open area; tall masts, gentle downtilt,
-  // higher power for range. Inter-site distance ~2 km.
-  layout.cells = jittered_grid(rng, 18, -4000.0, 4000.0, -4000.0, 4000.0, 400.0, 45.0);
-  for (auto& bs : layout.cells) {
-    bs.downtilt_deg = 4.0;
-    bs.tx_power_dbm = 46.0;
-  }
-  return layout;
+  return make_grid_layout(rng, rural_p1_grid_spec());
 }
 
 CellLayout make_rural_layout_p2(sim::Rng& rng) {
-  CellLayout layout;
-  layout.name = "rural-p2";
-  // Competing operator with a denser rural deployment (~30 cells in the
-  // same region), which yields both more capacity and more handovers.
-  layout.cells = jittered_grid(rng, 30, -4000.0, 4000.0, -4000.0, 4000.0, 350.0, 45.0);
-  for (auto& bs : layout.cells) {
-    bs.cell_id += 100;  // distinct id space from P1
-    bs.downtilt_deg = 4.0;
-    bs.tx_power_dbm = 46.0;
-  }
-  return layout;
+  return make_grid_layout(rng, rural_p2_grid_spec());
 }
 
 }  // namespace rpv::cellular

@@ -26,6 +26,32 @@ struct CellLayout {
   [[nodiscard]] std::size_t size() const { return cells.size(); }
 };
 
+// One deployment recipe: `cells` sites on a near-square jittered grid
+// covering [x0,x1] x [y0,y1]. Every named layout below is an instance of
+// this; rpv::fleet re-stamps layouts from the same specs when it builds a
+// shared deployment per fleet scenario.
+struct GridLayoutSpec {
+  std::string name;
+  int cells = 1;
+  double x0 = 0.0, x1 = 0.0;    // coverage rectangle (m)
+  double y0 = 0.0, y1 = 0.0;
+  double jitter_m = 0.0;        // uniform per-site position jitter
+  double mast_height_m = 30.0;  // nominal mast height (+/- a few meters)
+  double downtilt_deg = 6.0;
+  double tx_power_dbm = 46.0;
+  std::uint32_t first_cell_id = 1;
+};
+
+// The specs behind the three named layouts.
+[[nodiscard]] GridLayoutSpec urban_grid_spec();
+[[nodiscard]] GridLayoutSpec rural_p1_grid_spec();
+[[nodiscard]] GridLayoutSpec rural_p2_grid_spec();
+
+// Stamp a layout from a spec. Per site the generator draws exactly three
+// uniforms (x jitter, y jitter, mast-height offset), so a given rng state
+// always yields the same deployment.
+[[nodiscard]] CellLayout make_grid_layout(sim::Rng& rng, const GridLayoutSpec& spec);
+
 // Urban layout: ~32 reachable cells in a ~1.4 x 0.5 km area with moderately
 // high buildings — dense inter-site distance of roughly 250 m.
 CellLayout make_urban_layout(sim::Rng& rng);

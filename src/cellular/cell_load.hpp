@@ -1,0 +1,29 @@
+// Cell-load interface between a UE's link and whatever owns the deployment.
+//
+// An LTE/5G cell schedules its physical resource blocks across every
+// attached active UE, so the goodput ceiling the paper measures (§4.1:
+// ~40 Mbps urban, ~10 Mbps rural) is a *cell* budget, not a per-UAV
+// guarantee. A CellularLink consults its CellLoadProvider — when one is
+// attached — for the PRB share its serving cell currently grants it;
+// rpv::fleet's SharedDeployment implements the provider over the frozen
+// per-epoch load table so shared-cell contention stays deterministic.
+//
+// No provider attached (every single-UAV session today) means a full share
+// of 1.0, which reproduces the unloaded model bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace rpv::cellular {
+
+class CellLoadProvider {
+ public:
+  virtual ~CellLoadProvider() = default;
+
+  // Fraction of the cell's PRBs granted to one UE, in (0, 1]. Must be safe
+  // to call from the link's event loop at any time; implementations backing
+  // several concurrent sessions return values frozen for the current epoch.
+  [[nodiscard]] virtual double prb_share(std::uint32_t cell_id) const = 0;
+};
+
+}  // namespace rpv::cellular

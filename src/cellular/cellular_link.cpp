@@ -96,7 +96,9 @@ void CellularLink::refresh_capacity() {
       !cfg_.handover.make_before_break && ho_->in_handover(sim_.now());
   const double factor =
       interrupted ? 0.0 : ho_->capacity_factor(sim_.now());
-  capacity_mbps_ = radio_->capacity_mbps(ho_->serving_cell()) * std::max(factor, 0.02);
+  const double share = load_ ? load_->prb_share(ho_->serving_cell()) : 1.0;
+  capacity_mbps_ =
+      radio_->capacity_mbps(ho_->serving_cell(), share) * std::max(factor, 0.02);
   if (sim_.now() < collapse_until_) capacity_mbps_ *= collapse_residual_;
 }
 

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "cellular/base_station.hpp"
+#include "cellular/cell_load.hpp"
 #include "cellular/handover.hpp"
 #include "cellular/link_queue.hpp"
 #include "cellular/loss_model.hpp"
@@ -100,6 +101,15 @@ class CellularLink {
   // Notification for every packet lost on the radio (media loss accounting).
   void set_loss_callback(LossFn fn) { on_loss_ = std::move(fn); }
 
+  // Attach a shared-cell load provider (borrowed; must outlive the link).
+  // Every capacity refresh then scales the radio capacity by the provider's
+  // PRB share for the serving cell. Without one the link models a private,
+  // unloaded cell — today's single-UAV behavior, bit for bit.
+  void set_load_provider(const CellLoadProvider* provider) {
+    load_ = provider;
+    refresh_capacity();
+  }
+
   // Attach the session's event bus. The link publishes kLinkMeasurement,
   // kHandoverStart/End, kRlf, kQueueDepth and kPacketLost; the uplink queue
   // (forwarded here) publishes its enqueue/drop events. Measurement consumers
@@ -166,6 +176,7 @@ class CellularLink {
   LossModel loss_;
   LossFn on_loss_;
   obs::EventBus* bus_ = nullptr;
+  const CellLoadProvider* load_ = nullptr;
   double capacity_mbps_ = 10.0;
   sim::TimePoint last_uplink_delivery_;  // enforce in-order delivery (RLC)
 

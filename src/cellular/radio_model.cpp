@@ -116,11 +116,22 @@ double RadioModel::sinr_db(std::uint32_t serving_cell) const {
 }
 
 double RadioModel::capacity_mbps(std::uint32_t serving_cell) const {
+  return capacity_mbps(serving_cell, 1.0);
+}
+
+double RadioModel::capacity_mbps(std::uint32_t serving_cell,
+                                 double prb_share) const {
+  // Even a fully loaded cell keeps granting a starved UE the odd PRB.
+  constexpr double kResidualGrantMbps = 0.25;
+  const double share = std::clamp(prb_share, 0.0, 1.0);
   const double sinr = db_to_linear(sinr_db(serving_cell));
   const double ref = db_to_linear(cfg_.reference_sinr_db);
   const double eff = std::log2(1.0 + sinr) / std::log2(1.0 + ref);
-  const double cap = cfg_.peak_capacity_mbps * std::clamp(eff, 0.0, 1.25);
-  return std::clamp(cap, cfg_.min_capacity_mbps, cfg_.operator_cap_mbps);
+  const double cap = cfg_.peak_capacity_mbps * std::clamp(eff, 0.0, 1.25) * share;
+  const double floor =
+      share >= 1.0 ? cfg_.min_capacity_mbps
+                   : std::max(cfg_.min_capacity_mbps * share, kResidualGrantMbps);
+  return std::clamp(cap, floor, cfg_.operator_cap_mbps);
 }
 
 }  // namespace rpv::cellular

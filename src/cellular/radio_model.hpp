@@ -75,6 +75,13 @@ class RadioModel {
   [[nodiscard]] double sinr_db(std::uint32_t serving_cell) const;
   // Achievable uplink capacity in Mbps for the given serving cell.
   [[nodiscard]] double capacity_mbps(std::uint32_t serving_cell) const;
+  // Capacity when the cell grants this UE only `prb_share` of its resource
+  // blocks (N active users sharing a cell each see ~1/N). A share of 1.0 is
+  // bit-identical to the unloaded overload; smaller shares scale the
+  // SINR-derived capacity and the minimum-capacity floor alike, bounded
+  // below by a residual scheduling grant so a starved UE still drains.
+  [[nodiscard]] double capacity_mbps(std::uint32_t serving_cell,
+                                     double prb_share) const;
 
   [[nodiscard]] const RadioConfig& config() const { return cfg_; }
   [[nodiscard]] const CellLayout& layout() const { return *layout_; }

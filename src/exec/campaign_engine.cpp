@@ -132,6 +132,27 @@ std::vector<pipeline::SessionReport> CampaignEngine::run_scenarios(
   return reports;
 }
 
+MergedCampaignResult CampaignEngine::run_scenarios_merged(
+    const std::vector<experiment::Scenario>& scenarios) const {
+  for (const auto& s : scenarios) {
+    experiment::make_session_config(s).validate();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  // One registry per run, indexed like the scenarios; workers only touch
+  // their own slot, and the fold below walks the slots in index order.
+  std::vector<obs::MetricsRegistry> registries(scenarios.size());
+  parallel_for_index(scenarios.size(), cfg_.jobs, [&](std::size_t i) {
+    (void)experiment::run_scenario(scenarios[i], &registries[i]);
+  });
+  MergedCampaignResult result;
+  result.runs = scenarios.size();
+  obs::MetricsRegistry merged;
+  for (const auto& reg : registries) merged.merge(reg);
+  result.metrics = merged.summary();
+  result.wall_seconds = elapsed_seconds(start);
+  return result;
+}
+
 CampaignResult CampaignEngine::run(const experiment::Campaign& campaign) const {
   rpv::validate(campaign.runs > 0, "Campaign.runs must be > 0");
   const auto start = std::chrono::steady_clock::now();

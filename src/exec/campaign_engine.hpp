@@ -20,6 +20,7 @@
 
 #include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
+#include "obs/metrics_registry.hpp"
 #include "pipeline/report.hpp"
 
 namespace rpv::exec {
@@ -68,6 +69,15 @@ struct CampaignResult {
   double wall_seconds = 0.0;
 };
 
+// Streaming aggregation result: one merged metrics summary for a whole
+// campaign instead of N retained SessionReports. Per-run counts fold into
+// fixed-size counters/histograms, so memory stays O(1) in campaign size.
+struct MergedCampaignResult {
+  obs::MetricsSummary metrics;  // fold of every run's MetricsRegistry
+  std::size_t runs = 0;
+  double wall_seconds = 0.0;
+};
+
 struct GridCellResult {
   GridCell cell;
   std::vector<std::uint64_t> seeds;
@@ -95,6 +105,13 @@ class CampaignEngine {
   // Run every scenario; reports[i] is scenario i's, regardless of worker
   // count or completion order.
   [[nodiscard]] std::vector<pipeline::SessionReport> run_scenarios(
+      const std::vector<experiment::Scenario>& scenarios) const;
+
+  // Run every scenario with a per-run MetricsRegistry subscribed to its
+  // event bus and fold the registries in scenario-index order. Merging is
+  // associative and index-ordered, so the summary is byte-identical for any
+  // worker count; per-run reports are dropped as soon as each run finishes.
+  [[nodiscard]] MergedCampaignResult run_scenarios_merged(
       const std::vector<experiment::Scenario>& scenarios) const;
 
   // Validates via rpv::validate (runs > 0) and shards the campaign's seeds.

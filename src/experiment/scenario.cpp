@@ -186,7 +186,29 @@ geo::Trajectory make_trajectory(const Scenario& s, sim::Rng& rng) {
   return geo::make_flight_profile(origin);
 }
 
+geo::Trajectory make_trajectory(const Scenario& s, sim::Rng& rng,
+                                const geo::Vec3& origin, sim::Duration horizon) {
+  const auto fallback = sim::Duration::seconds(360.0);
+  switch (s.mobility) {
+    case Mobility::kAir:
+      return geo::make_flight_profile({origin.x, origin.y, 0.0})
+          .truncated(horizon);
+    case Mobility::kGround:
+      return geo::make_ground_profile({origin.x, origin.y, 1.5}, rng)
+          .truncated(horizon);
+    case Mobility::kStatic:
+      return geo::make_static_profile(
+          origin, horizon > sim::Duration::zero() ? horizon : fallback);
+  }
+  return geo::make_flight_profile({origin.x, origin.y, 0.0}).truncated(horizon);
+}
+
 pipeline::SessionReport run_scenario(const Scenario& s) {
+  return run_scenario(s, nullptr);
+}
+
+pipeline::SessionReport run_scenario(const Scenario& s,
+                                     obs::EventSink* extra_sink) {
   sim::Rng rng{s.seed * 0x9E3779B97F4A7C15ULL + 0x1234567};
   auto layout = make_layout(s, rng);
   if (s.multipath != Multipath::kNone) {
@@ -210,12 +232,14 @@ pipeline::SessionReport run_scenario(const Scenario& s) {
         environment_name(s.env) + "+" + environment_name(other.env) + "/" +
             mobility_name(s.mobility),
         bond_policy_of(s.multipath)};
+    if (extra_sink != nullptr) session.subscribe(extra_sink);
     return session.run();
   }
   auto trajectory = make_trajectory(s, rng);
   auto cfg = make_session_config(s);
   pipeline::Session session{cfg, std::move(layout), &trajectory,
                             environment_name(s.env) + "/" + mobility_name(s.mobility)};
+  if (extra_sink != nullptr) session.observer().subscribe(extra_sink);
   return session.run();
 }
 

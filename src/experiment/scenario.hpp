@@ -113,7 +113,23 @@ struct Scenario {
 // a static hold.
 [[nodiscard]] geo::Trajectory make_trajectory(const Scenario& s, sim::Rng& rng);
 
+// The same profiles launched from an arbitrary origin with a bounded
+// mission horizon (zero keeps each profile's native duration). Static
+// missions hover at `origin` (including its altitude); air and ground
+// missions start there and are truncated to the horizon. rpv::fleet places
+// hundreds of UAVs across one deployment with this.
+[[nodiscard]] geo::Trajectory make_trajectory(const Scenario& s, sim::Rng& rng,
+                                              const geo::Vec3& origin,
+                                              sim::Duration horizon);
+
 // Run one scenario end to end.
 [[nodiscard]] pipeline::SessionReport run_scenario(const Scenario& s);
+
+// Same, with an extra event sink subscribed to the session's bus(es) before
+// the run — the streaming-aggregation path: a campaign folds per-run
+// MetricsRegistry sinks without any per-run report JSON. `extra_sink` may be
+// null (plain run_scenario behavior).
+[[nodiscard]] pipeline::SessionReport run_scenario(const Scenario& s,
+                                                   obs::EventSink* extra_sink);
 
 }  // namespace rpv::experiment

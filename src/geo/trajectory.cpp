@@ -36,6 +36,21 @@ Trajectory& Trajectory::hover(sim::Duration d) {
   return *this;
 }
 
+Trajectory Trajectory::truncated(sim::Duration max_duration) const {
+  if (points_.empty() || max_duration <= sim::Duration::zero() ||
+      duration() <= max_duration) {
+    return *this;
+  }
+  const auto cut = start() + max_duration;
+  std::vector<Waypoint> pts;
+  for (const auto& w : points_) {
+    if (w.t >= cut) break;
+    pts.push_back(w);
+  }
+  pts.push_back({cut, position(cut)});
+  return Trajectory{std::move(pts)};
+}
+
 Vec3 Trajectory::position(sim::TimePoint t) const {
   if (points_.empty()) return {};
   if (t <= points_.front().t) return points_.front().pos;

@@ -29,6 +29,12 @@ class Trajectory {
   // Append a hold at the current position for `d`.
   Trajectory& hover(sim::Duration d);
 
+  // A copy cut off `max_duration` after start (the final waypoint is the
+  // interpolated position at the cut). Durations at or beyond the current
+  // one — or non-positive ones — return the trajectory unchanged; fleet
+  // scenarios use this to bound mission horizons without new profiles.
+  [[nodiscard]] Trajectory truncated(sim::Duration max_duration) const;
+
   [[nodiscard]] Vec3 position(sim::TimePoint t) const;
   // Instantaneous speed (m/s) on the active segment.
   [[nodiscard]] double speed(sim::TimePoint t) const;

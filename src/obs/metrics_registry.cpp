@@ -20,6 +20,15 @@ void Histogram::add(double x) {
   ++total;
 }
 
+void Histogram::merge(const Histogram& other) {
+  rpv::validate(name == other.name, "Histogram::merge: name mismatch");
+  rpv::validate(edges == other.edges, "Histogram::merge: edge mismatch");
+  rpv::validate(counts.size() == other.counts.size(),
+                "Histogram::merge: bucket count mismatch");
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  total += other.total;
+}
+
 MetricsRegistry::MetricsRegistry()
     : het_ms_("het_ms", {20, 50, 100, 200, 500, 1000, 2000}),
       owd_ms_("owd_ms", {20, 50, 100, 150, 200, 300, 500, 1000, 2000}),
@@ -59,6 +68,19 @@ void MetricsRegistry::on_event(const Event& e) {
     default:
       break;
   }
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (std::size_t c = 0; c < kComponentCount; ++c) {
+    for (std::size_t k = 0; k < kEventKindCount; ++k) {
+      counts_[c][k] += other.counts_[c][k];
+    }
+  }
+  het_ms_.merge(other.het_ms_);
+  owd_ms_.merge(other.owd_ms_);
+  stall_ms_.merge(other.stall_ms_);
+  queue_kbytes_.merge(other.queue_kbytes_);
+  target_rate_mbps_.merge(other.target_rate_mbps_);
 }
 
 MetricsSummary MetricsRegistry::summary() const {

@@ -35,6 +35,11 @@ struct Histogram {
   Histogram(std::string name_, std::vector<double> edges_);
 
   void add(double x);
+  // Fold another histogram with identical name and edges into this one
+  // (bucket-wise count addition). Merging is commutative and associative,
+  // so any fold order over per-shard histograms yields the same result.
+  // Throws std::invalid_argument on a layout mismatch.
+  void merge(const Histogram& other);
   bool operator==(const Histogram&) const = default;
 };
 
@@ -57,6 +62,12 @@ class MetricsRegistry final : public EventSink {
     return counts_[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)];
   }
   [[nodiscard]] MetricsSummary summary() const;
+
+  // Fold another registry into this one: counters and histogram buckets add
+  // element-wise. The layouts are fixed at compile time, so merging is
+  // total, commutative and associative — fleet shards merge in shard-index
+  // order and the result is independent of which worker filled which shard.
+  void merge(const MetricsRegistry& other);
 
  private:
   std::array<std::array<std::uint64_t, kEventKindCount>, kComponentCount>

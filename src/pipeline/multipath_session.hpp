@@ -68,6 +68,14 @@ class MultipathSession {
 
   SessionReport run();
 
+  // Subscribe an extra sink to both operator buses before run(). Every
+  // event is published on exactly one of the two buses, so the sink sees
+  // the union of both paths' streams exactly once per event.
+  void subscribe(obs::EventSink* sink) {
+    bus_a_.subscribe(sink);
+    bus_b_.subscribe(sink);
+  }
+
   [[nodiscard]] bond::Policy policy() const { return policy_; }
   [[nodiscard]] cellular::CellularLink& link_a() { return *link_a_; }
   [[nodiscard]] cellular::CellularLink& link_b() { return *link_b_; }

@@ -124,6 +124,58 @@ std::vector<std::pair<double, double>> pairs_from_json(const json::Value& v) {
 
 }  // namespace
 
+json::Value histogram_to_json(const obs::Histogram& h) {
+  json::Value e = json::Value::object();
+  e.set("name", h.name).set("edges", doubles_to_json(h.edges));
+  json::Value counts = json::Value::array();
+  for (const auto c : h.counts) counts.push_back(c);
+  e.set("counts", std::move(counts));
+  e.set("total", h.total);
+  return e;
+}
+
+obs::Histogram histogram_from_json(const json::Value& v) {
+  obs::Histogram h;
+  h.name = v.at("name").as_string();
+  h.edges = doubles_from_json(v.at("edges"));
+  for (const auto& c : v.at("counts").items()) {
+    h.counts.push_back(c.as_u64());
+  }
+  h.total = v.at("total").as_u64();
+  return h;
+}
+
+json::Value metrics_summary_to_json(const obs::MetricsSummary& m) {
+  json::Value o = json::Value::object();
+  json::Value counters = json::Value::array();
+  for (const auto& c : m.counters) {
+    json::Value e = json::Value::object();
+    e.set("name", c.name).set("value", c.value);
+    counters.push_back(std::move(e));
+  }
+  o.set("counters", std::move(counters));
+  json::Value hists = json::Value::array();
+  for (const auto& h : m.histograms) {
+    hists.push_back(histogram_to_json(h));
+  }
+  o.set("histograms", std::move(hists));
+  return o;
+}
+
+obs::MetricsSummary metrics_summary_from_json(const json::Value& v) {
+  obs::MetricsSummary m;
+  for (const auto& e : v.at("counters").items()) {
+    obs::Counter c;
+    c.name = e.at("name").as_string();
+    c.value = e.at("value").as_u64();
+    m.counters.push_back(std::move(c));
+  }
+  for (const auto& e : v.at("histograms").items()) {
+    m.histograms.push_back(histogram_from_json(e));
+  }
+  return m;
+}
+
 json::Value report_to_json(const SessionReport& r) {
   json::Value v = json::Value::object();
   v.set("schema", std::int64_t{kReportSchemaVersion});
@@ -217,30 +269,10 @@ json::Value report_to_json(const SessionReport& r) {
   // the recorder's event snapshot is exported as a sibling events.jsonl by
   // the artifact store, never inlined into the report document.
   {
-    const auto& m = r.obs_metrics;
-    json::Value o = json::Value::object();
+    json::Value o = metrics_summary_to_json(r.obs_metrics);
     o.set("enabled", r.obs_enabled)
         .set("events_recorded", r.obs_events_recorded)
         .set("events_dropped", r.obs_events_dropped);
-    json::Value counters = json::Value::array();
-    for (const auto& c : m.counters) {
-      json::Value e = json::Value::object();
-      e.set("name", c.name).set("value", c.value);
-      counters.push_back(std::move(e));
-    }
-    o.set("counters", std::move(counters));
-    json::Value hists = json::Value::array();
-    for (const auto& h : m.histograms) {
-      json::Value e = json::Value::object();
-      e.set("name", h.name)
-          .set("edges", doubles_to_json(h.edges));
-      json::Value counts = json::Value::array();
-      for (const auto c : h.counts) counts.push_back(c);
-      e.set("counts", std::move(counts));
-      e.set("total", h.total);
-      hists.push_back(std::move(e));
-    }
-    o.set("histograms", std::move(hists));
     v.set("obs", std::move(o));
   }
 

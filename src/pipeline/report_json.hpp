@@ -10,19 +10,30 @@
 #pragma once
 
 #include "json/json.hpp"
+#include "obs/metrics_registry.hpp"
 #include "pipeline/report.hpp"
 
 namespace rpv::pipeline {
 
 // Version 2 added stall_duration_ms and the prediction block; version 3 the
 // observability block (enabled flag, recorder totals, counters, histograms);
-// version 4 the bond block (policy name + bonded-scheduler counters).
-inline constexpr int kReportSchemaVersion = 4;
+// version 4 the bond block (policy name + bonded-scheduler counters);
+// version 5 the fleet report family (rpv::fleet documents carrying a `fleet`
+// block of merged metrics instead of N per-session reports).
+inline constexpr int kReportSchemaVersion = 5;
 
 [[nodiscard]] json::Value report_to_json(const SessionReport& r);
 
 // Inverse of report_to_json; throws std::runtime_error (missing key / type
 // mismatch) on documents that do not match the schema.
 [[nodiscard]] SessionReport report_from_json(const json::Value& v);
+
+// Canonical encoding of one obs::Histogram / a whole MetricsSummary, shared
+// between the session report's obs block and the fleet report. Layouts
+// round-trip exactly (integer counts stay integers).
+[[nodiscard]] json::Value histogram_to_json(const obs::Histogram& h);
+[[nodiscard]] obs::Histogram histogram_from_json(const json::Value& v);
+[[nodiscard]] json::Value metrics_summary_to_json(const obs::MetricsSummary& m);
+[[nodiscard]] obs::MetricsSummary metrics_summary_from_json(const json::Value& v);
 
 }  // namespace rpv::pipeline

@@ -250,6 +250,12 @@ void Session::send_telemetry() {
 }
 
 SessionReport Session::run() {
+  begin();
+  sim_.run_until(drain_end());
+  return collect();
+}
+
+void Session::begin() {
   link_->start();
   if (injector_) injector_->arm();
   const auto start = trajectory_->start();
@@ -263,7 +269,9 @@ SessionReport Session::run() {
     sim_.schedule_at(start, [this] { send_command(); });
     sim_.schedule_at(start, [this] { send_telemetry(); });
   }
-  sim_.run_until(end + sim::Duration::seconds(2.0));
+}
+
+SessionReport Session::collect() {
   if (receiver_) receiver_->finish();
   adapter_->finish();
 

@@ -100,7 +100,22 @@ class Session {
           const geo::Trajectory* trajectory, std::string environment_name);
 
   // Run the full trajectory plus drain time and return the report.
+  // Equivalent to begin(); simulator().run_until(drain_end()); collect().
   SessionReport run();
+
+  // Schedule the session's workload (link measurement loop, sender,
+  // receiver, probes, C2, faults) without running the simulator. An external
+  // driver — rpv::fleet's epoch loop — then advances simulator() in steps;
+  // stepping to drain_end() in any increments executes the identical event
+  // sequence run() would.
+  void begin();
+  // Finish the receiver/adapter and build the report. Call exactly once,
+  // after the simulator has reached drain_end().
+  SessionReport collect();
+  // End of the trajectory plus the in-flight drain allowance.
+  [[nodiscard]] sim::TimePoint drain_end() const {
+    return trajectory_->end() + sim::Duration::seconds(2.0);
+  }
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] cellular::CellularLink& link() { return *link_; }

@@ -4,6 +4,7 @@
 // re-simulating anything.
 //
 //   rpv_campaign <grid> [--runs N] [--seed S] [--jobs J] [--out DIR] [--name NAME]
+//   rpv_campaign fleet [--sessions N] [--env E] [--horizon SEC] ...
 //   rpv_campaign --load DIR/NAME
 //   rpv_campaign --list
 //
@@ -14,7 +15,11 @@
 //   tech       urban x air x {gcc, static} x {lte, 5g-sa}
 //   predict    {urban, rural-p1} x air x all CCs x {reactive, proactive}
 //   bond       rural pair x {failover, duplicate, bond-*} x {rlf-storm, chaos}
+//   fleet      shared-cell multi-UAV sweep: size x {urban, rural-p1}; one
+//              FleetEngine run per cell, streaming-merged fleet reports
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -22,6 +27,8 @@
 
 #include "exec/campaign_engine.hpp"
 #include "exec/run_artifact.hpp"
+#include "exec/thread_pool.hpp"
+#include "fleet/fleet_engine.hpp"
 #include "metrics/cdf.hpp"
 #include "metrics/text_table.hpp"
 
@@ -117,6 +124,8 @@ void print_usage() {
   std::cout
       << "usage: rpv_campaign <grid> [--runs N] [--seed S] [--jobs J]\n"
          "                    [--out DIR] [--name NAME]\n"
+         "       rpv_campaign fleet [--sessions N] [--env E] [--horizon SEC]\n"
+         "                    [--seed S] [--jobs J] [--out DIR] [--name NAME]\n"
          "       rpv_campaign --load DIR   (re-aggregate stored artifacts)\n"
          "       rpv_campaign --list       (show named grids)\n"
          "  --runs N   seeded repetitions per grid cell (default 5)\n"
@@ -126,7 +135,86 @@ void print_usage() {
          "             plus one JSON report per run\n"
          "  --name N   campaign name under --out (default: the grid name)\n"
          "  --observe  attach the rpv::obs recorder to every run; with --out\n"
-         "             each run also gets a runs/*.events.jsonl timeline\n";
+         "             each run also gets a runs/*.events.jsonl timeline\n"
+         "fleet grid only (default sweep: {16, 64} x {urban, rural-p1}):\n"
+         "  --sessions N    collapse the size axis to one fleet of N UAVs\n"
+         "  --env E         collapse the environment axis (urban, rural-p1,\n"
+         "                  rural-p2)\n"
+         "  --horizon SEC   mission length per UAV (default 60)\n"
+         "  with --out, each cell writes DIR/<name>/fleet_<label>.json\n";
+}
+
+experiment::Environment parse_env_name(const std::string& name) {
+  if (name == "urban") return experiment::Environment::kUrban;
+  if (name == "rural-p1") return experiment::Environment::kRuralP1;
+  if (name == "rural-p2") return experiment::Environment::kRuralP2;
+  throw std::invalid_argument{"unknown --env '" + name +
+                              "' (urban, rural-p1, rural-p2)"};
+}
+
+struct FleetOptions {
+  std::optional<int> sessions;
+  std::optional<std::string> env;
+  double horizon_sec = 60.0;
+  std::uint64_t seed = 1000;
+  int jobs = 0;
+  std::optional<std::string> out_dir;
+  std::optional<std::string> name;
+};
+
+int run_fleet_grid(const FleetOptions& opt) {
+  fleet::FleetScenario base;
+  base.base.mobility = experiment::Mobility::kStatic;
+  base.base.cc = pipeline::CcKind::kGcc;
+  base.base.seed = opt.seed;
+  base.horizon_sec = opt.horizon_sec;
+
+  fleet::FleetGridAxes axes;
+  axes.sizes = opt.sessions ? std::vector<int>{*opt.sessions}
+                            : std::vector<int>{16, 64};
+  axes.envs = opt.env ? std::vector<experiment::Environment>{parse_env_name(
+                            *opt.env)}
+                      : std::vector<experiment::Environment>{
+                            experiment::Environment::kUrban,
+                            experiment::Environment::kRuralP1};
+  const auto cells = fleet::expand_fleet_grid(axes, base);
+
+  const fleet::FleetEngine engine{{.jobs = opt.jobs}};
+  std::cout << "fleet grid: " << cells.size() << " cells, horizon "
+            << metrics::TextTable::num(opt.horizon_sec, 0) << " s/UAV\n";
+
+  std::optional<std::filesystem::path> dir;
+  if (opt.out_dir) {
+    dir = std::filesystem::path{*opt.out_dir} / opt.name.value_or("fleet");
+    std::filesystem::create_directories(*dir);
+  }
+
+  metrics::TextTable table{{"cell", "goodput/UAV (Mbps)", "min",
+                            "stall ms/UAV", "peak cell load", "events",
+                            "wall (s)"}};
+  double total_wall = 0.0;
+  for (const auto& cell : cells) {
+    const auto result = engine.run(cell.scenario);
+    const auto& rep = result.report;
+    total_wall += result.wall_seconds;
+    table.add_row({cell.label,
+                   metrics::TextTable::num(rep.mean_goodput_mbps, 2),
+                   metrics::TextTable::num(rep.min_goodput_mbps, 2),
+                   metrics::TextTable::num(rep.mean_stall_ms_per_session, 0),
+                   std::to_string(rep.peak_cell_load),
+                   std::to_string(rep.total_events),
+                   metrics::TextTable::num(result.wall_seconds, 1)});
+    if (dir) {
+      std::ofstream out{*dir / ("fleet_" + cell.label + ".json")};
+      out << fleet::fleet_report_to_json(rep).dump(2) << "\n";
+    }
+  }
+  std::cout << "simulated " << cells.size() << " fleet cells in "
+            << metrics::TextTable::num(total_wall, 1) << " s on "
+            << exec::resolve_jobs(opt.jobs) << " worker(s)\n\n";
+  std::cout << table.render();
+  if (dir) std::cout << "\nfleet reports written to " << dir->string() << "\n";
+  return 0;
 }
 
 void print_summary(const std::vector<exec::GridCellResult>& cells) {
@@ -166,6 +254,9 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1000;
   int jobs = 0;
   bool observe = false;
+  std::optional<int> fleet_sessions;
+  std::optional<std::string> fleet_env;
+  double fleet_horizon = 60.0;
 
   auto value_of = [&](int& i, const std::string& flag) -> std::string {
     if (i + 1 >= argc) {
@@ -184,12 +275,17 @@ int main(int argc, char** argv) {
       else if (arg == "--name") campaign_name = value_of(i, arg);
       else if (arg == "--load") load_dir = value_of(i, arg);
       else if (arg == "--observe") observe = true;
+      else if (arg == "--sessions") fleet_sessions = std::stoi(value_of(i, arg));
+      else if (arg == "--env") fleet_env = value_of(i, arg);
+      else if (arg == "--horizon") fleet_horizon = std::stod(value_of(i, arg));
       else if (arg == "--list") {
         for (const auto& g : named_grids()) {
           const auto cells = exec::expand_grid(g.axes, g.base);
           std::cout << "  " << g.name << "\t(" << cells.size()
                     << " scenarios)\t" << g.description << "\n";
         }
+        std::cout << "  fleet\t(4 fleet cells)\tshared-cell multi-UAV sweep: "
+                     "{16, 64} UAVs x {urban, rural-p1}\n";
         return 0;
       } else if (arg == "--help" || arg == "-h") {
         print_usage();
@@ -229,6 +325,22 @@ int main(int argc, char** argv) {
   if (grid_name.empty()) {
     print_usage();
     return 2;
+  }
+  if (grid_name == "fleet") {
+    FleetOptions opt;
+    opt.sessions = fleet_sessions;
+    opt.env = fleet_env;
+    opt.horizon_sec = fleet_horizon;
+    opt.seed = seed;
+    opt.jobs = jobs;
+    opt.out_dir = out_dir;
+    opt.name = campaign_name;
+    try {
+      return run_fleet_grid(opt);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
   }
   const auto grids = named_grids();
   const NamedGrid* grid = nullptr;
