@@ -105,7 +105,10 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     try {
       if (arg == "--sizes") sizes = parse_sizes(value_of(i, arg));
-      else if (arg == "--env") env_name = value_of(i, arg);
+      else if (arg == "--env") {
+        env_name = value_of(i, arg);
+        (void)parse_env(env_name);  // reject typos here, with usage, not later
+      }
       else if (arg == "--horizon") horizon_sec = std::stod(value_of(i, arg));
       else if (arg == "--epoch") epoch_sec = std::stod(value_of(i, arg));
       else if (arg == "--seed") seed = std::stoull(value_of(i, arg));
@@ -120,7 +123,8 @@ int main(int argc, char** argv) {
         return 2;
       }
     } catch (const std::exception& e) {
-      std::cerr << "bad value for " << arg << ": " << e.what() << "\n";
+      std::cerr << "bad value for " << arg << ": " << e.what() << "\n\n";
+      print_usage(argv[0]);
       return 2;
     }
   }

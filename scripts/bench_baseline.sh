@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Regenerate the committed fleet perf baselines (bench_out/BENCH_*.json).
+# Regenerate the committed perf baselines (bench_out/BENCH_*.json): the fleet
+# contention sweep plus the sat 3-way bonding bench.
 #
 # Run this on the CI reference machine class after any change that is
-# *supposed* to move fleet throughput, then commit the refreshed files; the
-# perf gate (scripts/perf_gate.sh) fails CI when events_per_second drops more
-# than 20% below these numbers.
+# *supposed* to move simulator throughput, then commit the refreshed files;
+# the perf gate (scripts/perf_gate.sh) fails CI when events_per_second drops
+# more than 20% below these numbers.
 #
 # Usage: scripts/bench_baseline.sh [--quick]
 #   --quick   small sizes only (smoke-test the script itself, not a baseline)
@@ -15,10 +16,11 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 sizes="1,4,16,64,256,1000"
 horizon=60
-[[ "${1:-}" == "--quick" ]] && { sizes="1,4,16"; horizon=20; }
+sat_runs=4
+[[ "${1:-}" == "--quick" ]] && { sizes="1,4,16"; horizon=20; sat_runs=1; }
 
 cmake -S "$repo" -B "$repo/build" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$repo/build" -j "$jobs" --target bench_ext_fleet
+cmake --build "$repo/build" -j "$jobs" --target bench_ext_fleet bench_ext_sat
 
 mkdir -p "$repo/bench_out"
 for env in urban rural-p1; do
@@ -29,5 +31,10 @@ for env in urban rural-p1; do
     --bench-json "$out"
   echo
 done
+
+echo "== sat baseline: 2-path vs 3-way bonding ($sat_runs runs/arm) =="
+"$repo/build/bench/bench_ext_sat" --runs "$sat_runs" \
+  --bench-json "$repo/bench_out/BENCH_sat.json"
+echo
 
 echo "baselines written; commit the bench_out/BENCH_*.json files"

@@ -26,9 +26,18 @@ LinkManager::LinkManager(sim::Simulator& simulator, LinkManagerConfig cfg)
 int LinkManager::add_path(cellular::CellularLink* link,
                           predict::ProactiveAdapter* adapter) {
   rpv::validate(link != nullptr, "LinkManager: link must not be null");
+  owned_adapters_.push_back(std::make_unique<CellularPathAdapter>(link));
   PathState st;
-  st.link = link;
+  st.path = owned_adapters_.back().get();
   st.adapter = adapter;
+  paths_.push_back(st);
+  return static_cast<int>(paths_.size()) - 1;
+}
+
+int LinkManager::add_path(BondablePath* path) {
+  rpv::validate(path != nullptr, "LinkManager: path must not be null");
+  PathState st;
+  st.path = path;
   paths_.push_back(st);
   return static_cast<int>(paths_.size()) - 1;
 }
@@ -36,7 +45,7 @@ int LinkManager::add_path(cellular::CellularLink* link,
 void LinkManager::refresh(std::vector<int>& candidates) {
   const auto now = sim_.now();
   for (auto& p : paths_) {
-    const bool down = p.link->link_down();
+    const bool down = p.path->link_down();
     if (down && !p.down) {
       // Freshly failed: any probation credit is void.
       p.in_probation = false;
@@ -87,10 +96,14 @@ void LinkManager::refresh(std::vector<int>& candidates) {
 }
 
 int LinkManager::least_queued(const std::vector<int>& candidates) const {
+  // "Queued" is really effective latency: standing queue plus the path's
+  // propagation floor, so a LEO path only wins once cellular queues exceed
+  // its ~27 ms floor. Cellular floors are 0 — cellular-only rankings are
+  // unchanged.
   int best = candidates.front();
   double best_q = std::numeric_limits<double>::infinity();
   for (const int i : candidates) {
-    const double q = paths_[static_cast<std::size_t>(i)].link->queuing_delay_ms();
+    const double q = effective_latency_ms(paths_[static_cast<std::size_t>(i)]);
     if (q < best_q) {
       best_q = q;
       best = i;
@@ -107,15 +120,16 @@ int LinkManager::spray_pick(const std::vector<int>& candidates) {
   // ratio even as it moves.
   double total = 0.0;
   for (const int i : candidates) {
-    total += std::max(paths_[static_cast<std::size_t>(i)].link->current_capacity_mbps(),
-                      0.01);
+    total += std::max(
+        paths_[static_cast<std::size_t>(i)].path->current_capacity_mbps(),
+        0.01);
   }
   int best = candidates.front();
   double best_credit = -std::numeric_limits<double>::infinity();
   for (const int i : candidates) {
     auto& p = paths_[static_cast<std::size_t>(i)];
     p.credit +=
-        std::max(p.link->current_capacity_mbps(), 0.01) / std::max(total, 0.01);
+        std::max(p.path->current_capacity_mbps(), 0.01) / std::max(total, 0.01);
     if (p.credit > best_credit) {
       best_credit = p.credit;
       best = i;
@@ -128,15 +142,16 @@ int LinkManager::spray_pick(const std::vector<int>& candidates) {
 RouteDecision LinkManager::route_legacy(const net::Packet& p) {
   (void)p;
   // Byte-for-byte replication of the MultipathMode branches so existing
-  // campaigns and stored artifacts stay comparable.
+  // campaigns and stored artifacts stay comparable. Legacy policies predate
+  // bonding and only ever see the first two paths.
   const auto now = sim_.now();
   switch (cfg_.policy) {
     case Policy::kFailover: {
-      const bool reactive_b = paths_[0].link->link_down();
+      const bool reactive_b = paths_[0].path->link_down();
       bool use_b = reactive_b;
       if (!use_b && paths_[0].adapter != nullptr &&
           paths_[0].adapter->proactive() && paths_[0].adapter->ho_imminent(now) &&
-          !paths_[1].link->link_down()) {
+          !paths_[1].path->link_down()) {
         use_b = true;
       }
       if (use_b != failover_on_b_) {
@@ -161,8 +176,8 @@ RouteDecision LinkManager::route_legacy(const net::Packet& p) {
       return {anchor_, -1};
     }
     case Policy::kScheduled: {
-      const bool use_b =
-          paths_[1].link->queuing_delay_ms() < paths_[0].link->queuing_delay_ms();
+      const bool use_b = paths_[1].path->queuing_delay_ms() <
+                         paths_[0].path->queuing_delay_ms();
       return {use_b ? 1 : 0, -1};
     }
     case Policy::kDuplicate:
@@ -201,8 +216,8 @@ RouteDecision LinkManager::route_bonded_video(const std::vector<int>& candidates
       switch_anchor(best, reason, TrafficClass::kVideo);
     } else if (best != anchor_) {
       const double gain =
-          cur.link->queuing_delay_ms() -
-          paths_[static_cast<std::size_t>(best)].link->queuing_delay_ms();
+          effective_latency_ms(cur) -
+          effective_latency_ms(paths_[static_cast<std::size_t>(best)]);
       if (gain > cfg_.switch_hysteresis_ms) {
         const auto& dst = paths_[static_cast<std::size_t>(best)];
         switch_anchor(best,
@@ -221,7 +236,8 @@ RouteDecision LinkManager::route_bonded_video(const std::vector<int>& candidates
   int heavy = candidates.front();
   double heavy_cap = -1.0;
   for (const int i : candidates) {
-    const double c = paths_[static_cast<std::size_t>(i)].link->current_capacity_mbps();
+    const double c =
+        paths_[static_cast<std::size_t>(i)].path->current_capacity_mbps();
     if (c > heavy_cap) {
       heavy_cap = c;
       heavy = i;
@@ -261,7 +277,7 @@ RouteDecision LinkManager::route_priority(TrafficClass cls,
   // them away from a congested video anchor.
   const int primary = least_queued(candidates);
   const auto& anchor = paths_[static_cast<std::size_t>(anchor_)];
-  const double anchor_q = anchor.link->queuing_delay_ms();
+  const double anchor_q = anchor.path->queuing_delay_ms();
   const bool diverting = primary != anchor_ && anchor_q > cfg_.preempt_queue_ms;
   auto& flag = diverted_[static_cast<std::size_t>(cls)];
   if (diverting && !flag) {
@@ -304,6 +320,7 @@ RouteDecision LinkManager::route(TrafficClass cls, const net::Packet& p) {
 void LinkManager::note_sent(int path, std::size_t bytes) {
   auto& p = paths_[static_cast<std::size_t>(path)];
   ++p.sent_packets;
+  p.airtime_bytes += bytes;
   airtime_bytes_ += bytes;
 }
 
@@ -319,6 +336,17 @@ void LinkManager::note_delivered(int path) {
   p.loss_ewma += cfg_.loss_alpha * (0.0 - p.loss_ewma);
 }
 
+PathCounters LinkManager::path_counters(int i) const {
+  const auto& p = paths_[static_cast<std::size_t>(i)];
+  PathCounters c;
+  c.kind = p.path->kind();
+  c.sent_packets = p.sent_packets;
+  c.lost_packets = p.lost_packets;
+  c.delivered_packets = p.delivered_packets;
+  c.airtime_bytes = p.airtime_bytes;
+  return c;
+}
+
 double LinkManager::max_loss_ewma() const {
   double worst = 0.0;
   for (const auto& p : paths_) {
@@ -330,7 +358,7 @@ double LinkManager::max_loss_ewma() const {
 double LinkManager::best_capacity_mbps() const {
   double best = 0.0;
   for (const auto& p : paths_) {
-    if (!p.down) best = std::max(best, p.link->current_capacity_mbps());
+    if (!p.down) best = std::max(best, p.path->current_capacity_mbps());
   }
   return best;
 }

@@ -1,5 +1,5 @@
-// LinkManager — owns the set of operator links of a bonded session and
-// decides, per packet, which link(s) carry it.
+// LinkManager — owns the set of bonded paths of a session and decides, per
+// packet, which path(s) carry it.
 //
 // Replaces the three hard-coded MultipathMode branches with named policies
 // (see policy.hpp). The manager tracks per-path health (radio down/up, loss
@@ -10,13 +10,23 @@
 // video): priority classes are diverted around a video-congested path, with
 // kClassPreempt published on each diversion transition.
 //
+// Paths are heterogeneous (bond::BondablePath): cellular operator links,
+// LEO satellite, aerial mesh. Latency ranking adds each path's fixed
+// propagation floor to its standing queue delay, so C2 stays on the lowest-
+// latency healthy path (cellular, until its queue exceeds the satellite
+// floor) while capacity-weighted video spraying happily includes a
+// high-capacity satellite path. Cellular floors are zero, so every
+// cellular-only decision is bit-identical to the historical 2-path manager.
+//
 // Everything is deterministic: capacity-weighted spraying uses integer-free
 // credit accounting, not randomness, so byte-identical reruns hold.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "bond/bondable_path.hpp"
 #include "bond/policy.hpp"
 #include "cellular/cellular_link.hpp"
 #include "net/packet.hpp"
@@ -46,20 +56,34 @@ struct RouteDecision {
   int duplicate = -1;
 };
 
+// Per-path outcome counters, exported into the report's path breakdown.
+struct PathCounters {
+  PathKind kind = PathKind::kCellular;
+  std::uint64_t sent_packets = 0;
+  std::uint64_t lost_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t airtime_bytes = 0;
+};
+
 class LinkManager {
  public:
   LinkManager(sim::Simulator& simulator, LinkManagerConfig cfg);
 
-  // Register one operator link (with its per-operator predictor, may be
-  // null). Returns the path index. Paths are fixed for the session lifetime.
+  // Register one cellular operator link (with its per-operator predictor,
+  // may be null); an owned CellularPathAdapter bridges it onto the bonded
+  // interface. Returns the path index. Paths are fixed for the session
+  // lifetime.
   int add_path(cellular::CellularLink* link, predict::ProactiveAdapter* adapter);
+  // Register any bonded path (satellite, mesh, ...). No predictor: only
+  // cellular handovers are forecast today.
+  int add_path(BondablePath* path);
 
   // Publish kPathSwitch / kClassPreempt onto the session's event stream.
   void attach_observer(obs::EventBus* bus) { bus_ = bus; }
 
   // Decide the path(s) for one outgoing packet. Legacy policies replicate
-  // the MultipathMode semantics verbatim (two-path); bonded policies use the
-  // health-gated candidate machinery over any path count.
+  // the MultipathMode semantics verbatim (over the first two paths); bonded
+  // policies use the health-gated candidate machinery over any path count.
   RouteDecision route(TrafficClass cls, const net::Packet& p);
 
   // --- Outcome accounting (drives loss EWMAs and airtime) ---
@@ -68,6 +92,13 @@ class LinkManager {
   void note_delivered(int path);  // copy survived the radio
 
   [[nodiscard]] std::size_t path_count() const { return paths_.size(); }
+  [[nodiscard]] BondablePath& path(int i) {
+    return *paths_[static_cast<std::size_t>(i)].path;
+  }
+  [[nodiscard]] PathKind path_kind(int i) const {
+    return paths_[static_cast<std::size_t>(i)].path->kind();
+  }
+  [[nodiscard]] PathCounters path_counters(int i) const;
   [[nodiscard]] double loss_ewma(int path) const {
     return paths_[static_cast<std::size_t>(path)].loss_ewma;
   }
@@ -98,7 +129,7 @@ class LinkManager {
 
  private:
   struct PathState {
-    cellular::CellularLink* link = nullptr;
+    BondablePath* path = nullptr;
     predict::ProactiveAdapter* adapter = nullptr;
     bool down = false;
     bool in_probation = false;
@@ -110,7 +141,14 @@ class LinkManager {
     std::uint64_t sent_packets = 0;
     std::uint64_t lost_packets = 0;
     std::uint64_t delivered_packets = 0;
+    std::uint64_t airtime_bytes = 0;
   };
+
+  // Standing queue delay plus the path's fixed propagation floor: the
+  // quantity latency-sensitive ranking compares across heterogeneous paths.
+  [[nodiscard]] double effective_latency_ms(const PathState& p) const {
+    return p.path->queuing_delay_ms() + p.path->base_latency_ms();
+  }
 
   // Refresh down/probation/ho flags; fills `candidates` with the indices
   // eligible for new traffic (falls back to usable, then to all paths).
@@ -129,6 +167,8 @@ class LinkManager {
   LinkManagerConfig cfg_;
   obs::EventBus* bus_ = nullptr;
   std::vector<PathState> paths_;
+  // Adapters created by the cellular add_path overload.
+  std::vector<std::unique_ptr<CellularPathAdapter>> owned_adapters_;
 
   int anchor_ = 0;  // current video path (kLowLatency / legacy kFailover)
   bool failover_on_b_ = false;  // legacy kFailover state

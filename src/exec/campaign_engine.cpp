@@ -30,6 +30,15 @@ std::string multipath_suffix(experiment::Multipath m) {
   return "";
 }
 
+std::string path_set_suffix(experiment::PathSet p) {
+  switch (p) {
+    case experiment::PathSet::kOperatorPair: return "";
+    case experiment::PathSet::kThreeWay: return "-sat";
+    case experiment::PathSet::kThreeWayMesh: return "-sat-mesh";
+  }
+  return "";
+}
+
 std::string fault_preset_suffix(experiment::FaultPreset p) {
   return p == experiment::FaultPreset::kNone
              ? ""
@@ -64,6 +73,9 @@ std::vector<GridCell> expand_grid(const GridAxes& axes,
       axes.multipaths.empty()
           ? std::vector<experiment::Multipath>{base.multipath}
           : axes.multipaths;
+  const std::vector<experiment::PathSet> path_sets =
+      axes.path_sets.empty() ? std::vector<experiment::PathSet>{base.path_set}
+                             : axes.path_sets;
   const std::vector<experiment::FaultPreset> fault_presets =
       axes.fault_presets.empty()
           ? std::vector<experiment::FaultPreset>{base.fault_preset}
@@ -71,30 +83,35 @@ std::vector<GridCell> expand_grid(const GridAxes& axes,
 
   std::vector<GridCell> cells;
   cells.reserve(envs.size() * mobilities.size() * ccs.size() * techs.size() *
-                policies.size() * multipaths.size() * fault_presets.size());
+                policies.size() * multipaths.size() * path_sets.size() *
+                fault_presets.size());
   for (const auto env : envs) {
     for (const auto mobility : mobilities) {
       for (const auto cc : ccs) {
         for (const auto tech : techs) {
           for (const auto policy : policies) {
             for (const auto multipath : multipaths) {
-              for (const auto preset : fault_presets) {
-                GridCell cell;
-                cell.scenario = base;
-                cell.scenario.env = env;
-                cell.scenario.mobility = mobility;
-                cell.scenario.cc = cc;
-                cell.scenario.tech = tech;
-                cell.scenario.policy = policy;
-                cell.scenario.multipath = multipath;
-                cell.scenario.fault_preset = preset;
-                cell.label = experiment::environment_name(env) + "-" +
-                             experiment::mobility_name(mobility) + "-" +
-                             pipeline::cc_name(cell.scenario.cc) +
-                             tech_suffix(tech) + policy_suffix(policy) +
-                             multipath_suffix(multipath) +
-                             fault_preset_suffix(preset);
-                cells.push_back(std::move(cell));
+              for (const auto path_set : path_sets) {
+                for (const auto preset : fault_presets) {
+                  GridCell cell;
+                  cell.scenario = base;
+                  cell.scenario.env = env;
+                  cell.scenario.mobility = mobility;
+                  cell.scenario.cc = cc;
+                  cell.scenario.tech = tech;
+                  cell.scenario.policy = policy;
+                  cell.scenario.multipath = multipath;
+                  cell.scenario.path_set = path_set;
+                  cell.scenario.fault_preset = preset;
+                  cell.label = experiment::environment_name(env) + "-" +
+                               experiment::mobility_name(mobility) + "-" +
+                               pipeline::cc_name(cell.scenario.cc) +
+                               tech_suffix(tech) + policy_suffix(policy) +
+                               multipath_suffix(multipath) +
+                               path_set_suffix(path_set) +
+                               fault_preset_suffix(preset);
+                  cells.push_back(std::move(cell));
+                }
               }
             }
           }

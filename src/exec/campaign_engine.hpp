@@ -51,6 +51,10 @@ struct GridAxes {
   // and an unchanged label; every other value gains a policy suffix
   // ("-mpdup", "-bond-hr", ...).
   std::vector<experiment::Multipath> multipaths;
+  // Bonded path sets (rpv::sat). kOperatorPair keeps the label; kThreeWay
+  // gains "-sat", kThreeWayMesh gains "-sat-mesh". Only meaningful on
+  // multipath cells; kNone cells ignore the value.
+  std::vector<experiment::PathSet> path_sets;
   // Named fault patterns. kNone cells keep the label; others gain the preset
   // suffix ("-rlf-storm", "-chaos", ...).
   std::vector<experiment::FaultPreset> fault_presets;
@@ -58,8 +62,8 @@ struct GridAxes {
 
 // Expand axes against a base scenario into labeled cells, in axis-major
 // order (env, then mobility, then cc, then tech, then policy, then
-// multipath, then fault preset). Throws std::invalid_argument when the
-// expansion is empty.
+// multipath, then path set, then fault preset). Throws std::invalid_argument
+// when the expansion is empty.
 [[nodiscard]] std::vector<GridCell> expand_grid(
     const GridAxes& axes, const experiment::Scenario& base = {});
 

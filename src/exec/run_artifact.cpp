@@ -52,7 +52,9 @@ json::Value scenario_to_json(const experiment::Scenario& s) {
   v.set("resilience", s.resilience);
   v.set("policy", experiment::policy_name(s.policy));
   v.set("multipath", experiment::multipath_name(s.multipath));
+  v.set("path_set", experiment::path_set_name(s.path_set));
   v.set("fault_preset", experiment::fault_preset_name(s.fault_preset));
+  v.set("faults_on_both_operators", s.faults_on_both_operators);
   v.set("model_reference_loss", s.model_reference_loss);
   v.set("observe", s.observe);
   v.set("faults", faults_to_json(s.faults));

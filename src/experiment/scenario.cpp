@@ -50,6 +50,15 @@ std::string fault_preset_name(FaultPreset p) {
   return "?";
 }
 
+std::string path_set_name(PathSet p) {
+  switch (p) {
+    case PathSet::kOperatorPair: return "operator-pair";
+    case PathSet::kThreeWay: return "three-way";
+    case PathSet::kThreeWayMesh: return "three-way-mesh";
+  }
+  return "?";
+}
+
 bond::Policy bond_policy_of(Multipath m) {
   switch (m) {
     case Multipath::kScheduled: return bond::Policy::kScheduled;
@@ -113,10 +122,21 @@ pipeline::SessionConfig make_session_config(const Scenario& s) {
   for (const auto& ev : preset_schedule.events()) {
     cfg.faults.add(ev);
   }
+  cfg.faults_on_link_b = s.faults_on_both_operators;
   cfg.resilience = s.resilience;
   cfg.receiver.model_reference_loss = s.model_reference_loss;
   cfg.predict.proactive = (s.policy == Policy::kProactive);
   cfg.obs.enabled = s.observe;
+
+  if (s.multipath != Multipath::kNone && s.path_set != PathSet::kOperatorPair) {
+    cfg.sat.enabled = true;
+    if (s.path_set == PathSet::kThreeWayMesh) {
+      cfg.sat.mesh_enabled = true;
+      // Hop count from scenario geometry: the sparse rural corridor needs a
+      // longer relay chain than the dense urban cell grid.
+      cfg.sat.mesh.hops = (s.env == Environment::kUrban) ? 2 : 4;
+    }
+  }
 
   auto& radio = cfg.link.radio;
   switch (s.env) {
@@ -224,13 +244,16 @@ pipeline::SessionReport run_scenario(const Scenario& s,
     auto layout_b = make_layout(other, rng);
     auto trajectory = make_trajectory(s, rng);
     auto cfg = make_session_config(s);
+    std::string env_label =
+        environment_name(s.env) + "+" + environment_name(other.env);
+    if (s.path_set == PathSet::kThreeWay) env_label += "+sat";
+    if (s.path_set == PathSet::kThreeWayMesh) env_label += "+sat+mesh";
     pipeline::MultipathSession session{
         cfg,
         std::move(layout),
         std::move(layout_b),
         &trajectory,
-        environment_name(s.env) + "+" + environment_name(other.env) + "/" +
-            mobility_name(s.mobility),
+        env_label + "/" + mobility_name(s.mobility),
         bond_policy_of(s.multipath)};
     if (extra_sink != nullptr) session.subscribe(extra_sink);
     return session.run();

@@ -50,11 +50,18 @@ enum class Multipath {
 // name a fault pattern instead of hand-building a schedule per run.
 enum class FaultPreset { kNone, kRlfStorm, kCapacityDips, kWanOutage, kChaos };
 
+// Which bonded paths a multipath scenario attaches (rpv::sat, ROADMAP item
+// 4). kOperatorPair is the historical two cellular operators; kThreeWay adds
+// the LEO satellite path; kThreeWayMesh additionally chains in the aerial
+// mesh relay. Ignored when multipath == kNone.
+enum class PathSet { kOperatorPair, kThreeWay, kThreeWayMesh };
+
 [[nodiscard]] std::string environment_name(Environment env);
 [[nodiscard]] std::string mobility_name(Mobility m);
 [[nodiscard]] std::string policy_name(Policy p);
 [[nodiscard]] std::string multipath_name(Multipath m);
 [[nodiscard]] std::string fault_preset_name(FaultPreset p);
+[[nodiscard]] std::string path_set_name(PathSet p);
 // The bond policy a non-kNone Multipath maps onto.
 [[nodiscard]] bond::Policy bond_policy_of(Multipath m);
 // The schedule a preset expands to (kNone -> empty).
@@ -86,9 +93,16 @@ struct Scenario {
   // Named fault pattern appended to `faults` (grid-friendly alternative to
   // hand-building a schedule).
   FaultPreset fault_preset = FaultPreset::kNone;
+  // Replay the fault schedule on BOTH operators of a multipath run — the
+  // simultaneous-degradation case the sat path is there to mask. Single-path
+  // runs ignore it.
+  bool faults_on_both_operators = false;
   // Multi-operator bonding; anything but kNone streams over the paired
   // operator layouts through a bond::LinkManager.
   Multipath multipath = Multipath::kNone;
+  // Extra bonded paths for multipath runs: LEO satellite (kThreeWay) and
+  // aerial mesh (kThreeWayMesh) on top of the operator pair.
+  PathSet path_set = PathSet::kOperatorPair;
   // End-to-end resilience stack (sender watchdog + ladder, receiver PLI).
   bool resilience = false;
   // HO-aware proactive adaptation (rpv::predict); reactive reproduces the

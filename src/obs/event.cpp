@@ -13,7 +13,7 @@ namespace {
 
 constexpr std::array<std::string_view, kComponentCount> kComponentNames = {
     "cellular", "link-queue", "cc",  "sender",
-    "receiver", "wan",        "fault", "session", "bond",
+    "receiver", "wan",        "fault", "session", "bond", "sat",
 };
 
 constexpr std::array<std::string_view, kEventKindCount> kKindNames = {
@@ -22,7 +22,8 @@ constexpr std::array<std::string_view, kEventKindCount> kKindNames = {
     "overuse",          "frame-encoded",  "frame-decoded", "packet-sent",
     "packet-received",  "packet-lost",    "stall",        "wan-drop",
     "fault-injected",   "fault-ended",    "path-switch",  "fec-rate-change",
-    "reorder-flush",    "class-preempt",
+    "reorder-flush",    "class-preempt",  "sat-pass-ho",
+    "sat-obstruction-start", "sat-obstruction-end",
 };
 
 std::string fmt(const char* format, ...) {
@@ -125,6 +126,13 @@ json::Value payload_to_json(const Payload& p) {
         .set("from_path", std::uint64_t{pr->from_path})
         .set("to_path", std::uint64_t{pr->to_path})
         .set("queue_delay_ms", pr->queue_delay_ms);
+  } else if (const auto* sp = std::get_if<SatPassPayload>(&p)) {
+    v.set("pass_index", std::uint64_t{sp->pass_index})
+        .set("interruption_us", sp->interruption_us);
+  } else if (const auto* so = std::get_if<SatOutagePayload>(&p)) {
+    v.set("kind", std::uint64_t{so->kind})
+        .set("duration_us", so->duration_us)
+        .set("magnitude", so->magnitude);
   }
   return v;
 }
@@ -253,6 +261,20 @@ Payload payload_from_json(EventKind k, const json::Value* p) {
       pr.queue_delay_ms = p->at("queue_delay_ms").as_double();
       return pr;
     }
+    case EventKind::kSatPassHo: {
+      SatPassPayload sp;
+      sp.pass_index = static_cast<std::uint32_t>(p->at("pass_index").as_u64());
+      sp.interruption_us = p->at("interruption_us").as_i64();
+      return sp;
+    }
+    case EventKind::kSatObstructionStart:
+    case EventKind::kSatObstructionEnd: {
+      SatOutagePayload so;
+      so.kind = static_cast<std::uint8_t>(p->at("kind").as_u64());
+      so.duration_us = p->at("duration_us").as_i64();
+      so.magnitude = p->at("magnitude").as_double();
+      return so;
+    }
   }
   throw std::runtime_error("obs: unknown event kind in payload");
 }
@@ -364,6 +386,13 @@ std::string describe(const Event& e) {
   } else if (const auto* pr = std::get_if<PreemptPayload>(&e.payload)) {
     out += fmt(" class %u path %u -> %u (queue %.1f ms)", pr->traffic_class,
                pr->from_path, pr->to_path, pr->queue_delay_ms);
+  } else if (const auto* sp = std::get_if<SatPassPayload>(&e.payload)) {
+    out += fmt(" pass %u (interruption %.1f ms)", sp->pass_index,
+               static_cast<double>(sp->interruption_us) / 1000.0);
+  } else if (const auto* so = std::get_if<SatOutagePayload>(&e.payload)) {
+    out += fmt(" %s %.1f ms (capacity x%.2f)",
+               so->kind == 1 ? "rain-fade" : "obstruction",
+               static_cast<double>(so->duration_us) / 1000.0, so->magnitude);
   }
   return out;
 }

@@ -37,8 +37,9 @@ enum class Component : std::uint8_t {
   kFault,      // fault injector
   kSession,    // session-level bookkeeping
   kBond,       // bonded link manager (rpv::bond)
+  kSat,        // LEO satellite / aerial-mesh paths (rpv::sat)
 };
-inline constexpr int kComponentCount = 9;
+inline constexpr int kComponentCount = 10;
 
 // What happened. At most 64 kinds so a subscription is one uint64 bitmask.
 enum class EventKind : std::uint8_t {
@@ -64,8 +65,11 @@ enum class EventKind : std::uint8_t {
   kFecRateChange,    // bond: adaptive FEC retuned the parity rate
   kReorderFlush,     // bond: receiver reorder window flushed out of order
   kClassPreempt,     // bond: QoS class diverted around a loaded path
+  kSatPassHo,        // sat: satellite-pass handover (short interruption)
+  kSatObstructionStart,  // sat: obstruction / rain-fade outage opened
+  kSatObstructionEnd,    // sat: obstruction / rain-fade outage closed
 };
-inline constexpr int kEventKindCount = 22;
+inline constexpr int kEventKindCount = 25;
 
 [[nodiscard]] constexpr std::uint64_t kind_bit(EventKind k) {
   return std::uint64_t{1} << static_cast<unsigned>(k);
@@ -216,11 +220,31 @@ struct PreemptPayload {
   bool operator==(const PreemptPayload&) const = default;
 };
 
+// kSatPassHo — the serving LEO satellite set, traffic re-routes to the next
+// pass; a short, deterministic interruption (the Starlink "15-second
+// reconfiguration" cadence).
+struct SatPassPayload {
+  std::uint32_t pass_index = 0;
+  std::int64_t interruption_us = 0;
+  bool operator==(const SatPassPayload&) const = default;
+};
+
+// kSatObstructionStart / kSatObstructionEnd — an obstruction or rain-fade
+// window. `kind`: 0 = obstruction, 1 = rain fade. `magnitude` is the
+// capacity multiplier in effect during the window (0 = hard outage).
+struct SatOutagePayload {
+  std::uint8_t kind = 0;
+  std::int64_t duration_us = 0;
+  double magnitude = 0.0;
+  bool operator==(const SatOutagePayload&) const = default;
+};
+
 using Payload =
     std::variant<std::monostate, MeasurementPayload, HandoverPayload,
                  QueuePayload, RatePayload, SignalPayload, FramePayload,
                  PacketPayload, StallPayload, FaultPayload, PathSwitchPayload,
-                 FecRatePayload, ReorderFlushPayload, PreemptPayload>;
+                 FecRatePayload, ReorderFlushPayload, PreemptPayload,
+                 SatPassPayload, SatOutagePayload>;
 
 // One record on the stream. `seq` is assigned by the bus in publish order;
 // inside one (single-threaded, deterministic) simulation, sorting by

@@ -99,6 +99,13 @@ MultipathSession::MultipathSession(SessionConfig cfg,
     injector_->attach_cellular(link_a_.get());
     injector_->attach_wan(wan_up_.get(), wan_down_.get());
     injector_->attach_observer(&bus_a_);
+    if (cfg_.faults_on_link_b) {
+      // Simultaneous-degradation mode: the same schedule hits operator B.
+      // The shared WAN stays owned by injector A so outages aren't doubled.
+      injector_b_ = std::make_unique<fault::FaultInjector>(sim_, cfg_.faults);
+      injector_b_->attach_cellular(link_b_.get());
+      injector_b_->attach_observer(&bus_b_);
+    }
   }
   if (cfg_.resilience) {
     cfg_.sender.resilience.enabled = true;
@@ -149,7 +156,7 @@ MultipathSession::MultipathSession(SessionConfig cfg,
     window_ = std::make_unique<bond::ReorderWindow>(
         sim_, bond::ReorderWindowConfig{},
         [this](net::Packet p, int path) {
-          if (path == 1) ++rescued_by_b_;
+          if (path != 0) ++rescued_by_b_;
           p.received = sim_.now();
           receiver_->on_packet(p);
         });
@@ -180,13 +187,37 @@ MultipathSession::MultipathSession(SessionConfig cfg,
     sender_->attach_observer(&bus_a_);
     receiver_->attach_observer(&bus_a_);
   }
+
+  // 3-way multi-connectivity: the satellite (and optional mesh) paths fork
+  // their RNG streams LAST, after every stream the 2-path session already
+  // forks, so enabling them never perturbs the cellular/WAN/receiver/sender
+  // draws — 2-path runs replicate byte-identically.
+  if (cfg_.sat.enabled) {
+    sat_link_ = std::make_unique<sat::SatelliteLink>(sim_, cfg_.sat.link,
+                                                     rng_.fork());
+    sat_link_->attach_observer(&bus_a_);
+    const int idx = lm_->add_path(sat_link_.get());
+    sat_link_->set_loss_callback([this, idx](const net::Packet&) {
+      ++radio_losses_;
+      lm_->note_lost(idx);
+    });
+    if (cfg_.sat.mesh_enabled) {
+      mesh_link_ = std::make_unique<sat::MeshHopLink>(sim_, cfg_.sat.mesh,
+                                                      rng_.fork());
+      const int midx = lm_->add_path(mesh_link_.get());
+      mesh_link_->set_loss_callback([this, midx](const net::Packet&) {
+        ++radio_losses_;
+        lm_->note_lost(midx);
+      });
+    }
+  }
 }
 
 void MultipathSession::send_on_path(int path, net::Packet p) {
   lm_->note_sent(path, p.size_bytes);
   path_link(path).send_uplink(std::move(p), [this, path](net::Packet q) {
     lm_->note_delivered(path);
-    deliver_to_receiver(std::move(q), /*via_b=*/path == 1);
+    deliver_to_receiver(std::move(q), path);
   });
 }
 
@@ -205,14 +236,15 @@ void MultipathSession::transmit_media(net::Packet p) {
   send_on_path(d.primary, std::move(p));
 }
 
-void MultipathSession::deliver_to_receiver(net::Packet p, bool via_b) {
+void MultipathSession::deliver_to_receiver(net::Packet p, int path) {
   if (wan_up_->drops_packet()) return;
   const auto delay = wan_up_->sample_delay();
-  sim_.schedule_in(delay, [this, p, via_b]() mutable {
+  sim_.schedule_in(delay, [this, p, path]() mutable {
     if (window_) {
       // Bonded path: duplicate suppression and in-order release live in the
-      // reorder window; it invokes the receiver callback set at construction.
-      window_->on_packet(std::move(p), via_b ? 1 : 0);
+      // reorder window; it invokes the receiver callback set at construction
+      // and tracks skew for every registered path index.
+      window_->on_packet(std::move(p), path);
       return;
     }
     // Legacy path: first copy wins, deduplicated on the RTP identity
@@ -234,7 +266,7 @@ void MultipathSession::deliver_to_receiver(net::Packet p, bool via_b) {
         it = (*it < keep_from) ? delivered_ids_.erase(it) : std::next(it);
       }
     }
-    if (via_b) ++rescued_by_b_;
+    if (path != 0) ++rescued_by_b_;
     p.received = sim_.now();
     receiver_->on_packet(p);
   });
@@ -257,12 +289,13 @@ void MultipathSession::send_feedback(const rtp::FeedbackReport& report,
   };
   const auto delay = wan_down_->sample_delay();
   sim_.schedule_in(delay, [this, fb, forward] {
-    net::Packet copy_a = fb;
-    net::Packet copy_b = fb;
-    copy_a.id = next_id_++;
-    copy_b.id = next_id_++;
-    link_a_->send_downlink(copy_a, forward);
-    link_b_->send_downlink(copy_b, forward);
+    // Feedback rides every path; first copy wins above. With two cellular
+    // paths this is id-for-id the historical copy_a/copy_b sequence.
+    for (int i = 0; i < static_cast<int>(lm_->path_count()); ++i) {
+      net::Packet copy = fb;
+      copy.id = next_id_++;
+      path_link(i).send_downlink(copy, forward);
+    }
   });
 }
 
@@ -348,8 +381,13 @@ SessionReport MultipathSession::run() {
   link_a_->start();
   link_b_->start();
   if (injector_) injector_->arm();
+  if (injector_b_) injector_b_->arm();
   const auto start = trajectory_->start();
   const auto end = trajectory_->end();
+  if (sat_link_) {
+    // Cover the whole run including the drain tail below.
+    sat_link_->start((end - sim_.now()) + sim::Duration::seconds(2.0));
+  }
   sender_->start(start, end);
   receiver_->start(start, end);
   if (cfg_.c2.enabled) {
@@ -427,6 +465,7 @@ SessionReport MultipathSession::run() {
   r.pli_sent = receiver_->pli_sent();
   if (injector_) {
     r.faults_injected = injector_->injected();
+    if (injector_b_) r.faults_injected += injector_b_->injected();
     fault::attribute_recovery(injector_->outcomes(),
                               receiver_->player().playback_latency_ms(),
                               receiver_->clean_frame_times(),
@@ -444,6 +483,33 @@ SessionReport MultipathSession::run() {
   r.bond_fec_recovered = receiver_->fec_recovered();
   r.bond_airtime_bytes = lm_->airtime_bytes();
   r.bond_media_bytes = sender_->bytes_sent();
+  for (int i = 0; i < static_cast<int>(lm_->path_count()); ++i) {
+    const auto c = lm_->path_counters(i);
+    PathBreakdown pb;
+    pb.kind = std::string(bond::path_kind_name(c.kind));
+    pb.sent_packets = c.sent_packets;
+    pb.delivered_packets = c.delivered_packets;
+    pb.lost_packets = c.lost_packets;
+    pb.airtime_bytes = c.airtime_bytes;
+    r.bond_paths.push_back(std::move(pb));
+  }
+
+  if (sat_link_) {
+    r.sat_enabled = true;
+    r.sat_pass_handovers = sat_link_->pass_handovers();
+    r.sat_obstructions = sat_link_->obstructions();
+    r.sat_outage_ms = sat_link_->outage_ms();
+    // Stall mass whose onset overlapped a sat unavailable window: the part
+    // of the stall budget the satellite path was in no position to mask.
+    const auto& stall_times = player.stall_times();
+    const auto& stall_durs = player.stall_durations_ms();
+    const std::size_t n = std::min(stall_times.size(), stall_durs.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sat_link_->in_unavailable_window(stall_times[i])) {
+        r.sat_stall_ms_in_outage += stall_durs[i];
+      }
+    }
+  }
 
   r.obs_enabled = cfg_.obs.enabled;
   if (recorder_) {
@@ -457,6 +523,7 @@ SessionReport MultipathSession::run() {
   r.telemetry_latency_ms = telemetry_latency_ms_.values();
   r.commands_sent = commands_sent_;
   r.telemetry_sent = telemetry_sent_;
+  r.sim_events = sim_.executed_events();
   return r;
 }
 

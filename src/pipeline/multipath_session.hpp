@@ -12,8 +12,13 @@
 // follows the link-health feed (loss EWMAs, capacity forecast, armed HO
 // predictions) via bond::AdaptiveFecController.
 //
-// The two links run independent radio/handover state over their own cell
-// layouts (e.g. rural P1 + rural P2) but share the UAV trajectory.
+// The two cellular links run independent radio/handover state over their own
+// cell layouts (e.g. rural P1 + rural P2) but share the UAV trajectory. With
+// SessionConfig::sat enabled the session grows to 3-way (or 4-way, with the
+// aerial mesh) multi-connectivity: the extra paths register with the same
+// LinkManager behind bond::BondablePath, the reorder window tracks their
+// skew per path, and the report carries the per-path breakdown plus the sat
+// outage/stall attribution (schema v6).
 #pragma once
 
 #include <memory>
@@ -79,6 +84,9 @@ class MultipathSession {
   [[nodiscard]] bond::Policy policy() const { return policy_; }
   [[nodiscard]] cellular::CellularLink& link_a() { return *link_a_; }
   [[nodiscard]] cellular::CellularLink& link_b() { return *link_b_; }
+  // Non-null iff cfg.sat.enabled / cfg.sat.mesh_enabled.
+  [[nodiscard]] sat::SatelliteLink* sat_link() { return sat_link_.get(); }
+  [[nodiscard]] sat::MeshHopLink* mesh_link() { return mesh_link_.get(); }
   [[nodiscard]] bond::LinkManager& link_manager() { return *lm_; }
   // Null for legacy policies (they keep the first-copy-wins direct path).
   [[nodiscard]] const bond::ReorderWindow* reorder_window() const {
@@ -97,12 +105,10 @@ class MultipathSession {
   }
 
  private:
-  [[nodiscard]] cellular::CellularLink& path_link(int i) {
-    return i == 0 ? *link_a_ : *link_b_;
-  }
+  [[nodiscard]] bond::BondablePath& path_link(int i) { return lm_->path(i); }
   void transmit_media(net::Packet p);
   void send_on_path(int path, net::Packet p);
-  void deliver_to_receiver(net::Packet p, bool via_b);
+  void deliver_to_receiver(net::Packet p, int path);
   void send_feedback(const rtp::FeedbackReport& report, std::size_t size);
   void send_command();
   void send_telemetry();
@@ -130,6 +136,10 @@ class MultipathSession {
   // and (via the LinkManager) predictive switching away from the primary.
   std::unique_ptr<predict::ProactiveAdapter> adapter_a_;
   std::unique_ptr<predict::ProactiveAdapter> adapter_b_;
+  // Extra bonded paths (3-way multi-connectivity); constructed after every
+  // pre-existing RNG fork so 2-path runs stay byte-identical.
+  std::unique_ptr<sat::SatelliteLink> sat_link_;
+  std::unique_ptr<sat::MeshHopLink> mesh_link_;
   std::unique_ptr<bond::LinkManager> lm_;
   std::unique_ptr<bond::ReorderWindow> window_;       // bonded policies only
   std::unique_ptr<bond::AdaptiveFecController> fec_ctrl_;  // FEC policies only
@@ -139,7 +149,8 @@ class MultipathSession {
   std::unique_ptr<VideoSender> sender_;
   std::unique_ptr<VideoReceiver> receiver_;
 
-  std::unique_ptr<fault::FaultInjector> injector_;  // faults hit link A only
+  std::unique_ptr<fault::FaultInjector> injector_;    // owns link A + WAN
+  std::unique_ptr<fault::FaultInjector> injector_b_;  // faults_on_link_b only
   std::unordered_set<std::uint64_t> delivered_ids_;  // legacy first-copy-wins
   sim::TimePoint last_feedback_forwarded_ = sim::TimePoint::never();
   std::uint64_t last_command_done_ = 0;

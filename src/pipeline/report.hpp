@@ -16,6 +16,16 @@
 
 namespace rpv::pipeline {
 
+// Per-path delivery/airtime attribution for bonded sessions (schema v6):
+// one row per registered path, in registration order.
+struct PathBreakdown {
+  std::string kind;  // "cellular" | "satellite" | "mesh"
+  std::uint64_t sent_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t lost_packets = 0;
+  std::uint64_t airtime_bytes = 0;
+};
+
 struct SessionReport {
   std::string cc_name;
   std::string environment;
@@ -80,6 +90,19 @@ struct SessionReport {
   // airtime-vs-stall tradeoff tables.
   std::uint64_t bond_airtime_bytes = 0;
   std::uint64_t bond_media_bytes = 0;
+  std::vector<PathBreakdown> bond_paths;  // schema v6, empty pre-bond
+
+  // --- LEO satellite / mesh path (rpv::sat, schema v6) ---
+  bool sat_enabled = false;
+  std::uint64_t sat_pass_handovers = 0;  // satellite-pass interruptions fired
+  std::uint64_t sat_obstructions = 0;    // obstruction/rain-fade windows opened
+  double sat_outage_ms = 0.0;            // total scheduled outage time
+  // Player stall time whose onset fell inside a sat unavailable window —
+  // the stall mass the satellite path could not mask (vs. did cause).
+  double sat_stall_ms_in_outage = 0.0;
+
+  // Discrete-event count of the run (events/sec denominators for benches).
+  std::uint64_t sim_events = 0;
 
   // --- Observability (rpv::obs) ---
   bool obs_enabled = false;

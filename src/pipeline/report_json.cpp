@@ -250,7 +250,7 @@ json::Value report_to_json(const SessionReport& r) {
     v.set("prediction", std::move(o));
   }
 
-  // Bonded link management (schema v4).
+  // Bonded link management (schema v4; per-path breakdown since v6).
   {
     json::Value o = json::Value::object();
     o.set("policy", r.bond_policy)
@@ -262,8 +262,31 @@ json::Value report_to_json(const SessionReport& r) {
         .set("fec_recovered", r.bond_fec_recovered)
         .set("airtime_bytes", r.bond_airtime_bytes)
         .set("media_bytes", r.bond_media_bytes);
+    json::Value paths = json::Value::array();
+    for (const auto& p : r.bond_paths) {
+      json::Value e = json::Value::object();
+      e.set("kind", p.kind)
+          .set("sent_packets", p.sent_packets)
+          .set("delivered_packets", p.delivered_packets)
+          .set("lost_packets", p.lost_packets)
+          .set("airtime_bytes", p.airtime_bytes);
+      paths.push_back(std::move(e));
+    }
+    o.set("paths", std::move(paths));
     v.set("bond", std::move(o));
   }
+
+  // LEO satellite / mesh path (schema v6).
+  {
+    json::Value o = json::Value::object();
+    o.set("enabled", r.sat_enabled)
+        .set("pass_handovers", r.sat_pass_handovers)
+        .set("obstructions", r.sat_obstructions)
+        .set("outage_ms", r.sat_outage_ms)
+        .set("stall_ms_in_outage", r.sat_stall_ms_in_outage);
+    v.set("sat", std::move(o));
+  }
+  v.set("sim_events", r.sim_events);
 
   // Observability. Counters and histograms are small and round-trip here;
   // the recorder's event snapshot is exported as a sibling events.jsonl by
@@ -387,7 +410,26 @@ SessionReport report_from_json(const json::Value& v) {
     r.bond_fec_recovered = o.at("fec_recovered").as_u64();
     r.bond_airtime_bytes = o.at("airtime_bytes").as_u64();
     r.bond_media_bytes = o.at("media_bytes").as_u64();
+    for (const auto& e : o.at("paths").items()) {
+      PathBreakdown p;
+      p.kind = e.at("kind").as_string();
+      p.sent_packets = e.at("sent_packets").as_u64();
+      p.delivered_packets = e.at("delivered_packets").as_u64();
+      p.lost_packets = e.at("lost_packets").as_u64();
+      p.airtime_bytes = e.at("airtime_bytes").as_u64();
+      r.bond_paths.push_back(std::move(p));
+    }
   }
+
+  {
+    const auto& o = v.at("sat");
+    r.sat_enabled = o.at("enabled").as_bool();
+    r.sat_pass_handovers = o.at("pass_handovers").as_u64();
+    r.sat_obstructions = o.at("obstructions").as_u64();
+    r.sat_outage_ms = o.at("outage_ms").as_double();
+    r.sat_stall_ms_in_outage = o.at("stall_ms_in_outage").as_double();
+  }
+  r.sim_events = v.at("sim_events").as_u64();
 
   {
     const auto& o = v.at("obs");

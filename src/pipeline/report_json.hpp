@@ -19,8 +19,10 @@ namespace rpv::pipeline {
 // observability block (enabled flag, recorder totals, counters, histograms);
 // version 4 the bond block (policy name + bonded-scheduler counters);
 // version 5 the fleet report family (rpv::fleet documents carrying a `fleet`
-// block of merged metrics instead of N per-session reports).
-inline constexpr int kReportSchemaVersion = 5;
+// block of merged metrics instead of N per-session reports); version 6 the
+// per-path breakdown inside the bond block, the sat block (LEO pass
+// handovers, outage totals, stall attribution), and sim_events.
+inline constexpr int kReportSchemaVersion = 6;
 
 [[nodiscard]] json::Value report_to_json(const SessionReport& r);
 

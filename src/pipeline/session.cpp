@@ -381,6 +381,7 @@ SessionReport Session::collect() {
   r.telemetry_latency_ms = telemetry_latency_ms_.values();
   r.commands_sent = commands_sent_;
   r.telemetry_sent = telemetry_sent_;
+  r.sim_events = sim_.executed_events();
   return r;
 }
 

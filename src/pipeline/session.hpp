@@ -23,6 +23,8 @@
 #include "obs/recorder.hpp"
 #include "pipeline/report.hpp"
 #include "predict/proactive_adapter.hpp"
+#include "sat/mesh_link.hpp"
+#include "sat/satellite_link.hpp"
 #include "pipeline/video_receiver.hpp"
 #include "pipeline/video_sender.hpp"
 #include "sim/simulator.hpp"
@@ -80,6 +82,22 @@ struct SessionConfig {
 
   // Scripted fault injection; an empty schedule injects nothing.
   fault::FaultSchedule faults;
+  // Replay the same schedule on operator B too (MultipathSession only; a
+  // single-path Session has no link B). Off by default — the historical
+  // behaviour faults link A only, and existing runs stay byte-identical.
+  // WAN events are not doubled: the WAN is shared and injector A owns it.
+  bool faults_on_link_b = false;
+
+  // 3-way multi-connectivity (rpv::sat): attach a LEO satellite path — and
+  // optionally an aerial-mesh relay chain — as extra bonded paths behind the
+  // two cellular operators. Consumed by MultipathSession only; a single-path
+  // Session ignores it.
+  struct SatConfig {
+    bool enabled = false;
+    sat::SatelliteLinkConfig link;
+    bool mesh_enabled = false;
+    sat::MeshLinkConfig mesh;
+  } sat;
 
   // Enable the end-to-end resilience stack: sender feedback watchdog +
   // degradation ladder, receiver PLI keyframe recovery.

@@ -1,0 +1,66 @@
+#include "sat/mesh_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/validate.hpp"
+
+namespace rpv::sat {
+
+MeshHopLink::MeshHopLink(sim::Simulator& simulator, MeshLinkConfig cfg,
+                         sim::Rng rng)
+    : sim_{simulator}, cfg_{cfg}, rng_{rng} {
+  rpv::validate(cfg_.hops >= 1, "MeshHopLink: hops must be >= 1");
+  rpv::validate(cfg_.capacity_mbps > 0.0,
+                "MeshHopLink: capacity_mbps must be positive");
+  rpv::validate(cfg_.per_hop_loss >= 0.0 && cfg_.per_hop_loss < 1.0,
+                "MeshHopLink: per_hop_loss must be in [0, 1)");
+}
+
+double MeshHopLink::queuing_delay_ms() const {
+  const auto busy = std::max(busy_until_up_, sim_.now());
+  return (busy - sim_.now()).sec() * 1e3;
+}
+
+void MeshHopLink::send(net::Packet p, DeliverFn deliver, bool uplink) {
+  // Loss compounds per hop: one independent trial per relay.
+  const double e2e_loss = 1.0 - std::pow(1.0 - cfg_.per_hop_loss, cfg_.hops);
+  if (e2e_loss > 0.0 && rng_.chance(e2e_loss)) {
+    ++radio_losses_;
+    if (on_loss_) on_loss_(p);
+    return;
+  }
+  const double ser_sec =
+      static_cast<double>(p.size_bytes) * 8.0 / (cfg_.capacity_mbps * 1e6);
+  auto& busy = uplink ? busy_until_up_ : busy_until_down_;
+  const auto start = std::max(busy, sim_.now());
+  const auto done = start + sim::Duration::seconds(ser_sec);
+  busy = done;
+  // Latency compounds per hop too; jitter accumulates as independent
+  // half-normals (store-and-forward queues only ever add delay).
+  double extra_ms = base_latency_ms();
+  if (cfg_.per_hop_jitter_ms > 0.0) {
+    for (int h = 0; h < cfg_.hops; ++h) {
+      extra_ms += std::abs(rng_.normal(0.0, cfg_.per_hop_jitter_ms));
+    }
+  }
+  auto delivery = done + sim::Duration::seconds(extra_ms / 1e3);
+  auto& last = uplink ? last_up_delivery_ : last_down_delivery_;
+  delivery = std::max(delivery, last);
+  last = delivery;
+  sim_.schedule_at(delivery,
+                   [p = std::move(p), deliver = std::move(deliver)]() mutable {
+                     deliver(std::move(p));
+                   });
+}
+
+void MeshHopLink::send_uplink(net::Packet p, DeliverFn deliver) {
+  send(std::move(p), std::move(deliver), /*uplink=*/true);
+}
+
+void MeshHopLink::send_downlink(net::Packet p, DeliverFn deliver) {
+  send(std::move(p), std::move(deliver), /*uplink=*/false);
+}
+
+}  // namespace rpv::sat

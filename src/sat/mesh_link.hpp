@@ -1,0 +1,65 @@
+// Aerial-mesh relay path: a UAV-to-UAV (or UAV-to-ground-relay) multi-hop
+// chain. Deliberately lightweight — per-hop latency and loss compound with
+// the hop count taken from scenario geometry, capacity is the thin shared
+// air-to-air channel — because the interesting dynamics (scheduling around
+// it) live in the LinkManager, not in the mesh itself.
+#pragma once
+
+#include <cstdint>
+
+#include "bond/bondable_path.hpp"
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace rpv::sat {
+
+struct MeshLinkConfig {
+  // Relay chain length, from scenario geometry (rural corridor: more hops).
+  int hops = 3;
+  double per_hop_latency_ms = 8.0;
+  double per_hop_jitter_ms = 2.0;
+  // Per-hop packet loss; end-to-end loss is 1 - (1 - p)^hops.
+  double per_hop_loss = 0.004;
+  // End-to-end capacity of the chain (half-duplex air-to-air is thin).
+  double capacity_mbps = 12.0;
+};
+
+class MeshHopLink final : public bond::BondablePath {
+ public:
+  MeshHopLink(sim::Simulator& simulator, MeshLinkConfig cfg, sim::Rng rng);
+
+  // --- bond::BondablePath ---
+  [[nodiscard]] bond::PathKind kind() const override {
+    return bond::PathKind::kMesh;
+  }
+  void send_uplink(net::Packet p, DeliverFn deliver) override;
+  void send_downlink(net::Packet p, DeliverFn deliver) override;
+  void set_loss_callback(LossFn fn) override { on_loss_ = std::move(fn); }
+  [[nodiscard]] bool link_down() const override { return false; }
+  [[nodiscard]] double current_capacity_mbps() const override {
+    return cfg_.capacity_mbps;
+  }
+  [[nodiscard]] double queuing_delay_ms() const override;
+  [[nodiscard]] double base_latency_ms() const override {
+    return cfg_.per_hop_latency_ms * cfg_.hops;
+  }
+
+  [[nodiscard]] std::uint64_t radio_losses() const { return radio_losses_; }
+
+ private:
+  void send(net::Packet p, DeliverFn deliver, bool uplink);
+
+  sim::Simulator& sim_;
+  MeshLinkConfig cfg_;
+  sim::Rng rng_;
+  LossFn on_loss_;
+
+  sim::TimePoint busy_until_up_;
+  sim::TimePoint busy_until_down_;
+  sim::TimePoint last_up_delivery_;
+  sim::TimePoint last_down_delivery_;
+  std::uint64_t radio_losses_ = 0;
+};
+
+}  // namespace rpv::sat

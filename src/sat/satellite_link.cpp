@@ -1,0 +1,179 @@
+#include "sat/satellite_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/event.hpp"
+#include "sim/validate.hpp"
+
+namespace rpv::sat {
+
+SatelliteLink::SatelliteLink(sim::Simulator& simulator, SatelliteLinkConfig cfg,
+                             sim::Rng rng)
+    : sim_{simulator}, cfg_{cfg}, rng_{rng} {
+  rpv::validate(cfg_.capacity_mbps > 0.0,
+                "SatelliteLink: capacity_mbps must be positive");
+  rpv::validate(cfg_.base_owd_ms >= 0.0,
+                "SatelliteLink: base_owd_ms must be non-negative");
+  rpv::validate(cfg_.pass_interval_sec > 0.0,
+                "SatelliteLink: pass_interval_sec must be positive");
+  rpv::validate(cfg_.outage_mean_gap_sec > 0.0,
+                "SatelliteLink: outage_mean_gap_sec must be positive");
+  rpv::validate(cfg_.outage_mean_duration_sec > 0.0,
+                "SatelliteLink: outage_mean_duration_sec must be positive");
+}
+
+void SatelliteLink::start(sim::Duration horizon) {
+  rpv::validate(!started_, "SatelliteLink: start() called twice");
+  started_ = true;
+  const auto t0 = sim_.now();
+  const auto until = t0 + horizon;
+
+  // Pass handovers first, then outages — one fixed sampling order so the
+  // schedule is a pure function of the forked seed (fault::FaultSchedule
+  // discipline; byte-identical for any --jobs).
+  for (double at = cfg_.pass_interval_sec;; at += cfg_.pass_interval_sec) {
+    const auto start = t0 + sim::Duration::seconds(at);
+    if (start >= until) break;
+    double gap_ms = cfg_.pass_interruption_ms;
+    if (cfg_.pass_interruption_jitter_ms > 0.0) {
+      gap_ms += std::abs(rng_.normal(0.0, cfg_.pass_interruption_jitter_ms));
+    }
+    passes_.push_back({start, start + sim::Duration::seconds(gap_ms / 1e3)});
+  }
+  double at = rng_.exponential(cfg_.outage_mean_gap_sec);
+  while (at < horizon.sec()) {
+    const double dur = rng_.exponential(cfg_.outage_mean_duration_sec);
+    const bool hard = rng_.uniform() < cfg_.obstruction_fraction;
+    SatOutageWindow w;
+    w.start = t0 + sim::Duration::seconds(at);
+    w.end = w.start + sim::Duration::seconds(dur);
+    w.hard = hard;
+    w.residual = hard ? 0.0 : cfg_.rain_fade_residual;
+    outages_.push_back(w);
+    at += dur + rng_.exponential(cfg_.outage_mean_gap_sec);
+  }
+
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    const auto& w = passes_[i];
+    sim_.schedule_at(w.start, [this, i] {
+      ++pass_handovers_;
+      const auto& p = passes_[i];
+      if (bus_ != nullptr && bus_->wants(obs::EventKind::kSatPassHo)) {
+        bus_->publish(obs::Component::kSat, obs::EventKind::kSatPassHo,
+                      sim_.now(),
+                      obs::SatPassPayload{static_cast<std::uint32_t>(i),
+                                          (p.end - p.start).us()});
+      }
+    });
+  }
+  for (const auto& w : outages_) {
+    const obs::SatOutagePayload payload{
+        static_cast<std::uint8_t>(w.hard ? 0 : 1), (w.end - w.start).us(),
+        w.residual};
+    sim_.schedule_at(w.start, [this, payload] {
+      ++obstructions_;
+      outage_ms_ += static_cast<double>(payload.duration_us) / 1000.0;
+      if (bus_ != nullptr &&
+          bus_->wants(obs::EventKind::kSatObstructionStart)) {
+        bus_->publish(obs::Component::kSat,
+                      obs::EventKind::kSatObstructionStart, sim_.now(),
+                      payload);
+      }
+    });
+    sim_.schedule_at(w.end, [this, payload] {
+      if (bus_ != nullptr && bus_->wants(obs::EventKind::kSatObstructionEnd)) {
+        bus_->publish(obs::Component::kSat, obs::EventKind::kSatObstructionEnd,
+                      sim_.now(), payload);
+      }
+    });
+  }
+}
+
+bool SatelliteLink::in_unavailable_window(sim::TimePoint t) const {
+  for (const auto& w : passes_) {
+    if (t >= w.start && t < w.end) return true;
+  }
+  for (const auto& w : outages_) {
+    if (w.hard && t >= w.start && t < w.end) return true;
+  }
+  return false;
+}
+
+double SatelliteLink::capacity_multiplier(sim::TimePoint t) const {
+  for (const auto& w : passes_) {
+    if (t >= w.start && t < w.end) return 0.0;
+  }
+  for (const auto& w : outages_) {
+    if (t >= w.start && t < w.end) return w.residual;
+  }
+  return 1.0;
+}
+
+bool SatelliteLink::link_down() const {
+  return in_unavailable_window(sim_.now());
+}
+
+double SatelliteLink::current_capacity_mbps() const {
+  return cfg_.capacity_mbps * capacity_multiplier(sim_.now());
+}
+
+double SatelliteLink::queuing_delay_ms() const {
+  const auto busy = std::max(busy_until_up_, sim_.now());
+  return (busy - sim_.now()).sec() * 1e3;
+}
+
+void SatelliteLink::lose(const net::Packet& p) {
+  ++radio_losses_;
+  if (on_loss_) on_loss_(p);
+}
+
+void SatelliteLink::send(net::Packet p, DeliverFn deliver, bool uplink) {
+  const auto now = sim_.now();
+  if (in_unavailable_window(now)) {
+    lose(p);
+    return;
+  }
+  if (cfg_.loss_probability > 0.0 && rng_.chance(cfg_.loss_probability)) {
+    lose(p);
+    return;
+  }
+  // Serialize at the effective rate (rain fade slows, never stops, the
+  // in-service packet — same floor discipline as the cellular fade model).
+  const double rate_mbps =
+      cfg_.capacity_mbps * std::max(capacity_multiplier(now), 0.05);
+  const double ser_sec =
+      static_cast<double>(p.size_bytes) * 8.0 / (rate_mbps * 1e6);
+  auto& busy = uplink ? busy_until_up_ : busy_until_down_;
+  const auto start = std::max(busy, now);
+  const auto done = start + sim::Duration::seconds(ser_sec);
+  busy = done;
+  double extra_ms = cfg_.base_owd_ms;
+  if (cfg_.jitter_ms > 0.0) {
+    extra_ms += std::abs(rng_.normal(0.0, cfg_.jitter_ms));
+  }
+  auto delivery = done + sim::Duration::seconds(extra_ms / 1e3);
+  // A copy in flight when the beam drops is gone with it.
+  if (in_unavailable_window(delivery)) {
+    lose(p);
+    return;
+  }
+  auto& last = uplink ? last_up_delivery_ : last_down_delivery_;
+  delivery = std::max(delivery, last);  // in-order delivery per direction
+  last = delivery;
+  sim_.schedule_at(delivery,
+                   [p = std::move(p), deliver = std::move(deliver)]() mutable {
+                     deliver(std::move(p));
+                   });
+}
+
+void SatelliteLink::send_uplink(net::Packet p, DeliverFn deliver) {
+  send(std::move(p), std::move(deliver), /*uplink=*/true);
+}
+
+void SatelliteLink::send_downlink(net::Packet p, DeliverFn deliver) {
+  send(std::move(p), std::move(deliver), /*uplink=*/false);
+}
+
+}  // namespace rpv::sat

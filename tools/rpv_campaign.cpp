@@ -15,6 +15,8 @@
 //   tech       urban x air x {gcc, static} x {lte, 5g-sa}
 //   predict    {urban, rural-p1} x air x all CCs x {reactive, proactive}
 //   bond       rural pair x {failover, duplicate, bond-*} x {rlf-storm, chaos}
+//   sat        3-way multi-connectivity: operator pair vs +LEO satellite
+//              x {failover, bond-bal, bond-hr} under rlf-storm
 //   fleet      shared-cell multi-UAV sweep: size x {urban, rural-p1}; one
 //              FleetEngine run per cell, streaming-merged fleet reports
 #include <cstdlib>
@@ -115,6 +117,24 @@ std::vector<NamedGrid> named_grids() {
                             experiment::FaultPreset::kChaos};
     g.base.cc = pipeline::CcKind::kStatic;
     g.base.c2 = true;
+    grids.push_back(std::move(g));
+  }
+  {
+    NamedGrid g;
+    g.name = "sat";
+    g.description =
+        "2-path operator pair vs 3-way (+LEO sat) bonding under rlf-storm";
+    g.axes.envs = {experiment::Environment::kRuralP1};
+    g.axes.multipaths = {experiment::Multipath::kFailover,
+                         experiment::Multipath::kBondBalanced,
+                         experiment::Multipath::kBondHighReliability};
+    g.axes.path_sets = {experiment::PathSet::kOperatorPair,
+                        experiment::PathSet::kThreeWay};
+    g.axes.fault_presets = {experiment::FaultPreset::kRlfStorm};
+    g.base.mobility = experiment::Mobility::kStatic;
+    g.base.cc = pipeline::CcKind::kStatic;
+    g.base.c2 = true;
+    g.base.faults_on_both_operators = true;
     grids.push_back(std::move(g));
   }
   return grids;
@@ -276,7 +296,18 @@ int main(int argc, char** argv) {
       else if (arg == "--load") load_dir = value_of(i, arg);
       else if (arg == "--observe") observe = true;
       else if (arg == "--sessions") fleet_sessions = std::stoi(value_of(i, arg));
-      else if (arg == "--env") fleet_env = value_of(i, arg);
+      else if (arg == "--env") {
+        // Validate eagerly so a typo fails with the full usage text instead
+        // of surfacing later (or silently defaulting).
+        fleet_env = value_of(i, arg);
+        try {
+          (void)parse_env_name(*fleet_env);
+        } catch (const std::exception& e) {
+          std::cerr << "error: " << e.what() << "\n\n";
+          print_usage();
+          return 2;
+        }
+      }
       else if (arg == "--horizon") fleet_horizon = std::stod(value_of(i, arg));
       else if (arg == "--list") {
         for (const auto& g : named_grids()) {
@@ -284,8 +315,18 @@ int main(int argc, char** argv) {
           std::cout << "  " << g.name << "\t(" << cells.size()
                     << " scenarios)\t" << g.description << "\n";
         }
-        std::cout << "  fleet\t(4 fleet cells)\tshared-cell multi-UAV sweep: "
-                     "{16, 64} UAVs x {urban, rural-p1}\n";
+        // The fleet grid expands through its own axes type; count it the
+        // same way the run path does instead of hard-coding the number.
+        {
+          fleet::FleetGridAxes axes;
+          axes.sizes = {16, 64};
+          axes.envs = {experiment::Environment::kUrban,
+                       experiment::Environment::kRuralP1};
+          const auto fleet_cells = fleet::expand_fleet_grid(axes, {});
+          std::cout << "  fleet\t(" << fleet_cells.size()
+                    << " fleet cells)\tshared-cell multi-UAV sweep: "
+                       "{16, 64} UAVs x {urban, rural-p1}\n";
+        }
         return 0;
       } else if (arg == "--help" || arg == "-h") {
         print_usage();

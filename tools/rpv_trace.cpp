@@ -10,7 +10,9 @@
 // The `events` form reads an events.jsonl written by an observed run
 // (Scenario::observe / rpv_campaign --observe) and renders one line per
 // event, so a Fig.-8-style handover/stall timeline can be reconstructed from
-// the recording alone — no re-simulation.
+// the recording alone — no re-simulation. Components cover every layer that
+// publishes, including the 3-way bonding paths (`--component sat` isolates
+// satellite pass handovers and obstruction/rain-fade windows).
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -51,14 +53,24 @@ int run_events(int argc, char** argv) {
         const auto name = value_of(i, arg);
         component = obs::component_from_name(name);
         if (!component) {
-          std::cerr << "unknown component '" << name << "'\n";
+          std::cerr << "unknown component '" << name << "' (one of:";
+          for (int c = 0; c < obs::kComponentCount; ++c) {
+            std::cerr << " "
+                      << obs::component_name(static_cast<obs::Component>(c));
+          }
+          std::cerr << ")\n";
           return 2;
         }
       } else if (arg == "--kind") {
         const auto name = value_of(i, arg);
         kind = obs::event_kind_from_name(name);
         if (!kind) {
-          std::cerr << "unknown event kind '" << name << "'\n";
+          std::cerr << "unknown event kind '" << name << "' (one of:";
+          for (int k = 0; k < obs::kEventKindCount; ++k) {
+            std::cerr << " "
+                      << obs::event_kind_name(static_cast<obs::EventKind>(k));
+          }
+          std::cerr << ")\n";
           return 2;
         }
       } else if (arg == "--from") {
