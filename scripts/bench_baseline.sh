@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Regenerate the committed perf baselines (bench_out/BENCH_*.json): the fleet
-# contention sweep plus the sat 3-way bonding bench.
+# Regenerate the committed perf baselines (bench_out/BENCH_*.json): the core
+# event-queue microbench, the fleet contention sweep and the sat 3-way
+# bonding bench.
 #
 # Run this on the CI reference machine class after any change that is
 # *supposed* to move simulator throughput, then commit the refreshed files;
@@ -17,12 +18,19 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 sizes="1,4,16,64,256,1000"
 horizon=60
 sat_runs=4
-[[ "${1:-}" == "--quick" ]] && { sizes="1,4,16"; horizon=20; sat_runs=1; }
+queue_events=4000000
+[[ "${1:-}" == "--quick" ]] && {
+  sizes="1,4,16"; horizon=20; sat_runs=1; queue_events=500000; }
 
 cmake -S "$repo" -B "$repo/build" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$repo/build" -j "$jobs" --target bench_ext_fleet bench_ext_sat
+cmake --build "$repo/build" -j "$jobs" \
+  --target bench_ext_fleet bench_ext_sat bench_core_queue
 
 mkdir -p "$repo/bench_out"
+echo "== core queue baseline ($queue_events events/workload) =="
+"$repo/build/bench/bench_core_queue" --events "$queue_events" \
+  --bench-json "$repo/bench_out/BENCH_core_queue.json"
+echo
 for env in urban rural-p1; do
   out="$repo/bench_out/BENCH_fleet_${env//-/_}.json"
   echo "== fleet baseline: $env (sizes $sizes, horizon ${horizon}s) =="

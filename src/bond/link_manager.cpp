@@ -218,7 +218,7 @@ RouteDecision LinkManager::route_bonded_video(const std::vector<int>& candidates
       const double gain =
           effective_latency_ms(cur) -
           effective_latency_ms(paths_[static_cast<std::size_t>(best)]);
-      if (gain > cfg_.switch_hysteresis_ms) {
+      if (gain > cfg_.switch_hysteresis.ms()) {
         const auto& dst = paths_[static_cast<std::size_t>(best)];
         switch_anchor(best,
                       dst.just_readmitted ? kReasonProbationEnd
@@ -278,7 +278,8 @@ RouteDecision LinkManager::route_priority(TrafficClass cls,
   const int primary = least_queued(candidates);
   const auto& anchor = paths_[static_cast<std::size_t>(anchor_)];
   const double anchor_q = anchor.path->queuing_delay_ms();
-  const bool diverting = primary != anchor_ && anchor_q > cfg_.preempt_queue_ms;
+  const bool diverting =
+      primary != anchor_ && anchor_q > cfg_.preempt_queue.ms();
   auto& flag = diverted_[static_cast<std::size_t>(cls)];
   if (diverting && !flag) {
     ++class_preemptions_;

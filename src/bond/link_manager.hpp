@@ -43,10 +43,10 @@ struct LinkManagerConfig {
   // Per-path radio loss EWMA smoothing (feeds the FEC controller).
   double loss_alpha = 0.02;
   // kLowLatency only re-anchors when another path is this much faster.
-  double switch_hysteresis_ms = 2.0;
+  sim::Duration switch_hysteresis = sim::Duration::millis(2);
   // C2/telemetry divert around the video anchor once its standing queue
   // exceeds this.
-  double preempt_queue_ms = 20.0;
+  sim::Duration preempt_queue = sim::Duration::millis(20);
 };
 
 // Where to send one packet: the primary path index, plus an optional

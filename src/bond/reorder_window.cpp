@@ -154,7 +154,6 @@ void ReorderWindow::release(std::map<std::int64_t, Held>::iterator end_it) {
 
 void ReorderWindow::flush_expired() {
   timer_deadline_ = sim::TimePoint::never();
-  timer_id_ = 0;
   if (buffer_.empty()) return;
   const auto now = sim_.now();
   const auto hold = hold_window();
@@ -180,11 +179,8 @@ void ReorderWindow::flush_expired() {
 
 void ReorderWindow::arm_timer() {
   if (buffer_.empty()) {
-    if (timer_id_ != 0) {
-      sim_.cancel(timer_id_);
-      timer_id_ = 0;
-      timer_deadline_ = sim::TimePoint::never();
-    }
+    timer_.cancel();
+    timer_deadline_ = sim::TimePoint::never();
     return;
   }
   // The next deadline is the oldest arrival plus the hold window.
@@ -193,18 +189,15 @@ void ReorderWindow::arm_timer() {
     oldest = std::min(oldest, held.arrived);
   }
   const auto deadline = oldest + hold_window();
-  if (timer_id_ != 0 && deadline >= timer_deadline_) return;
-  if (timer_id_ != 0) sim_.cancel(timer_id_);
+  if (timer_.pending() && deadline >= timer_deadline_) return;
   timer_deadline_ = deadline;
-  timer_id_ = sim_.schedule_at(deadline, [this] { flush_expired(); });
+  // Re-arming cancels the previous deadline.
+  timer_ = sim_.schedule_timer_at(deadline, [this] { flush_expired(); });
 }
 
 void ReorderWindow::flush_all() {
-  if (timer_id_ != 0) {
-    sim_.cancel(timer_id_);
-    timer_id_ = 0;
-    timer_deadline_ = sim::TimePoint::never();
-  }
+  timer_.cancel();
+  timer_deadline_ = sim::TimePoint::never();
   if (buffer_.empty()) return;
   const auto released = static_cast<std::uint32_t>(buffer_.size());
   release(buffer_.end());

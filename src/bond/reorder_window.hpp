@@ -103,7 +103,7 @@ class ReorderWindow {
   std::vector<bool> path_seen_;
 
   sim::TimePoint timer_deadline_ = sim::TimePoint::never();
-  sim::EventId timer_id_ = 0;
+  sim::Timer timer_;
 
   std::uint64_t delivered_ = 0;
   std::uint64_t duplicates_suppressed_ = 0;

@@ -12,29 +12,77 @@ GccController::GccController(GccConfig cfg)
       loss_{cfg.loss, cfg.initial_rate_bps},
       target_bps_{cfg.initial_rate_bps} {}
 
-void GccController::on_packet_sent(const SentPacket& p) {
-  history_[p.transport_seq] = p;
-  // Bound the history: anything older than a full seq window is stale.
-  if (history_.size() > 8192) {
-    // Cheap aging: drop entries far behind the newest seq.
-    const std::uint16_t newest = p.transport_seq;
-    for (auto it = history_.begin(); it != history_.end();) {
-      const auto age = static_cast<std::uint16_t>(newest - it->first);
-      it = (age > 8192) ? history_.erase(it) : std::next(it);
+void GccController::history_insert(const SentPacket& p) {
+  HistorySlot& s = history_ring_[p.transport_seq & (kHistoryRing - 1)];
+  if (s.valid && s.p.transport_seq == p.transport_seq) {
+    s.p = p;  // re-sent seq: overwrite in place, size unchanged
+    return;
+  }
+  if (s.valid) {
+    // A colliding older seq is still awaiting feedback (likely lost): spill
+    // it so a late report can still find it, exactly as the map did.
+    history_overflow_[s.p.transport_seq] = s.p;
+  }
+  // The inserted seq itself may have a stale copy in the overflow (evicted
+  // earlier, now wrapped around); replacing it must not grow the history.
+  history_size_ += history_overflow_.erase(p.transport_seq) ? 0 : 1;
+  s.p = p;
+  s.valid = true;
+}
+
+const SentPacket* GccController::history_find(std::uint16_t seq) const {
+  const HistorySlot& s = history_ring_[seq & (kHistoryRing - 1)];
+  if (s.valid && s.p.transport_seq == seq) return &s.p;
+  const auto it = history_overflow_.find(seq);
+  return it == history_overflow_.end() ? nullptr : &it->second;
+}
+
+void GccController::history_erase(std::uint16_t seq) {
+  HistorySlot& s = history_ring_[seq & (kHistoryRing - 1)];
+  if (s.valid && s.p.transport_seq == seq) {
+    s.valid = false;
+  } else if (history_overflow_.erase(seq) == 0) {
+    return;
+  }
+  --history_size_;
+}
+
+void GccController::history_age(std::uint16_t newest) {
+  for (HistorySlot& s : history_ring_) {
+    if (!s.valid) continue;
+    const auto age = static_cast<std::uint16_t>(newest - s.p.transport_seq);
+    if (age > 8192) {
+      s.valid = false;
+      --history_size_;
+    }
+  }
+  for (auto it = history_overflow_.begin(); it != history_overflow_.end();) {
+    const auto age = static_cast<std::uint16_t>(newest - it->first);
+    if (age > 8192) {
+      it = history_overflow_.erase(it);
+      --history_size_;
+    } else {
+      ++it;
     }
   }
 }
 
+void GccController::on_packet_sent(const SentPacket& p) {
+  history_insert(p);
+  // Bound the history: anything older than a full seq window is stale.
+  if (history_size_ > 8192) history_age(p.transport_seq);
+}
+
 void GccController::note_acked(std::size_t bytes, sim::TimePoint arrival) {
   acked_bytes_.emplace_back(arrival, bytes);
+  acked_window_bytes_ += bytes;
   const auto horizon = arrival - cfg_.incoming_rate_window;
   while (!acked_bytes_.empty() && acked_bytes_.front().first < horizon) {
+    acked_window_bytes_ -= acked_bytes_.front().second;
     acked_bytes_.pop_front();
   }
-  std::size_t total = 0;
-  for (const auto& [t, b] : acked_bytes_) total += b;
-  incoming_rate_bps_ =
-      static_cast<double>(total) * 8.0 / cfg_.incoming_rate_window.sec();
+  incoming_rate_bps_ = static_cast<double>(acked_window_bytes_) * 8.0 /
+                       cfg_.incoming_rate_window.sec();
 }
 
 void GccController::on_feedback(const rtp::FeedbackReport& report,
@@ -52,14 +100,14 @@ void GccController::on_feedback(const rtp::FeedbackReport& report,
       ++lost;
       continue;
     }
-    const auto it = history_.find(r.transport_seq);
-    if (it == history_.end()) continue;
-    note_acked(it->second.size_bytes, r.arrival);
-    if (const auto gradient = filter_.on_packet(it->second.send_time, r.arrival)) {
+    const SentPacket* sent = history_find(r.transport_seq);
+    if (sent == nullptr) continue;
+    note_acked(sent->size_bytes, r.arrival);
+    if (const auto gradient = filter_.on_packet(sent->send_time, r.arrival)) {
       signal = detector_.update(*gradient, now);
       fresh_signal = true;
     }
-    history_.erase(it);
+    history_erase(r.transport_seq);
   }
 
   const double report_loss =

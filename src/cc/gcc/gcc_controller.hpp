@@ -53,6 +53,10 @@ class GccController final : public RateController {
 
  private:
   void note_acked(std::size_t bytes, sim::TimePoint arrival);
+  void history_insert(const SentPacket& p);
+  [[nodiscard]] const SentPacket* history_find(std::uint16_t seq) const;
+  void history_erase(std::uint16_t seq);
+  void history_age(std::uint16_t newest);
 
   GccConfig cfg_;
   ArrivalFilter filter_;
@@ -63,8 +67,24 @@ class GccController final : public RateController {
   double smoothed_loss_ = 0.0;
   double incoming_rate_bps_ = 0.0;
 
-  std::unordered_map<std::uint16_t, SentPacket> history_;
+  // Sent-packet history awaiting feedback, keyed by transport seq. The hot
+  // path is a direct-mapped ring (in-flight packets are acked within a few
+  // hundred ms, far fewer than kHistoryRing outstanding); an entry evicted
+  // by a colliding newer seq spills to the overflow map, so lookups behave
+  // exactly like the plain map this replaces — losses and multi-second
+  // feedback silences included — without per-packet node allocation.
+  static constexpr std::size_t kHistoryRing = 1024;  // power of two
+  struct HistorySlot {
+    SentPacket p;
+    bool valid = false;
+  };
+  std::vector<HistorySlot> history_ring_{kHistoryRing};
+  std::unordered_map<std::uint16_t, SentPacket> history_overflow_;
+  std::size_t history_size_ = 0;
+  // Sliding ack-rate window with a running byte total (exact: integer sum),
+  // so note_acked is O(evictions) instead of O(window).
   std::deque<std::pair<sim::TimePoint, std::size_t>> acked_bytes_;
+  std::size_t acked_window_bytes_ = 0;
 };
 
 }  // namespace rpv::cc::gcc

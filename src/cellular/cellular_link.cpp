@@ -25,12 +25,9 @@ CellularLink::CellularLink(sim::Simulator& simulator, CellLayout layout,
   cells_seen_.push_back(initial);
   queue_ = std::make_unique<LinkQueue>(
       sim_, cfg_.queue, [this] { return capacity_mbps_ * 1e6; },
-      [this](net::Packet p) {
+      [this](net::Packet p, LinkQueue::DoneFn deliver) {
         // Serialization finished: apply radio loss, then access latency.
-        const auto it = pending_.find(p.id);
-        if (it == pending_.end()) return;
-        DeliverFn deliver = std::move(it->second);
-        pending_.erase(it);
+        if (!deliver) return;
         if (sim_.now() < uplink_blackout_until_) {
           ++fault_drops_;
           publish_packet_lost(p);
@@ -48,7 +45,7 @@ CellularLink::CellularLink(sim::Simulator& simulator, CellLayout layout,
           return;
         }
         const auto jitter = sim::Duration::seconds(
-            std::abs(rng_.normal(0.0, cfg_.uplink_access_jitter_ms)) / 1e3);
+            std::abs(rng_.normal(0.0, cfg_.uplink_access_jitter.ms())) / 1e3);
         // RLC acknowledged mode delivers in order: jitter may stretch the
         // delay but never lets a packet overtake its predecessor.
         auto at = sim_.now() + cfg_.uplink_access_latency + jitter;
@@ -63,7 +60,6 @@ CellularLink::CellularLink(sim::Simulator& simulator, CellLayout layout,
       },
       [this](const net::Packet& p) {
         // Buffer overflow drop.
-        pending_.erase(p.id);
         publish_packet_lost(p);
         if (on_loss_) on_loss_(p);
       });
@@ -195,8 +191,7 @@ void CellularLink::measurement_tick() {
 
 void CellularLink::send_uplink(net::Packet p, DeliverFn deliver) {
   p.enqueued = sim_.now();
-  pending_.emplace(p.id, std::move(deliver));
-  queue_->enqueue(std::move(p));
+  queue_->enqueue(std::move(p), std::move(deliver));
 }
 
 void CellularLink::send_downlink(net::Packet p, DeliverFn deliver) {
@@ -206,7 +201,7 @@ void CellularLink::send_downlink(net::Packet p, DeliverFn deliver) {
   }
   if (rng_.chance(cfg_.downlink_loss)) return;
   const auto jitter = sim::Duration::seconds(
-      std::abs(rng_.normal(0.0, cfg_.downlink_jitter_ms)) / 1e3);
+      std::abs(rng_.normal(0.0, cfg_.downlink_jitter.ms())) / 1e3);
   sim::TimePoint at = sim_.now() + cfg_.downlink_latency + jitter;
   // Downlink shares the radio interruption during handover execution
   // (unless DAPS keeps both stacks active).

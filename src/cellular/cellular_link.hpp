@@ -10,7 +10,6 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
 #include "cellular/base_station.hpp"
 #include "cellular/cell_load.hpp"
@@ -35,11 +34,12 @@ struct CellularLinkConfig {
   LossConfig loss;
 
   // Radio access latency (scheduling grant, HARQ round trips) added after
-  // serialization, per direction.
+  // serialization, per direction. Jitter values are the sigma of a
+  // half-normal delay added per packet.
   sim::Duration uplink_access_latency = sim::Duration::millis(15);
-  double uplink_access_jitter_ms = 3.0;
+  sim::Duration uplink_access_jitter = sim::Duration::millis(3);
   sim::Duration downlink_latency = sim::Duration::millis(8);
-  double downlink_jitter_ms = 1.0;
+  sim::Duration downlink_jitter = sim::Duration::millis(1);
   double downlink_loss = 1e-5;
 };
 
@@ -188,10 +188,6 @@ class CellularLink {
   std::uint64_t fault_drops_ = 0;
   metrics::TimeSeries capacity_trace_;
   std::vector<std::uint32_t> cells_seen_;
-
-  // Per-packet completion callbacks, keyed by packet id; erased on delivery
-  // or overflow drop.
-  std::unordered_map<std::uint64_t, DeliverFn> pending_;
 };
 
 }  // namespace rpv::cellular

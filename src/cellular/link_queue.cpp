@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace rpv::cellular {
 
@@ -13,7 +14,7 @@ LinkQueue::LinkQueue(sim::Simulator& simulator, LinkQueueConfig cfg, RateFn rate
       deliver_{std::move(deliver)},
       on_drop_{std::move(on_drop)} {}
 
-void LinkQueue::enqueue(net::Packet p) {
+void LinkQueue::enqueue(net::Packet p, DoneFn done) {
   if (queued_bytes_ + p.size_bytes > cfg_.buffer_bytes) {
     ++drops_;
     if (bus_ && bus_->wants(obs::EventKind::kQueueDrop)) {
@@ -22,22 +23,30 @@ void LinkQueue::enqueue(net::Packet p) {
                     obs::QueuePayload{p.id,
                                       static_cast<std::uint32_t>(p.size_bytes),
                                       static_cast<std::uint64_t>(queued_bytes_),
-                                      static_cast<std::uint32_t>(queue_.size()),
+                                      static_cast<std::uint32_t>(count_),
                                       /*reason=*/0});
     }
     if (on_drop_) on_drop_(p);
     return;
   }
   queued_bytes_ += p.size_bytes;
-  queue_.push_back(std::move(p));
+  const std::uint32_t idx =
+      pool_.acquire(Item{std::move(p), std::move(done), kNil});
+  if (tail_ == kNil) {
+    head_ = idx;
+  } else {
+    pool_[tail_].next = idx;
+  }
+  tail_ = idx;
+  ++count_;
   if (bus_ && bus_->wants(obs::EventKind::kQueueEnqueue)) {
-    const net::Packet& q = queue_.back();
+    const net::Packet& q = pool_[idx].p;
     bus_->publish(obs::Component::kLinkQueue, obs::EventKind::kQueueEnqueue,
                   sim_.now(),
                   obs::QueuePayload{q.id,
                                     static_cast<std::uint32_t>(q.size_bytes),
                                     static_cast<std::uint64_t>(queued_bytes_),
-                                    static_cast<std::uint32_t>(queue_.size()),
+                                    static_cast<std::uint32_t>(count_),
                                     /*reason=*/0});
   }
   maybe_start_service();
@@ -53,7 +62,7 @@ void LinkQueue::pause() {
   if (busy_) {
     // Abort the in-flight serialization; the head is re-serialized in full
     // on resume (the radio bearer is torn down mid-transfer during a HO).
-    sim_.cancel(service_event_);
+    service_timer_.cancel();
     busy_ = false;
   }
 }
@@ -71,20 +80,26 @@ double LinkQueue::queuing_delay_sec() const {
 }
 
 void LinkQueue::maybe_start_service() {
-  if (busy_ || paused_ || queue_.empty()) return;
+  if (busy_ || paused_ || count_ == 0) return;
   busy_ = true;
-  const net::Packet& head = queue_.front();
+  const net::Packet& head = pool_[head_].p;
   const double rate = std::max(rate_(), 1e3);  // never fully zero outside pause
   const auto tx_time =
       sim::Duration::seconds(static_cast<double>(head.size_bytes) * 8.0 / rate);
-  service_event_ = sim_.schedule_in(tx_time, [this] { finish_head(); });
+  service_timer_ = sim_.schedule_timer_in(tx_time, [this] { finish_head(); });
 }
 
 void LinkQueue::finish_head() {
   busy_ = false;
-  if (queue_.empty()) return;  // defensive
-  net::Packet p = std::move(queue_.front());
-  queue_.pop_front();
+  if (count_ == 0) return;  // defensive
+  Item& item = pool_[head_];
+  net::Packet p = std::move(item.p);
+  DoneFn done = std::move(item.done);
+  const std::uint32_t old_head = head_;
+  head_ = item.next;
+  if (head_ == kNil) tail_ = kNil;
+  pool_.release(old_head);
+  --count_;
   queued_bytes_ -= p.size_bytes;
   p.sent = sim_.now();
 
@@ -96,12 +111,12 @@ void LinkQueue::finish_head() {
                     obs::QueuePayload{p.id,
                                       static_cast<std::uint32_t>(p.size_bytes),
                                       static_cast<std::uint64_t>(queued_bytes_),
-                                      static_cast<std::uint32_t>(queue_.size()),
+                                      static_cast<std::uint32_t>(count_),
                                       /*reason=*/1});
     }
     if (on_drop_) on_drop_(p);
   } else {
-    deliver_(std::move(p));
+    deliver_(std::move(p), std::move(done));
   }
   maybe_start_service();
 }

@@ -6,14 +6,20 @@
 // packets queue for hundreds of milliseconds instead of being dropped.
 // This is a FIFO byte queue drained at a time-varying service rate, with
 // pause/resume hooks for handover interruptions and overflow-only drops.
+//
+// Each packet rides with an optional per-packet completion callback that is
+// handed to the deliver function when serialization finishes (and silently
+// discarded on drop) — the owner never needs a side table keyed by packet
+// id. In-flight packets live in a sim::Pool, so a steady-state queue does no
+// allocation.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
 #include "net/packet.hpp"
 #include "obs/event_sink.hpp"
+#include "sim/pool.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -32,15 +38,20 @@ struct LinkQueueConfig {
 
 class LinkQueue {
  public:
-  using DeliverFn = std::function<void(net::Packet)>;
+  // Per-packet completion, carried through the queue alongside its packet.
+  using DoneFn = std::function<void(net::Packet)>;
+  // Called when a packet finishes serialization, with its completion (which
+  // may be null).
+  using DeliverFn = std::function<void(net::Packet, DoneFn)>;
   using RateFn = std::function<double()>;  // current service rate, bits/s
   using DropFn = std::function<void(const net::Packet&)>;
 
   LinkQueue(sim::Simulator& simulator, LinkQueueConfig cfg, RateFn rate,
             DeliverFn deliver, DropFn on_drop = nullptr);
 
-  // Enqueue for transmission; drops on buffer overflow.
-  void enqueue(net::Packet p);
+  // Enqueue for transmission; drops on buffer overflow (the completion is
+  // discarded with the packet — on_drop sees the packet itself).
+  void enqueue(net::Packet p, DoneFn done = nullptr);
 
   // Publish kQueueEnqueue / kQueueDrop onto the session's event bus.
   void attach_observer(obs::EventBus* bus) { bus_ = bus; }
@@ -54,13 +65,21 @@ class LinkQueue {
     return static_cast<double>(queued_bytes_) /
            static_cast<double>(cfg_.buffer_bytes);
   }
-  [[nodiscard]] std::size_t queued_packets() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queued_packets() const { return count_; }
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
   [[nodiscard]] std::uint64_t aqm_drops() const { return aqm_drops_; }
   // Queue sojourn estimate at the current service rate, in seconds.
   [[nodiscard]] double queuing_delay_sec() const;
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Item {
+    net::Packet p;
+    DoneFn done;
+    std::uint32_t next = kNil;
+  };
+
   void maybe_start_service();
   void finish_head();
   bool aqm_should_drop(const net::Packet& p);
@@ -71,14 +90,18 @@ class LinkQueue {
   DeliverFn deliver_;
   DropFn on_drop_;
   obs::EventBus* bus_ = nullptr;
-  std::deque<net::Packet> queue_;
+  // Intrusive FIFO over pooled items (head -> ... -> tail via Item::next).
+  sim::Pool<Item> pool_;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::size_t count_ = 0;
   std::size_t queued_bytes_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t aqm_drops_ = 0;
   bool busy_ = false;
   bool paused_ = false;
   int pause_depth_ = 0;
-  sim::EventId service_event_ = 0;
+  sim::Timer service_timer_;
 
   // CoDel state.
   sim::TimePoint first_above_ = sim::TimePoint::never();

@@ -171,7 +171,7 @@ pipeline::SessionConfig make_session_config(const Scenario& s) {
     // mobility (no HO latency spikes per the studies the paper cites), and a
     // substantially larger uplink.
     cfg.link.uplink_access_latency = sim::Duration::millis(4);
-    cfg.link.uplink_access_jitter_ms = 1.0;
+    cfg.link.uplink_access_jitter = sim::Duration::millis(1);
     cfg.link.downlink_latency = sim::Duration::millis(3);
     cfg.link.handover.make_before_break = true;
     cfg.link.het.bulk_median_ms = 10.0;

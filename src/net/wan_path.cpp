@@ -5,7 +5,7 @@
 namespace rpv::net {
 
 sim::Duration WanPath::sample_delay() {
-  const double jitter = std::abs(rng_.normal(0.0, cfg_.jitter_ms));
+  const double jitter = std::abs(rng_.normal(0.0, cfg_.jitter.ms()));
   return cfg_.base_owd + sim::Duration::seconds(jitter / 1e3);
 }
 

@@ -15,7 +15,8 @@ namespace rpv::net {
 
 struct WanConfig {
   sim::Duration base_owd = sim::Duration::millis(9);  // one-way propagation
-  double jitter_ms = 0.6;        // half-normal jitter added per packet
+  // Sigma of the half-normal jitter added per packet.
+  sim::Duration jitter = sim::Duration::micros(600);
   double loss_probability = 1e-6;
 };
 

@@ -5,11 +5,15 @@
 // RTP headers. The simulation keeps payloads virtual, so sender and receiver
 // share this table instead; it carries exactly the data that would have been
 // recovered from the decoded frames.
+//
+// Frame ids are assigned monotonically from 0 by the sender, so the table is
+// an id-indexed slab (one vector, no hashing, no per-frame node allocation);
+// sparse test ids simply leave unoccupied slots.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "video/frame.hpp"
 
@@ -17,18 +21,28 @@ namespace rpv::pipeline {
 
 class FrameTable {
  public:
-  void put(const video::Frame& f) { frames_[f.id] = f; }
-
-  [[nodiscard]] std::optional<video::Frame> get(std::uint32_t id) const {
-    const auto it = frames_.find(id);
-    if (it == frames_.end()) return std::nullopt;
-    return it->second;
+  void put(const video::Frame& f) {
+    if (f.id >= frames_.size()) frames_.resize(f.id + 1);
+    Slot& s = frames_[f.id];
+    if (!s.occupied) ++size_;
+    s.frame = f;
+    s.occupied = true;
   }
 
-  [[nodiscard]] std::size_t size() const { return frames_.size(); }
+  [[nodiscard]] std::optional<video::Frame> get(std::uint32_t id) const {
+    if (id >= frames_.size() || !frames_[id].occupied) return std::nullopt;
+    return frames_[id].frame;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
 
  private:
-  std::unordered_map<std::uint32_t, video::Frame> frames_;
+  struct Slot {
+    video::Frame frame;
+    bool occupied = false;
+  };
+  std::vector<Slot> frames_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace rpv::pipeline

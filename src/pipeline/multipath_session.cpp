@@ -115,15 +115,15 @@ MultipathSession::MultipathSession(SessionConfig cfg,
   switch (cfg_.cc) {
     case CcKind::kGcc:
       cfg_.receiver.feedback = FeedbackKind::kTwcc;
-      cfg_.sender.discard_queue_ms = -1.0;
+      cfg_.sender.discard_queue = sim::Duration::millis(-1);
       break;
     case CcKind::kScream:
       cfg_.receiver.feedback = FeedbackKind::kRfc8888;
-      cfg_.sender.discard_queue_ms = 100.0;
+      cfg_.sender.discard_queue = sim::Duration::millis(100);
       break;
     default:
       cfg_.receiver.feedback = FeedbackKind::kNone;
-      cfg_.sender.discard_queue_ms = -1.0;
+      cfg_.sender.discard_queue = sim::Duration::millis(-1);
       break;
   }
 

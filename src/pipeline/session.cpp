@@ -62,7 +62,8 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
   cfg_.predict.ho.hysteresis_db = cfg_.link.handover.hysteresis_db;
   adapter_ = std::make_unique<predict::ProactiveAdapter>(cfg_.predict);
   // rpv::predict consumes link measurements off the event bus — the sole
-  // always-on subscription, replacing CellularLink::set_measurement_callback.
+  // always-on subscription; every measurement consumer goes through an
+  // obs::FunctionSink relay like this one.
   measurement_relay_ = std::make_unique<obs::FunctionSink>(
       obs::kind_bit(obs::EventKind::kLinkMeasurement),
       [this](const obs::Event& e) {
@@ -99,15 +100,15 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
     switch (cfg_.cc) {
       case CcKind::kGcc:
         cfg_.receiver.feedback = FeedbackKind::kTwcc;
-        cfg_.sender.discard_queue_ms = -1.0;
+        cfg_.sender.discard_queue = sim::Duration::millis(-1);
         break;
       case CcKind::kScream:
         cfg_.receiver.feedback = FeedbackKind::kRfc8888;
-        cfg_.sender.discard_queue_ms = 100.0;  // the Ericsson library's flush
+        cfg_.sender.discard_queue = sim::Duration::millis(100);  // the Ericsson library's flush
         break;
       case CcKind::kStatic:
         cfg_.receiver.feedback = FeedbackKind::kNone;
-        cfg_.sender.discard_queue_ms = -1.0;
+        cfg_.sender.discard_queue = sim::Duration::millis(-1);
         break;
       case CcKind::kNone:
         break;

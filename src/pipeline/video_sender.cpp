@@ -59,7 +59,8 @@ void VideoSender::frame_tick() {
     }
     // Recovery flush: while silent (and briefly after), stale frames are
     // worthless — a fresh keyframe will replace them anyway.
-    if (recovering && queue_delay_ms() > cfg_.resilience.recovery_discard_ms) {
+    if (recovering &&
+        queue_delay_ms() > cfg_.resilience.recovery_discard.ms()) {
       discarded_ += queue_.size();
       queue_.clear();
       queue_bytes_ = 0;
@@ -67,7 +68,8 @@ void VideoSender::frame_tick() {
   }
 
   // SCReAM-style queue discard: flush everything older than the threshold.
-  if (cfg_.discard_queue_ms > 0.0 && queue_delay_ms() > cfg_.discard_queue_ms) {
+  if (cfg_.discard_queue > sim::Duration::zero() &&
+      queue_delay_ms() > cfg_.discard_queue.ms()) {
     discarded_ += queue_.size();
     ++discard_events_;
     queue_.clear();
@@ -128,7 +130,8 @@ void VideoSender::frame_tick() {
                                     frame.keyframe, false});
   }
 
-  for (auto& p : packetizer_.packetize(frame)) {
+  packetizer_.packetize(frame, packetize_scratch_);
+  for (auto& p : packetize_scratch_) {
     std::optional<net::Packet> parity;
     if (fec_) {
       // Transport-wide sequence numbers must follow the wire order or the

@@ -32,9 +32,9 @@ namespace rpv::pipeline {
 
 struct SenderConfig {
   sim::Duration frame_interval = sim::Duration::micros(33333);
-  // SCReAM flushes its RTP queue when it exceeds this delay; <=0 disables
-  // (GCC and static never discard).
-  double discard_queue_ms = -1.0;
+  // SCReAM flushes its RTP queue when it exceeds this delay; <= zero
+  // disables (GCC and static never discard).
+  sim::Duration discard_queue = sim::Duration::millis(-1);
   // Re-check interval when the window blocks transmission.
   sim::Duration blocked_poll = sim::Duration::millis(5);
   // XOR FEC: one parity packet per this many media packets; 0 disables.
@@ -62,7 +62,7 @@ struct SenderConfig {
     // queue whenever it exceeds this delay: the CC may sit below the
     // encoder's floor while it re-ramps, and stale backlog would otherwise
     // turn into seconds of playback latency.
-    double recovery_discard_ms = 400.0;
+    sim::Duration recovery_discard = sim::Duration::millis(400);
     sim::Duration recovery_flush_window = sim::Duration::seconds(10.0);
   } resilience;
 };
@@ -138,6 +138,7 @@ class VideoSender {
   video::FrameSource source_;
   video::EncoderModel encoder_;
   rtp::Packetizer packetizer_;
+  std::vector<net::Packet> packetize_scratch_;  // reused across frame_tick()s
   std::unique_ptr<rtp::FecEncoder> fec_;
   predict::ProactiveAdapter* proactive_ = nullptr;
   obs::EventBus* bus_ = nullptr;

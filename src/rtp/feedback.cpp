@@ -12,7 +12,14 @@ std::uint16_t rewrap(std::int64_t unwrapped) {
 }  // namespace
 
 void TwccCollector::on_packet(std::uint16_t transport_seq, sim::TimePoint arrival) {
-  pending_.emplace(unwrapper_.unwrap(transport_seq), arrival);
+  const std::int64_t s = unwrapper_.unwrap(transport_seq);
+  if (pending_.empty()) {
+    min_pending_ = max_pending_ = s;
+  } else {
+    min_pending_ = std::min(min_pending_, s);
+    max_pending_ = std::max(max_pending_, s);
+  }
+  pending_.emplace_back(s, arrival);
 }
 
 FeedbackReport TwccCollector::build_report(sim::TimePoint now) {
@@ -20,22 +27,23 @@ FeedbackReport TwccCollector::build_report(sim::TimePoint now) {
   report.generated = now;
   if (pending_.empty()) return report;
 
-  std::int64_t first = last_reported_ >= 0 ? last_reported_ + 1
-                                           : pending_.begin()->first;
-  const std::int64_t last = pending_.rbegin()->first;
+  std::int64_t first = last_reported_ >= 0 ? last_reported_ + 1 : min_pending_;
+  const std::int64_t last = max_pending_;
   // Defensive: a pathological unwrap (or a very long radio silence) must not
   // produce a giant or negative report range.
-  if (first > last || last - first > 20000) first = pending_.begin()->first;
-  report.results.reserve(static_cast<std::size_t>(last - first + 1));
-  for (std::int64_t s = first; s <= last; ++s) {
-    PacketResult r;
-    r.transport_seq = rewrap(s);
-    const auto it = pending_.find(s);
-    if (it != pending_.end()) {
+  if (first > last || last - first > 20000) first = min_pending_;
+  const auto range = static_cast<std::size_t>(last - first + 1);
+  report.results.resize(range);
+  for (std::size_t i = 0; i < range; ++i) {
+    report.results[i].transport_seq = rewrap(first + static_cast<std::int64_t>(i));
+  }
+  for (const auto& [s, arrival] : pending_) {
+    if (s < first || s > last) continue;
+    PacketResult& r = report.results[static_cast<std::size_t>(s - first)];
+    if (!r.received) {  // first arrival wins for duplicated seqs
       r.received = true;
-      r.arrival = it->second;
+      r.arrival = arrival;
     }
-    report.results.push_back(r);
   }
   last_reported_ = last;
   pending_.clear();

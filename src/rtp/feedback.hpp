@@ -49,7 +49,13 @@ class TwccCollector {
   [[nodiscard]] bool has_data() const { return !pending_.empty(); }
 
  private:
-  std::map<std::int64_t, sim::TimePoint> pending_;  // unwrapped seq -> arrival
+  // Arrivals since the last report, in arrival order (the first arrival wins
+  // for a duplicated seq). Kept flat — one push_back per packet — and ranged
+  // over in build_report via the tracked min/max; this is the receive-side
+  // per-packet hot path.
+  std::vector<std::pair<std::int64_t, sim::TimePoint>> pending_;
+  std::int64_t min_pending_ = 0;
+  std::int64_t max_pending_ = -1;
   std::int64_t last_reported_ = -1;
   SeqUnwrapper unwrapper_;
 };

@@ -17,6 +17,20 @@ sim::TimePoint JitterBuffer::deadline_of(const PendingFrame& f) const {
 
 double JitterBuffer::extra_offset_ms() const { return extra_offset_.ms(); }
 
+std::size_t JitterBuffer::find_frame(std::uint32_t frame_id) const {
+  const auto it = std::lower_bound(
+      frames_.begin(), frames_.end(), frame_id,
+      [](const auto& e, std::uint32_t id) { return e.first < id; });
+  return static_cast<std::size_t>(it - frames_.begin());
+}
+
+void JitterBuffer::destroy_frame(std::uint32_t pool_idx) {
+  PendingFrame& f = frame_pool_[pool_idx];
+  f.received.clear();
+  seq_cache_.push_back(std::move(f.received));
+  frame_pool_.release(pool_idx);  // ~PendingFrame cancels its timer
+}
+
 void JitterBuffer::on_packet(const net::Packet& p) {
   const auto now = sim_.now();
   const std::int64_t seq = unwrapper_.unwrap(p.rtp_seq);
@@ -54,40 +68,49 @@ void JitterBuffer::on_packet(const net::Packet& p) {
   if (!any_seq_ || seq > highest_seq_) highest_seq_ = seq;
   any_seq_ = true;
 
-  auto [it, inserted] = frames_.try_emplace(p.frame_id);
-  PendingFrame& f = it->second;
-  if (inserted) {
-    f.rtp_timestamp = p.rtp_timestamp;
-    f.min_seq = seq;
-    f.max_seq = seq;
+  const std::size_t fpos = find_frame(p.frame_id);
+  if (fpos == frames_.size() || frames_[fpos].first != p.frame_id) {
+    const std::uint32_t idx = frame_pool_.acquire();
+    PendingFrame& nf = frame_pool_[idx];
+    if (!seq_cache_.empty()) {
+      nf.received = std::move(seq_cache_.back());
+      seq_cache_.pop_back();
+    }
+    nf.rtp_timestamp = p.rtp_timestamp;
+    nf.min_seq = seq;
+    nf.max_seq = seq;
+    frames_.insert(frames_.begin() + static_cast<std::ptrdiff_t>(fpos),
+                   {p.frame_id, idx});
   }
+  PendingFrame& f = frame_pool_[frames_[fpos].second];
   f.min_seq = std::min(f.min_seq, seq);
   f.max_seq = std::max(f.max_seq, seq);
   f.last_arrival = now;
-  f.received.insert(seq);
+  const auto pos = std::lower_bound(f.received.begin(), f.received.end(), seq);
+  if (pos == f.received.end() || *pos != seq) f.received.insert(pos, seq);
   if (p.frame_last) {
     f.marker_seq = seq;
     f.has_marker = true;
   }
 
-  if (!f.timer_armed) {
-    f.timer_armed = true;
+  if (!f.timer.pending()) {
     const auto fire_at = std::max(deadline_of(f), now);
     const std::uint32_t id = p.frame_id;
-    f.timer = sim_.schedule_at(fire_at, [this, id] { try_release(id, true); });
+    f.timer =
+        sim_.schedule_timer_at(fire_at, [this, id] { try_release(id, true); });
   }
 
   try_release(p.frame_id, false);
   // New packets may be the loss evidence an older pending frame waits for.
-  if (!frames_.empty() && frames_.begin()->first < p.frame_id) {
-    try_release(frames_.begin()->first, false);
+  if (!frames_.empty() && frames_.front().first < p.frame_id) {
+    try_release(frames_.front().first, false);
   }
 }
 
 void JitterBuffer::try_release(std::uint32_t frame_id, bool timer_fired) {
-  const auto it = frames_.find(frame_id);
-  if (it == frames_.end()) return;
-  PendingFrame& f = it->second;
+  const std::size_t pos = find_frame(frame_id);
+  if (pos == frames_.size() || frames_[pos].first != frame_id) return;
+  PendingFrame& f = frame_pool_[frames_[pos].second];
   const auto now = sim_.now();
   const auto deadline = deadline_of(f);
 
@@ -109,19 +132,18 @@ void JitterBuffer::try_release(std::uint32_t frame_id, bool timer_fired) {
       // The deadline may have moved (resync raised the offset) after the
       // timer was armed: re-arm at the current deadline.
       if (timer_fired) {
-        f.timer = sim_.schedule_at(deadline,
-                                   [this, frame_id] { try_release(frame_id, true); });
-        f.timer_armed = true;
+        f.timer = sim_.schedule_timer_at(
+            deadline, [this, frame_id] { try_release(frame_id, true); });
       }
       return;
     }
     // Strictly in-order release: a complete frame waits for older pending
     // frames to resolve (conceal or time out) first.
-    if (!frames_.empty() && frames_.begin()->first < frame_id) {
+    if (!frames_.empty() && frames_.front().first < frame_id) {
       if (timer_fired) {
-        f.timer = sim_.schedule_in(sim::Duration::millis(5),
-                                   [this, frame_id] { try_release(frame_id, true); });
-        f.timer_armed = true;
+        f.timer = sim_.schedule_timer_in(
+            sim::Duration::millis(5),
+            [this, frame_id] { try_release(frame_id, true); });
       }
       return;
     }
@@ -151,9 +173,9 @@ void JitterBuffer::try_release(std::uint32_t frame_id, bool timer_fired) {
     } else if (overtaken && !quiescent) {
       next = f.last_arrival + cfg_.reorder_wait;
     }
-    f.timer = sim_.schedule_at(std::max(next, now + sim::Duration::millis(1)),
-                               [this, frame_id] { try_release(frame_id, true); });
-    f.timer_armed = true;
+    f.timer = sim_.schedule_timer_at(
+        std::max(next, now + sim::Duration::millis(1)),
+        [this, frame_id] { try_release(frame_id, true); });
   }
 }
 
@@ -171,7 +193,7 @@ void JitterBuffer::release_frame(std::uint32_t frame_id, PendingFrame& f,
                  (long long)highest_seq_, sim_.now().ms(), deadline_of(f).ms());
   }
 #endif
-  if (f.timer_armed) sim_.cancel(f.timer);
+  f.timer.cancel();
 
   FrameReleaseEvent ev;
   ev.frame_id = frame_id;
@@ -189,17 +211,24 @@ void JitterBuffer::release_frame(std::uint32_t frame_id, PendingFrame& f,
       std::max<std::int64_t>(last_delivered_frame_, frame_id);
 
   // Frames older than the one being released can no longer be played in
-  // order; flush them.
-  for (auto older = frames_.begin();
-       older != frames_.end() && older->first < frame_id;) {
-    if (older->second.timer_armed) sim_.cancel(older->second.timer);
-    older = frames_.erase(older);
+  // order; flush them. f lives in the pool, so its address survives the
+  // index mutations below.
+  std::size_t n_older = 0;
+  while (n_older < frames_.size() && frames_[n_older].first < frame_id) {
+    destroy_frame(frames_[n_older].second);
+    ++n_older;
     ++dropped_;
   }
+  frames_.erase(frames_.begin(),
+                frames_.begin() + static_cast<std::ptrdiff_t>(n_older));
 
   const bool drop = cfg_.drop_on_latency &&
                     sim_.now() > deadline_of(f) + cfg_.incomplete_grace;
-  frames_.erase(frame_id);
+  const std::size_t pos = find_frame(frame_id);
+  if (pos < frames_.size() && frames_[pos].first == frame_id) {
+    destroy_frame(frames_[pos].second);
+    frames_.erase(frames_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
 
   // On-time deliveries let the resync plateau decay.
   extra_offset_ = extra_offset_ * (1.0 - cfg_.offset_decay);
@@ -207,7 +236,7 @@ void JitterBuffer::release_frame(std::uint32_t frame_id, PendingFrame& f,
 
   // A newer complete frame may be waiting on this release; poke it.
   if (!frames_.empty()) {
-    const std::uint32_t next = frames_.begin()->first;
+    const std::uint32_t next = frames_.front().first;
     sim_.schedule_in(sim::Duration::micros(1),
                      [this, next] { try_release(next, true); });
   }

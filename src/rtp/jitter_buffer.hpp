@@ -16,11 +16,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <set>
+#include <utility>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "rtp/sequence.hpp"
+#include "sim/pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace rpv::rtp {
@@ -81,24 +82,35 @@ class JitterBuffer {
   struct PendingFrame {
     sim::TimePoint rtp_timestamp;
     sim::TimePoint last_arrival;
-    std::set<std::int64_t> received;  // unwrapped rtp seq
+    std::vector<std::int64_t> received;  // unwrapped rtp seq, sorted unique
     std::int64_t min_seq = 0;
     std::int64_t max_seq = 0;
     std::int64_t marker_seq = 0;  // unwrapped seq of the frame's last packet
     bool has_marker = false;
-    bool timer_armed = false;
-    sim::EventId timer = 0;
+    sim::Timer timer;  // release/poll timer; cancelled with the frame
   };
 
   void try_release(std::uint32_t frame_id, bool timer_fired);
   void release_frame(std::uint32_t frame_id, PendingFrame& f, bool corrupted);
   [[nodiscard]] sim::TimePoint deadline_of(const PendingFrame& f) const;
+  // Position of frame_id in frames_ (or where it would be inserted).
+  [[nodiscard]] std::size_t find_frame(std::uint32_t frame_id) const;
+  // Recycle the seq vector's capacity and return the slot to the pool.
+  void destroy_frame(std::uint32_t pool_idx);
 
   sim::Simulator& sim_;
   JitterBufferConfig cfg_;
   ReleaseFn release_;
 
-  std::map<std::uint32_t, PendingFrame> frames_;
+  // Frame table: pending frames live in a sim::Pool (stable addresses, LIFO
+  // slot reuse, no per-frame node allocation); frames_ is a small flat index
+  // sorted by frame id — at most a handful of frames are in flight, so
+  // ordered-map semantics cost O(pending) moves instead of a tree node per
+  // frame. Released frames donate their `received` vector to seq_cache_ so
+  // steady state does no heap allocation at all.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> frames_;  // (frame id, pool idx)
+  sim::Pool<PendingFrame> frame_pool_;
+  std::vector<std::vector<std::int64_t>> seq_cache_;
   bool offset_valid_ = false;
   sim::Duration base_offset_ = sim::Duration::zero();   // arrival - rtp_ts, nominal
   sim::Duration extra_offset_ = sim::Duration::zero();  // plateau component

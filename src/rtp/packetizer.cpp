@@ -4,6 +4,13 @@ namespace rpv::rtp {
 
 std::vector<net::Packet> Packetizer::packetize(const video::Frame& frame) {
   std::vector<net::Packet> out;
+  packetize(frame, out);
+  return out;
+}
+
+void Packetizer::packetize(const video::Frame& frame,
+                           std::vector<net::Packet>& out) {
+  out.clear();
   const std::size_t payload = cfg_.mtu_payload_bytes;
   const std::size_t n = frame.size_bytes == 0 ? 1 : (frame.size_bytes + payload - 1) / payload;
   out.reserve(n);
@@ -23,7 +30,6 @@ std::vector<net::Packet> Packetizer::packetize(const video::Frame& frame) {
     p.rtp_timestamp = frame.capture_time;
     out.push_back(p);
   }
-  return out;
 }
 
 }  // namespace rpv::rtp

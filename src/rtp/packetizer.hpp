@@ -26,6 +26,10 @@ class Packetizer {
   // Produce the RTP packets of one frame. Sizes include header overhead.
   std::vector<net::Packet> packetize(const video::Frame& frame);
 
+  // As above, into a caller-owned buffer (cleared first) so a steady-state
+  // sender reuses one allocation across frames.
+  void packetize(const video::Frame& frame, std::vector<net::Packet>& out);
+
   // Consume one transport-wide sequence number (FEC parity packets share
   // the congestion-control sequence space but not the RTP one).
   std::uint16_t allocate_transport_seq() { return transport_seq_++; }

@@ -40,9 +40,9 @@ void MeshHopLink::send(net::Packet p, DeliverFn deliver, bool uplink) {
   // Latency compounds per hop too; jitter accumulates as independent
   // half-normals (store-and-forward queues only ever add delay).
   double extra_ms = base_latency_ms();
-  if (cfg_.per_hop_jitter_ms > 0.0) {
+  if (cfg_.per_hop_jitter > sim::Duration::zero()) {
     for (int h = 0; h < cfg_.hops; ++h) {
-      extra_ms += std::abs(rng_.normal(0.0, cfg_.per_hop_jitter_ms));
+      extra_ms += std::abs(rng_.normal(0.0, cfg_.per_hop_jitter.ms()));
     }
   }
   auto delivery = done + sim::Duration::seconds(extra_ms / 1e3);

@@ -17,8 +17,8 @@ namespace rpv::sat {
 struct MeshLinkConfig {
   // Relay chain length, from scenario geometry (rural corridor: more hops).
   int hops = 3;
-  double per_hop_latency_ms = 8.0;
-  double per_hop_jitter_ms = 2.0;
+  sim::Duration per_hop_latency = sim::Duration::millis(8);
+  sim::Duration per_hop_jitter = sim::Duration::millis(2);
   // Per-hop packet loss; end-to-end loss is 1 - (1 - p)^hops.
   double per_hop_loss = 0.004;
   // End-to-end capacity of the chain (half-duplex air-to-air is thin).
@@ -42,7 +42,7 @@ class MeshHopLink final : public bond::BondablePath {
   }
   [[nodiscard]] double queuing_delay_ms() const override;
   [[nodiscard]] double base_latency_ms() const override {
-    return cfg_.per_hop_latency_ms * cfg_.hops;
+    return cfg_.per_hop_latency.ms() * cfg_.hops;
   }
 
   [[nodiscard]] std::uint64_t radio_losses() const { return radio_losses_; }

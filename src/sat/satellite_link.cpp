@@ -14,14 +14,14 @@ SatelliteLink::SatelliteLink(sim::Simulator& simulator, SatelliteLinkConfig cfg,
     : sim_{simulator}, cfg_{cfg}, rng_{rng} {
   rpv::validate(cfg_.capacity_mbps > 0.0,
                 "SatelliteLink: capacity_mbps must be positive");
-  rpv::validate(cfg_.base_owd_ms >= 0.0,
-                "SatelliteLink: base_owd_ms must be non-negative");
-  rpv::validate(cfg_.pass_interval_sec > 0.0,
-                "SatelliteLink: pass_interval_sec must be positive");
-  rpv::validate(cfg_.outage_mean_gap_sec > 0.0,
-                "SatelliteLink: outage_mean_gap_sec must be positive");
-  rpv::validate(cfg_.outage_mean_duration_sec > 0.0,
-                "SatelliteLink: outage_mean_duration_sec must be positive");
+  rpv::validate(cfg_.base_owd >= sim::Duration::zero(),
+                "SatelliteLink: base_owd must be non-negative");
+  rpv::validate(cfg_.pass_interval > sim::Duration::zero(),
+                "SatelliteLink: pass_interval must be positive");
+  rpv::validate(cfg_.outage_mean_gap > sim::Duration::zero(),
+                "SatelliteLink: outage_mean_gap must be positive");
+  rpv::validate(cfg_.outage_mean_duration > sim::Duration::zero(),
+                "SatelliteLink: outage_mean_duration must be positive");
 }
 
 void SatelliteLink::start(sim::Duration horizon) {
@@ -33,18 +33,19 @@ void SatelliteLink::start(sim::Duration horizon) {
   // Pass handovers first, then outages — one fixed sampling order so the
   // schedule is a pure function of the forked seed (fault::FaultSchedule
   // discipline; byte-identical for any --jobs).
-  for (double at = cfg_.pass_interval_sec;; at += cfg_.pass_interval_sec) {
+  const double pass_interval_sec = cfg_.pass_interval.sec();
+  for (double at = pass_interval_sec;; at += pass_interval_sec) {
     const auto start = t0 + sim::Duration::seconds(at);
     if (start >= until) break;
-    double gap_ms = cfg_.pass_interruption_ms;
-    if (cfg_.pass_interruption_jitter_ms > 0.0) {
-      gap_ms += std::abs(rng_.normal(0.0, cfg_.pass_interruption_jitter_ms));
+    double gap_ms = cfg_.pass_interruption.ms();
+    if (cfg_.pass_interruption_jitter > sim::Duration::zero()) {
+      gap_ms += std::abs(rng_.normal(0.0, cfg_.pass_interruption_jitter.ms()));
     }
     passes_.push_back({start, start + sim::Duration::seconds(gap_ms / 1e3)});
   }
-  double at = rng_.exponential(cfg_.outage_mean_gap_sec);
+  double at = rng_.exponential(cfg_.outage_mean_gap.sec());
   while (at < horizon.sec()) {
-    const double dur = rng_.exponential(cfg_.outage_mean_duration_sec);
+    const double dur = rng_.exponential(cfg_.outage_mean_duration.sec());
     const bool hard = rng_.uniform() < cfg_.obstruction_fraction;
     SatOutageWindow w;
     w.start = t0 + sim::Duration::seconds(at);
@@ -52,7 +53,7 @@ void SatelliteLink::start(sim::Duration horizon) {
     w.hard = hard;
     w.residual = hard ? 0.0 : cfg_.rain_fade_residual;
     outages_.push_back(w);
-    at += dur + rng_.exponential(cfg_.outage_mean_gap_sec);
+    at += dur + rng_.exponential(cfg_.outage_mean_gap.sec());
   }
 
   for (std::size_t i = 0; i < passes_.size(); ++i) {
@@ -149,9 +150,9 @@ void SatelliteLink::send(net::Packet p, DeliverFn deliver, bool uplink) {
   const auto start = std::max(busy, now);
   const auto done = start + sim::Duration::seconds(ser_sec);
   busy = done;
-  double extra_ms = cfg_.base_owd_ms;
-  if (cfg_.jitter_ms > 0.0) {
-    extra_ms += std::abs(rng_.normal(0.0, cfg_.jitter_ms));
+  double extra_ms = cfg_.base_owd.ms();
+  if (cfg_.jitter > sim::Duration::zero()) {
+    extra_ms += std::abs(rng_.normal(0.0, cfg_.jitter.ms()));
   }
   auto delivery = done + sim::Duration::seconds(extra_ms / 1e3);
   // A copy in flight when the beam drops is gone with it.

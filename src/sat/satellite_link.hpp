@@ -34,20 +34,20 @@ struct SatelliteLinkConfig {
   // model's independent up/down paths).
   double capacity_mbps = 40.0;
   // One-way propagation + gateway floor (LEO bent-pipe ~25-30 ms).
-  double base_owd_ms = 27.0;
-  // Per-packet delivery jitter stddev (half-normal, added to the floor).
-  double jitter_ms = 3.0;
+  sim::Duration base_owd = sim::Duration::millis(27);
+  // Per-packet delivery jitter sigma (half-normal, added to the floor).
+  sim::Duration jitter = sim::Duration::millis(3);
   // Residual per-packet loss when the bearer is up.
   double loss_probability = 2e-4;
 
   // Satellite-pass handovers: deterministic cadence, sampled interruption.
-  double pass_interval_sec = 15.0;
-  double pass_interruption_ms = 150.0;
-  double pass_interruption_jitter_ms = 60.0;
+  sim::Duration pass_interval = sim::Duration::seconds(15.0);
+  sim::Duration pass_interruption = sim::Duration::millis(150);
+  sim::Duration pass_interruption_jitter = sim::Duration::millis(60);
 
   // Obstruction / rain-fade outage process: exponential gaps and durations.
-  double outage_mean_gap_sec = 45.0;
-  double outage_mean_duration_sec = 2.0;
+  sim::Duration outage_mean_gap = sim::Duration::seconds(45.0);
+  sim::Duration outage_mean_duration = sim::Duration::seconds(2.0);
   // Fraction of outages that are hard obstructions (bearer down); the rest
   // are rain fades (capacity multiplied by rain_fade_residual, bearer up).
   double obstruction_fraction = 0.7;
@@ -90,7 +90,7 @@ class SatelliteLink final : public bond::BondablePath {
   [[nodiscard]] double current_capacity_mbps() const override;
   [[nodiscard]] double queuing_delay_ms() const override;
   [[nodiscard]] double base_latency_ms() const override {
-    return cfg_.base_owd_ms;
+    return cfg_.base_owd.ms();
   }
 
   // --- Report inputs ---

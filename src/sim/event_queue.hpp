@@ -1,0 +1,459 @@
+// Calendar event queue for the discrete-event core.
+//
+// EventQueue is a standalone priority queue of timed callables with these
+// documented semantics:
+//
+//   * pop() always yields the pending event with the smallest timestamp;
+//     events with equal timestamps pop in schedule (FIFO) order. The total
+//     order is (timestamp, schedule sequence number) — deterministic and
+//     independent of the internal container layout.
+//   * schedule() is O(1) amortized and performs no per-event heap
+//     allocation: callables up to EventFn::kInlineBytes are stored inline in
+//     a pooled slot (sim::Pool), larger ones fall back to one heap box.
+//   * cancel() is O(1): it releases the slot immediately (generation-checked
+//     Handle, so stale handles are harmless no-ops) and leaves a tombstone
+//     in the calendar that pop() skips lazily.
+//
+// Internally this is a two-tier calendar: a 1024-bucket time wheel at 256 µs
+// granularity (~262 ms of near future) absorbs the hot short-horizon timers
+// (pacing, service, propagation), and a binary min-heap holds the far
+// future. When the wheel drains, its window rebases onto the earliest
+// overflow event and the in-window prefix of the heap migrates into buckets.
+// Events scheduled before the current window (possible after a rebase across
+// an idle gap) go to a small "front" staging heap that is always strictly
+// earlier than the wheel. Buckets are sorted lazily when the cursor reaches
+// them; appends that keep a bucket ordered never trigger a sort.
+//
+// Timer is the RAII scheduling handle used by Simulator's public API: it
+// cancels its event on destruction (unless fired, released, or re-armed)
+// and is generation-safe — a Timer held across its event's firing and even
+// across slot reuse can never cancel somebody else's event.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/pool.hpp"
+#include "sim/time.hpp"
+
+namespace rpv::sim {
+
+// Move-only type-erased `void()` callable with a large inline buffer.
+// Unlike std::function, captures up to kInlineBytes bytes never touch the
+// heap — sized so every hot-path lambda in the simulator (the largest is the
+// cellular uplink delivery capture) stays inline.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 152;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for std::function.
+  EventFn(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept { move_from(o); }
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); },
+  };
+
+  void move_from(EventFn& o) noexcept {
+    if (o.ops_ != nullptr) {
+      ops_ = o.ops_;
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+class EventQueue {
+ public:
+  static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+
+  // Generation-checked reference to a scheduled event. Value type; copies
+  // are fine (all become stale together once the event fires or cancels).
+  struct Handle {
+    std::uint32_t slot = kInvalidSlot;
+    std::uint32_t gen = 0;
+  };
+
+  EventQueue() : buckets_(kBuckets) {}
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedule `fn` at absolute time `at` (the caller owns any clamping
+  // policy). Returns a handle valid until the event fires or is cancelled.
+  // Takes an rvalue so the callable relocates exactly once, into its slot.
+  Handle schedule(TimePoint at, EventFn&& fn) {
+    const std::int64_t at_us = at.us();
+    const std::uint32_t slot = pool_.acquire(std::move(fn));
+    if (slot >= gens_.size()) gens_.resize(slot + 1, 0);
+    const Entry e{at_us, seq_++, slot, gens_[slot]};
+    ++live_;
+    const std::uint64_t g = granule(at_us);
+    if (live_ == 1 && wheel_count_ == 0) {
+      // The queue held no live events and the wheel is physically empty:
+      // drop any tombstones left in the staging heaps and re-anchor the
+      // window, so an idle gap never forces events through the overflow
+      // heap.
+      front_.clear();
+      overflow_.clear();
+      base_granule_ = cur_granule_ = g;
+    }
+    if (g < base_granule_) {
+      // Before the wheel window (the window rebased across a gap): the
+      // event is strictly earlier than everything in the wheel and
+      // overflow.
+      push_front_heap(e);
+    } else if (g < base_granule_ + kBuckets) {
+      push_bucket(e, g);
+    } else {
+      push_overflow_heap(e);
+    }
+    return Handle{slot, gens_[slot]};
+  }
+
+  // Cancel a pending event in O(1). Returns whether it was still pending;
+  // stale handles (fired, already cancelled, default-constructed) are no-ops.
+  bool cancel(Handle h) {
+    if (!pending(h)) return false;
+    // Release the slot now; the calendar entry stays behind as a tombstone
+    // (its gen no longer matches) and is skipped when the cursor reaches it.
+    pool_.release(h.slot);
+    ++gens_[h.slot];
+    --live_;
+    return true;
+  }
+
+  // Whether `h` still refers to a pending event.
+  [[nodiscard]] bool pending(Handle h) const {
+    return h.slot < gens_.size() && gens_[h.slot] == h.gen;
+  }
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  // Timestamp of the earliest pending event, or TimePoint::never() if empty.
+  // Non-const: advances the wheel cursor past tombstones.
+  [[nodiscard]] TimePoint next_time();
+
+  // Pop the earliest pending event ((timestamp, FIFO seq) order) into
+  // *at / *fn. Returns false when the queue is empty.
+  bool pop(TimePoint* at, EventFn* fn) {
+    return pop_until(TimePoint::from_us(std::numeric_limits<std::int64_t>::max()),
+                     at, fn);
+  }
+
+  // As pop(), but leaves the queue untouched (and returns false) when the
+  // earliest pending event is after `limit`. One cursor scan instead of the
+  // next_time()-then-pop() pair.
+  bool pop_until(TimePoint limit, TimePoint* at, EventFn* fn) {
+    std::uint32_t slot;
+    std::int64_t at_us;
+    if (!extract_fast(limit.us(), &slot, &at_us) &&
+        !extract_slow(limit.us(), &slot, &at_us)) {
+      return false;
+    }
+    *at = TimePoint::from_us(at_us);
+    *fn = std::move(pool_[slot]);
+    pool_.release(slot);
+    return true;
+  }
+
+  // Pop the earliest pending event due by `limit` and execute it in place
+  // from its pool slot — no relocation of the callable. *clock is set to the
+  // event's timestamp *before* the handler runs (pass the virtual clock).
+  // The event's slot is retired (generation bumped) before invocation, so
+  // Handles/Timers to it are already stale while it fires; the slot itself
+  // is recycled only after the handler returns, so re-entrant schedule()
+  // calls from inside the handler cannot clobber the running callable.
+  bool run_one(TimePoint limit, TimePoint* clock) {
+    std::uint32_t slot;
+    std::int64_t at_us;
+    if (!extract_fast(limit.us(), &slot, &at_us) &&
+        !extract_slow(limit.us(), &slot, &at_us)) {
+      return false;
+    }
+    *clock = TimePoint::from_us(at_us);
+    pool_[slot]();
+    pool_.release(slot);
+    return true;
+  }
+
+ private:
+  // 1024 buckets x 256 us granule = ~262 ms near-future window.
+  static constexpr int kGranuleShift = 8;
+  static constexpr std::uint64_t kBuckets = 1024;
+  static constexpr std::uint64_t kMask = kBuckets - 1;
+
+  struct Entry {
+    std::int64_t at_us;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct EntryBefore {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at_us != b.at_us) return a.at_us < b.at_us;
+      return a.seq < b.seq;
+    }
+  };
+  // Heap comparator for a min-heap via std::push_heap/pop_heap.
+  struct EntryAfter {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at_us != b.at_us) return a.at_us > b.at_us;
+      return a.seq > b.seq;
+    }
+  };
+  struct Bucket {
+    std::vector<Entry> v;
+    std::size_t pos = 0;  // entries before pos are consumed
+    bool sorted = true;
+  };
+
+  static constexpr std::uint64_t granule(std::int64_t at_us) {
+    return static_cast<std::uint64_t>(at_us) >> kGranuleShift;
+  }
+
+  [[nodiscard]] bool live_entry(const Entry& e) const {
+    return gens_[e.slot] == e.gen;
+  }
+  void push_bucket(const Entry& e, std::uint64_t g) {
+    Bucket& b = buckets_[g & kMask];
+    if (!b.v.empty() && b.sorted && EntryBefore{}(e, b.v.back())) {
+      if (g == cur_granule_) {
+        // Out-of-order append into the bucket being drained: keep it sorted
+        // by inserting into the unconsumed tail. Correct because e postdates
+        // every consumed entry (its time is >= now and its FIFO seq is the
+        // newest), and it keeps the pop fast path hot.
+        insert_sorted_tail(b, e);
+        ++wheel_count_;
+        return;
+      }
+      b.sorted = false;
+    }
+    b.v.push_back(e);
+    ++wheel_count_;
+    set_occupied(g);
+    // The cursor may already have scanned past this granule (peeking a
+    // later event advances it); rewind so the new event is not skipped.
+    // Safe: every bucket between g and the old cursor has been drained.
+    if (g < cur_granule_) cur_granule_ = g;
+  }
+  // Outlined pieces of push_bucket/schedule that need <algorithm>.
+  void insert_sorted_tail(Bucket& b, const Entry& e);
+  void push_front_heap(const Entry& e);
+  void push_overflow_heap(const Entry& e);
+  // Position the cursor on the earliest live entry (front staging first,
+  // then the wheel, rebasing from overflow as needed) and return it;
+  // nullptr when the queue is empty.
+  Entry* peek_live();
+  // Remove `e` (the current peek_live() result) from the calendar and retire
+  // its slot; the caller consumes pool_[slot] and then releases it.
+  void detach(const Entry* e, std::uint32_t* slot, std::int64_t* at_us);
+  // Outlined general extraction path: scans past tombstones, sorts buckets
+  // lazily, rebases from the staging heaps. extract_fast() handles the
+  // common case.
+  bool extract_slow(std::int64_t limit_us, std::uint32_t* slot,
+                    std::int64_t* at_us);
+
+  // Occupancy bitmap over bucket indices: bit (g & kMask) is set while the
+  // bucket physically holds entries, so advancing the cursor across empty
+  // buckets is a find-next-set instead of a walk (most buckets hold at most
+  // one event at typical loads).
+  void set_occupied(std::uint64_t g) {
+    occ_[(g & kMask) >> 6] |= 1ull << (g & 63);
+  }
+  void clear_occupied(std::uint64_t g) {
+    occ_[(g & kMask) >> 6] &= ~(1ull << (g & 63));
+  }
+  // Move cur_granule_ forward to the next occupied bucket. Pre: some bucket
+  // is occupied (wheel_count_ > 0), and all occupied buckets are at
+  // granules >= cur_granule_ within the window, so the circular scan's first
+  // hit is the right one.
+  void advance_cursor() {
+    const std::uint64_t start = cur_granule_ & kMask;
+    std::size_t w = start >> 6;
+    std::uint64_t word = occ_[w] & (~0ull << (start & 63));
+    for (;;) {
+      if (word != 0) {
+        const std::uint64_t bit =
+            (static_cast<std::uint64_t>(w) << 6) +
+            static_cast<std::uint64_t>(__builtin_ctzll(word));
+        cur_granule_ += (bit - start) & kMask;
+        return;
+      }
+      w = (w + 1) & (kWords - 1);
+      word = occ_[w];
+    }
+  }
+
+  // Inline fast path: no pre-window staging, cursor on (or one bitmap hop
+  // from) a sorted bucket whose head entry is live. Detaches the entry and
+  // retires its slot (generation bump) but does NOT recycle the slot — the
+  // caller moves the callable out or runs it in place, then releases.
+  // Everything else falls through to extract_slow().
+  bool extract_fast(std::int64_t limit_us, std::uint32_t* slot,
+                    std::int64_t* at_us) {
+    if (!front_.empty() || wheel_count_ == 0) return false;
+    Bucket* b = &buckets_[cur_granule_ & kMask];
+    if (b->pos >= b->v.size()) {
+      // The cursor's bucket is drained: hop straight to the next occupied
+      // one via the occupancy bitmap (wheel_count_ > 0 guarantees a hit).
+      advance_cursor();
+      b = &buckets_[cur_granule_ & kMask];
+    }
+    if (!b->sorted) return false;
+    const Entry& e = b->v[b->pos];
+    if (gens_[e.slot] != e.gen) return false;  // tombstone: slow path skips
+    if (e.at_us > limit_us) return false;      // also "nothing due yet"
+    *slot = e.slot;
+    *at_us = e.at_us;
+    ++b->pos;
+    --wheel_count_;
+    if (b->pos == b->v.size()) {
+      b->v.clear();
+      b->pos = 0;
+      b->sorted = true;
+      clear_occupied(cur_granule_);
+    }
+    ++gens_[e.slot];
+    --live_;
+    return true;
+  }
+
+  static constexpr std::size_t kWords = kBuckets / 64;
+
+  Pool<EventFn> pool_;              // slot storage; index == Handle::slot
+  std::vector<std::uint32_t> gens_;  // parallel to pool slots; bump on free
+  std::vector<Bucket> buckets_;
+  std::uint64_t occ_[kWords] = {};  // per-bucket occupancy bits
+  std::vector<Entry> overflow_;  // min-heap: events beyond the wheel window
+  std::vector<Entry> front_;     // min-heap: events before the wheel window
+  std::uint64_t base_granule_ = 0;  // wheel window is [base, base + kBuckets)
+  std::uint64_t cur_granule_ = 0;   // scan cursor within the window
+  std::size_t wheel_count_ = 0;     // physical entries in buckets (incl. tombstones)
+  std::uint64_t seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+// RAII handle to a scheduled event, returned by Simulator::schedule_timer_*.
+// Movable, not copyable; destruction or re-assignment cancels the event if
+// it is still pending. Generation-checked: once the event has fired (or been
+// cancelled), the Timer is inert even if its slot was reused. A Timer must
+// not outlive the queue that issued it.
+class Timer {
+ public:
+  Timer() = default;
+  Timer(EventQueue* queue, EventQueue::Handle handle)
+      : queue_(queue), handle_(handle) {}
+
+  Timer(Timer&& o) noexcept : queue_(o.queue_), handle_(o.handle_) {
+    o.queue_ = nullptr;
+    o.handle_ = {};
+  }
+  Timer& operator=(Timer&& o) noexcept {
+    if (this != &o) {
+      cancel();
+      queue_ = o.queue_;
+      handle_ = o.handle_;
+      o.queue_ = nullptr;
+      o.handle_ = {};
+    }
+    return *this;
+  }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+  ~Timer() { cancel(); }
+
+  // Cancel the event if still pending; returns whether it was.
+  bool cancel() {
+    if (queue_ == nullptr) return false;
+    const bool was = queue_->cancel(handle_);
+    queue_ = nullptr;
+    handle_ = {};
+    return was;
+  }
+
+  // Detach without cancelling (the event fires on schedule).
+  void release() {
+    queue_ = nullptr;
+    handle_ = {};
+  }
+
+  // Whether the event is still pending (false once fired/cancelled/moved).
+  [[nodiscard]] bool pending() const {
+    return queue_ != nullptr && queue_->pending(handle_);
+  }
+
+ private:
+  EventQueue* queue_ = nullptr;
+  EventQueue::Handle handle_{};
+};
+
+}  // namespace rpv::sim

@@ -1,54 +1,15 @@
 #include "sim/simulator.hpp"
 
-#include <utility>
-
 namespace rpv::sim {
 
-EventId Simulator::schedule_at(TimePoint at, EventFn fn) {
-  if (at < now_) at = now_;
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
-}
-
-EventId Simulator::schedule_in(Duration delay, EventFn fn) {
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-bool Simulator::cancel(EventId id) {
-  const auto it = handlers_.find(id);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
-  cancelled_.insert(id);
+bool Simulator::step() {
+  if (!queue_.run_one(TimePoint::never(), &now_)) return false;
+  ++executed_;
   return true;
 }
 
-bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Entry top = queue_.top();
-    queue_.pop();
-    if (const auto c = cancelled_.find(top.id); c != cancelled_.end()) {
-      cancelled_.erase(c);
-      continue;
-    }
-    const auto h = handlers_.find(top.id);
-    if (h == handlers_.end()) continue;  // defensive; should not happen
-    EventFn fn = std::move(h->second);
-    handlers_.erase(h);
-    now_ = top.at;
-    ++executed_;
-    fn();
-    return true;
-  }
-  return false;
-}
-
 void Simulator::run_until(TimePoint until) {
-  while (!queue_.empty()) {
-    if (queue_.top().at > until) break;
-    if (!step()) break;
-  }
+  while (queue_.run_one(until, &now_)) ++executed_;
   if (now_ < until) now_ = until;
 }
 

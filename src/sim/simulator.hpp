@@ -1,25 +1,26 @@
 // Discrete-event simulation engine.
 //
-// A Simulator owns the virtual clock and a priority queue of events. Events
-// are arbitrary callables scheduled at absolute or relative virtual times;
-// the engine pops them in timestamp order (FIFO among equal timestamps) and
-// advances the clock to each event's time. Handles returned by schedule()
-// allow cancellation, which the cellular and congestion-control timers use.
+// A Simulator is a thin virtual clock over sim::EventQueue (the calendar
+// queue in event_queue.hpp): it clamps past timestamps to now, pops events
+// in (timestamp, FIFO seq) order, and advances the clock to each event's
+// time. Two scheduling flavours:
+//
+//   * schedule_at / schedule_in — fire-and-forget; nothing to store.
+//   * schedule_timer_at / schedule_timer_in — return a sim::Timer, the RAII
+//     cancellation handle (moveable, generation-safe; destruction or
+//     re-arming cancels a still-pending event). This replaces the old raw
+//     EventId + cancel() API.
+//
+// Components holding Timers must be destroyed before the Simulator (declare
+// the Simulator first in owning classes).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace rpv::sim {
-
-using EventFn = std::function<void()>;
-using EventId = std::uint64_t;
 
 class Simulator {
  public:
@@ -31,13 +32,21 @@ class Simulator {
 
   // Schedule `fn` at absolute virtual time `at`. Times in the past run at
   // the current time (never move the clock backwards).
-  EventId schedule_at(TimePoint at, EventFn fn);
+  void schedule_at(TimePoint at, EventFn fn) {
+    (void)schedule_handle(at, std::move(fn));
+  }
   // Schedule `fn` after a relative delay.
-  EventId schedule_in(Duration delay, EventFn fn);
+  void schedule_in(Duration delay, EventFn fn) {
+    (void)schedule_handle(now_ + delay, std::move(fn));
+  }
 
-  // Cancel a pending event. Cancelling an already-fired or unknown id is a
-  // no-op; returns whether the event was pending.
-  bool cancel(EventId id);
+  // As above, but return an owning Timer for cancellation / re-arming.
+  [[nodiscard]] Timer schedule_timer_at(TimePoint at, EventFn fn) {
+    return Timer{&queue_, schedule_handle(at, std::move(fn))};
+  }
+  [[nodiscard]] Timer schedule_timer_in(Duration delay, EventFn fn) {
+    return Timer{&queue_, schedule_handle(now_ + delay, std::move(fn))};
+  }
 
   // Run until the queue drains or the clock passes `until`.
   void run_until(TimePoint until);
@@ -46,30 +55,20 @@ class Simulator {
   // Pop and execute a single event; returns false if the queue is empty.
   bool step();
 
-  [[nodiscard]] std::size_t pending_events() const {
-    return queue_.size() - cancelled_.size();
-  }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+
  private:
-  struct Entry {
-    TimePoint at;
-    std::uint64_t seq;  // FIFO tiebreaker for equal timestamps
-    EventId id;
-    // Ordered as a min-heap via std::greater.
-    friend bool operator>(const Entry& a, const Entry& b) {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  EventQueue::Handle schedule_handle(TimePoint at, EventFn&& fn) {
+    if (at < now_) at = now_;
+    return queue_.schedule(at, std::move(fn));
+  }
 
   TimePoint now_ = TimePoint::origin();
-  std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_map<EventId, EventFn> handlers_;
-  std::unordered_set<EventId> cancelled_;
+  EventQueue queue_;
 };
 
 }  // namespace rpv::sim

@@ -18,6 +18,12 @@ class Duration {
 
   static constexpr Duration micros(std::int64_t us) { return Duration{us}; }
   static constexpr Duration millis(std::int64_t ms) { return Duration{ms * 1000}; }
+  // Converting helper for fractional-millisecond config values (truncates to
+  // whole microseconds, matching seconds()). Named (not an overload) so that
+  // integer literals keep resolving to the exact millis() path.
+  static constexpr Duration millis_f(double ms) {
+    return Duration{static_cast<std::int64_t>(ms * 1e3)};
+  }
   static constexpr Duration seconds(double s) {
     return Duration{static_cast<std::int64_t>(s * 1e6)};
   }

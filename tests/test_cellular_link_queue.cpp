@@ -27,7 +27,10 @@ struct Fixture {
 
   explicit Fixture(LinkQueueConfig cfg = {})
       : queue{sim, cfg, [this] { return rate_bps; },
-              [this](net::Packet p) { delivered.push_back(std::move(p)); },
+              [this](net::Packet p, LinkQueue::DoneFn done) {
+                delivered.push_back(p);
+                if (done) done(std::move(p));
+              },
               [this](const net::Packet& p) { dropped.push_back(p.id); }} {}
 };
 
@@ -142,6 +145,33 @@ TEST(LinkQueue, DoublePauseAndResumeIdempotent) {
   f.queue.resume();
   f.sim.run_all();
   EXPECT_EQ(f.delivered.size(), 1u);
+}
+
+TEST(LinkQueue, CompletionRidesThroughQueue) {
+  Fixture f;
+  std::vector<std::uint64_t> completed;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    f.queue.enqueue(make_packet(i, 1000),
+                    [&completed](net::Packet p) { completed.push_back(p.id); });
+  }
+  f.queue.enqueue(make_packet(4, 1000));  // no completion: must not crash
+  f.sim.run_all();
+  EXPECT_EQ(completed, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(f.delivered.size(), 4u);
+}
+
+TEST(LinkQueue, DroppedPacketCompletionDiscarded) {
+  LinkQueueConfig cfg;
+  cfg.buffer_bytes = 1500;
+  Fixture f{cfg};
+  bool completed = false;
+  f.queue.enqueue(make_packet(1, 1000));
+  f.queue.enqueue(make_packet(2, 1000),
+                  [&completed](net::Packet) { completed = true; });
+  f.sim.run_all();
+  EXPECT_FALSE(completed);
+  ASSERT_EQ(f.dropped.size(), 1u);
+  EXPECT_EQ(f.dropped[0], 2u);
 }
 
 TEST(LinkQueue, RateChangeAffectsSubsequentPackets) {

@@ -1,0 +1,413 @@
+// Unit tests for the calendar event queue (sim/event_queue.hpp) and its
+// supporting pieces: sim::Pool, EventFn, Timer. The stress tests replay the
+// same schedule/cancel trace through a reference binary heap and require the
+// calendar to produce the identical (timestamp, FIFO seq) pop order.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "sim/pool.hpp"
+#include "sim/time.hpp"
+
+namespace rpv::sim {
+namespace {
+
+// --- Pool ---
+
+TEST(Pool, AcquireReleaseReusesLifo) {
+  Pool<int> pool;
+  const auto a = pool.acquire(1);
+  const auto b = pool.acquire(2);
+  EXPECT_EQ(pool.live(), 2u);
+  pool.release(a);
+  pool.release(b);
+  EXPECT_EQ(pool.live(), 0u);
+  // LIFO: the most recently released slot is handed out first.
+  EXPECT_EQ(pool.acquire(3), b);
+  EXPECT_EQ(pool.acquire(4), a);
+  EXPECT_EQ(pool[a], 4);
+  EXPECT_EQ(pool[b], 3);
+}
+
+TEST(Pool, AddressesStableAcrossGrowth) {
+  Pool<std::uint64_t> pool;
+  const auto first = pool.acquire(std::uint64_t{42});
+  std::uint64_t* p = &pool[first];
+  for (int i = 0; i < 2000; ++i) pool.acquire(static_cast<std::uint64_t>(i));
+  EXPECT_EQ(&pool[first], p);  // chunked storage: no reallocation
+  EXPECT_EQ(pool[first], 42u);
+  EXPECT_EQ(pool.live(), 2001u);
+}
+
+TEST(Pool, DestructorsRunOnReleaseAndClear) {
+  static int live_objects = 0;
+  struct Counted {
+    Counted() { ++live_objects; }
+    ~Counted() { --live_objects; }
+  };
+  Pool<Counted> pool;
+  const auto a = pool.acquire();
+  pool.acquire();
+  EXPECT_EQ(live_objects, 2);
+  pool.release(a);
+  EXPECT_EQ(live_objects, 1);
+  pool.clear();
+  EXPECT_EQ(live_objects, 0);
+}
+
+TEST(Pool, HoldsMoveOnlyTypes) {
+  Pool<std::unique_ptr<int>> pool;
+  const auto idx = pool.acquire(std::make_unique<int>(7));
+  EXPECT_EQ(*pool[idx], 7);
+  auto out = std::move(pool[idx]);
+  pool.release(idx);
+  EXPECT_EQ(*out, 7);
+}
+
+// --- EventFn ---
+
+TEST(EventFn, InvokesSmallCapture) {
+  int hits = 0;
+  EventFn f{[&hits] { ++hits; }};
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventFn, MoveTransfersOwnership) {
+  int hits = 0;
+  EventFn a{[&hits] { ++hits; }};
+  EventFn b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventFn, LargeCaptureFallsBackToHeapAndStillRuns) {
+  struct Big {
+    char payload[4 * EventFn::kInlineBytes] = {};
+    int* out;
+  };
+  int result = 0;
+  Big big;
+  big.out = &result;
+  big.payload[0] = 9;
+  EventFn f{[big] { *big.out = big.payload[0]; }};
+  f();
+  EXPECT_EQ(result, 9);
+}
+
+TEST(EventFn, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    EventFn f{[token] { (void)token; }};
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // alive inside the callable
+    EventFn g{std::move(f)};
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+// --- EventQueue: basic ordering ---
+
+TEST(EventQueue, PopsInTimestampOrder) {
+  EventQueue q;
+  std::vector<std::int64_t> order;
+  for (const std::int64_t t : {900, 100, 500, 300, 700}) {
+    q.schedule(TimePoint::from_us(t), [&order, t] { order.push_back(t); });
+  }
+  TimePoint at;
+  EventFn fn;
+  while (q.pop(&at, &fn)) fn();
+  EXPECT_EQ(order, (std::vector<std::int64_t>{100, 300, 500, 700, 900}));
+}
+
+TEST(EventQueue, FifoOnEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(TimePoint::from_us(1000), [&order, i] { order.push_back(i); });
+  }
+  TimePoint at;
+  EventFn fn;
+  while (q.pop(&at, &fn)) fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, NextTimeTracksEarliestPending) {
+  EventQueue q;
+  EXPECT_TRUE(q.next_time().is_never());
+  q.schedule(TimePoint::from_us(500), [] {});
+  const auto h = q.schedule(TimePoint::from_us(100), [] {});
+  EXPECT_EQ(q.next_time().us(), 100);
+  q.cancel(h);
+  EXPECT_EQ(q.next_time().us(), 500);
+}
+
+// --- EventQueue: wheel/overflow boundary crossings ---
+
+TEST(EventQueue, EventsBeyondWheelWindowOverflowAndReturn) {
+  // The wheel covers ~262 ms; schedule both sides of the boundary and far
+  // beyond, then verify global ordering survives the migrations.
+  EventQueue q;
+  std::vector<std::int64_t> order;
+  const std::vector<std::int64_t> times_us = {
+      100,        262'000,    262'144,     263'000,   500'000,
+      1'000'000,  5'000'000,  50'000'000,  262'143,   262'145,
+      524'288,    786'432,    10'000'000,  2'000'000, 300'000};
+  for (const auto t : times_us) {
+    q.schedule(TimePoint::from_us(t), [&order, t] { order.push_back(t); });
+  }
+  std::vector<std::int64_t> expected = times_us;
+  std::sort(expected.begin(), expected.end());
+  TimePoint at;
+  EventFn fn;
+  std::int64_t last = -1;
+  while (q.pop(&at, &fn)) {
+    EXPECT_GE(at.us(), last);
+    last = at.us();
+    fn();
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, RebaseAcrossIdleGapThenScheduleEarlier) {
+  // Pop a far-future event (forcing the window to rebase onto it), then
+  // schedule before the new window base; the "front" staging heap must keep
+  // the ordering exact.
+  EventQueue q;
+  std::vector<std::int64_t> order;
+  q.schedule(TimePoint::from_us(100), [&order] { order.push_back(100); });
+  q.schedule(TimePoint::from_us(10'000'000),
+             [&order] { order.push_back(10'000'000); });
+  TimePoint at;
+  EventFn fn;
+  ASSERT_TRUE(q.pop(&at, &fn));
+  fn();  // 100 us; window now rebases toward the 10 s event on next access
+  EXPECT_EQ(q.next_time().us(), 10'000'000);
+  // An earlier (but still future) schedule must pop before the 10 s event.
+  q.schedule(TimePoint::from_us(9'000'000),
+             [&order] { order.push_back(9'000'000); });
+  q.schedule(TimePoint::from_us(9'000'000 + 50),
+             [&order] { order.push_back(9'000'050); });
+  while (q.pop(&at, &fn)) fn();
+  EXPECT_EQ(order,
+            (std::vector<std::int64_t>{100, 9'000'000, 9'000'050, 10'000'000}));
+}
+
+TEST(EventQueue, InterleavedPopAndScheduleAcrossWindows) {
+  // Ladder pattern: each event schedules another one window ahead.
+  EventQueue q;
+  int fired = 0;
+  std::int64_t last_us = -1;
+  std::function<void(std::int64_t)> ladder = [&](std::int64_t t) {
+    ++fired;
+    EXPECT_GT(t, last_us);
+    last_us = t;
+    if (fired < 50) {
+      const std::int64_t next = t + 300'000;  // > one wheel window away
+      q.schedule(TimePoint::from_us(next), [&ladder, next] { ladder(next); });
+    }
+  };
+  q.schedule(TimePoint::from_us(10), [&ladder] { ladder(10); });
+  TimePoint at;
+  EventFn fn;
+  while (q.pop(&at, &fn)) fn();
+  EXPECT_EQ(fired, 50);
+}
+
+// --- EventQueue: cancellation and handle safety ---
+
+TEST(EventQueue, CancelMakesPopSkipTombstone) {
+  EventQueue q;
+  bool ran = false;
+  const auto h = q.schedule(TimePoint::from_us(10), [&ran] { ran = true; });
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+  TimePoint at;
+  EventFn fn;
+  EXPECT_FALSE(q.pop(&at, &fn));
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelAfterFireIsRejected) {
+  EventQueue q;
+  const auto h = q.schedule(TimePoint::from_us(10), [] {});
+  TimePoint at;
+  EventFn fn;
+  ASSERT_TRUE(q.pop(&at, &fn));
+  EXPECT_FALSE(q.pending(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, StaleHandleCannotCancelReusedSlot) {
+  EventQueue q;
+  const auto h1 = q.schedule(TimePoint::from_us(10), [] {});
+  TimePoint at;
+  EventFn fn;
+  ASSERT_TRUE(q.pop(&at, &fn));  // h1 fired; its pool slot is free
+  bool ran = false;
+  const auto h2 = q.schedule(TimePoint::from_us(20), [&ran] { ran = true; });
+  EXPECT_EQ(h2.slot, h1.slot);  // LIFO pool reuse: same slot, new generation
+  EXPECT_NE(h2.gen, h1.gen);
+  EXPECT_FALSE(q.cancel(h1));  // stale handle is inert
+  ASSERT_TRUE(q.pop(&at, &fn));
+  fn();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, GenerationSurvivesManyReuses) {
+  EventQueue q;
+  EventQueue::Handle first = q.schedule(TimePoint::from_us(1), [] {});
+  q.cancel(first);
+  for (int i = 0; i < 1000; ++i) {
+    const auto h = q.schedule(TimePoint::from_us(i + 2), [] {});
+    EXPECT_EQ(h.slot, first.slot);
+    EXPECT_FALSE(q.cancel(first));
+    EXPECT_TRUE(q.cancel(h));
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelReleasesSlotImmediately) {
+  // A cancel-heavy workload (re-armed timers) must not grow the pool: the
+  // slot is recycled at cancel time, not when the tombstone is popped.
+  EventQueue q;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto h = q.schedule(TimePoint::from_us(100 + i), [] {});
+    q.cancel(h);
+  }
+  EXPECT_TRUE(q.empty());
+  TimePoint at;
+  EventFn fn;
+  EXPECT_FALSE(q.pop(&at, &fn));
+}
+
+// --- EventQueue: stress vs reference heap ---
+
+struct RefEvent {
+  std::int64_t at_us;
+  std::uint64_t seq;
+  int tag;
+};
+struct RefAfter {
+  bool operator()(const RefEvent& a, const RefEvent& b) const {
+    if (a.at_us != b.at_us) return a.at_us > b.at_us;
+    return a.seq > b.seq;
+  }
+};
+
+TEST(EventQueue, MillionEventStressMatchesReferenceHeap) {
+  // Random mixed workload: schedules across near/far horizons (with heavy
+  // timestamp collisions to exercise FIFO ties), interleaved pops, and
+  // random cancellation. The calendar must pop the exact sequence a plain
+  // (timestamp, seq) min-heap pops.
+  EventQueue q;
+  std::priority_queue<RefEvent, std::vector<RefEvent>, RefAfter> ref;
+  std::mt19937_64 rng{0xC0FFEE};
+  std::vector<int> got;
+  std::vector<std::pair<EventQueue::Handle, RefEvent>> cancellable;
+
+  std::int64_t now_us = 0;
+  std::uint64_t seq = 0;
+  int tag = 0;
+  int scheduled = 0;
+  const int kTotal = 1'000'000;
+
+  std::vector<bool> cancelled;  // indexed by tag
+  cancelled.reserve(kTotal);
+
+  while (scheduled < kTotal || !ref.empty()) {
+    const auto r = rng();
+    const bool do_schedule = scheduled < kTotal && (ref.empty() || (r % 5) != 0);
+    if (do_schedule) {
+      // Horizon mix: 60% inside the wheel window, 30% past it, 10% huge.
+      std::int64_t delta;
+      switch (rng() % 10) {
+        case 0: delta = static_cast<std::int64_t>(rng() % 100'000'000); break;
+        case 1:
+        case 2:
+        case 3: delta = static_cast<std::int64_t>(rng() % 3'000'000); break;
+        default: delta = static_cast<std::int64_t>(rng() % 200'000); break;
+      }
+      // Collisions: quantize 1/3 of timestamps onto 1 ms ticks.
+      if (rng() % 3 == 0) delta -= delta % 1000;
+      const std::int64_t at = now_us + delta;
+      const int t = tag++;
+      cancelled.push_back(false);
+      const auto h =
+          q.schedule(TimePoint::from_us(at), [&got, t] { got.push_back(t); });
+      ref.push(RefEvent{at, seq++, t});
+      if (rng() % 16 == 0) cancellable.emplace_back(h, RefEvent{at, 0, t});
+      ++scheduled;
+    } else if (rng() % 7 == 0 && !cancellable.empty()) {
+      const auto pick = rng() % cancellable.size();
+      const auto [h, e] = cancellable[pick];
+      cancellable.erase(cancellable.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+      if (q.cancel(h)) cancelled[static_cast<std::size_t>(e.tag)] = true;
+    } else {
+      // Pop one event from both and compare.
+      while (!ref.empty() &&
+             cancelled[static_cast<std::size_t>(ref.top().tag)]) {
+        ref.pop();
+      }
+      TimePoint at;
+      EventFn fn;
+      const bool live = q.pop(&at, &fn);
+      if (!live) {
+        ASSERT_TRUE(ref.empty());
+        continue;
+      }
+      ASSERT_FALSE(ref.empty());
+      const RefEvent e = ref.top();
+      ref.pop();
+      ASSERT_EQ(at.us(), e.at_us);
+      fn();
+      ASSERT_FALSE(got.empty());
+      ASSERT_EQ(got.back(), e.tag);
+      now_us = at.us();
+    }
+  }
+  // Fully drained and every pop matched.
+  EXPECT_TRUE(q.empty());
+  std::size_t cancelled_count = 0;
+  for (const bool c : cancelled) cancelled_count += c ? 1u : 0u;
+  EXPECT_EQ(got.size() + cancelled_count, static_cast<std::size_t>(kTotal));
+}
+
+TEST(EventQueue, SizeTracksLiveEventsUnderChurn) {
+  EventQueue q;
+  std::mt19937_64 rng{7};
+  std::vector<EventQueue::Handle> handles;
+  std::size_t expect = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const auto h = q.schedule(TimePoint::from_us(static_cast<std::int64_t>(
+                                  rng() % 1'000'000)),
+                              [] {});
+    ++expect;
+    if (rng() % 2 == 0) {
+      handles.push_back(h);
+    }
+    if (rng() % 3 == 0 && !handles.empty()) {
+      if (q.cancel(handles.back())) --expect;
+      handles.pop_back();
+    }
+    ASSERT_EQ(q.size(), expect);
+  }
+}
+
+}  // namespace
+}  // namespace rpv::sim

@@ -25,7 +25,7 @@ struct AqmFixture {
 
   explicit AqmFixture(cellular::LinkQueueConfig cfg)
       : queue{sim, cfg, [this] { return rate_bps; },
-              [this](net::Packet) { ++delivered; },
+              [this](net::Packet, cellular::LinkQueue::DoneFn) { ++delivered; },
               [this](const net::Packet&) { ++dropped; }} {}
 
   void offer(double load_bps, double seconds) {
@@ -79,7 +79,7 @@ TEST(Aqm, BoundsStandingQueueDelay) {
   double max_sojourn_ms = 0.0;
   cellular::LinkQueue q{
       sim, cfg, [] { return 8e6; },
-      [&](net::Packet p) {
+      [&](net::Packet p, cellular::LinkQueue::DoneFn) {
         max_sojourn_ms = std::max(max_sojourn_ms, (p.sent - p.enqueued).ms());
       },
       nullptr};

@@ -22,12 +22,12 @@ TEST(WanPath, JitterIsSmall) {
   for (int i = 0; i < 10000; ++i) {
     max_ms = std::max(max_ms, wan.sample_delay().ms());
   }
-  EXPECT_LT(max_ms, cfg.base_owd.ms() + 10.0 * cfg.jitter_ms);
+  EXPECT_LT(max_ms, cfg.base_owd.ms() + 10.0 * cfg.jitter.ms());
 }
 
 TEST(WanPath, ZeroJitterIsDeterministic) {
   WanConfig cfg;
-  cfg.jitter_ms = 0.0;
+  cfg.jitter = sim::Duration::zero();
   WanPath wan{cfg, sim::Rng{3}};
   EXPECT_EQ(wan.sample_delay(), cfg.base_owd);
 }

@@ -77,7 +77,7 @@ TEST(VideoSender, PacketsCarryMonotoneTransportSeq) {
 
 TEST(VideoSender, QueueDiscardWhenConfigured) {
   SenderConfig cfg;
-  cfg.discard_queue_ms = 100.0;
+  cfg.discard_queue = sim::Duration::millis(100);
   // A choked transmit path: accept only one packet per 10 ms by dropping the
   // rest inside a slow pacer. Easiest: use a window-limited controller that
   // never opens. Instead, emulate by a huge encoder target vs tiny pacing:
@@ -93,7 +93,7 @@ TEST(VideoSender, QueueDiscardWhenConfigured) {
 
 TEST(VideoSender, NoDiscardWhenDisabled) {
   SenderConfig cfg;
-  cfg.discard_queue_ms = -1.0;
+  cfg.discard_queue = sim::Duration::millis(-1);
   cfg.encoder.min_bitrate_bps = 20e6;
   Fixture f{2e6, cfg};
   f.sender->start(TimePoint::origin(), TimePoint::origin() + Duration::seconds(5.0));

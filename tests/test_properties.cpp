@@ -122,7 +122,7 @@ TEST_P(LinkQueueRateSweep, AllAcceptedPacketsEventuallyDeliver) {
   int dropped = 0;
   cellular::LinkQueue q{
       sim, cellular::LinkQueueConfig{}, [rate] { return rate; },
-      [&](net::Packet) { ++delivered; },
+      [&](net::Packet, cellular::LinkQueue::DoneFn) { ++delivered; },
       [&](const net::Packet&) { ++dropped; }};
   const int n = 2000;
   for (int i = 0; i < n; ++i) {

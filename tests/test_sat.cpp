@@ -76,7 +76,7 @@ TEST(SatelliteLink, PreSampledScheduleIsSeedDeterministic) {
 TEST(SatelliteLink, PassCadenceCountsHandoversAndDropsCapacity) {
   sim::Simulator sim;
   sat::SatelliteLinkConfig cfg;
-  cfg.outage_mean_gap_sec = 1e9;  // no outages; isolate the pass process
+  cfg.outage_mean_gap = sim::Duration::seconds(1e9);  // no outages; isolate the pass process
   sat::SatelliteLink link{sim, cfg, sim::Rng{5}};
   link.start(Duration::seconds(61.0));
 
@@ -102,8 +102,8 @@ TEST(SatelliteLink, DeliversOnPropagationFloorInOrder) {
   sim::Simulator sim;
   sat::SatelliteLinkConfig cfg;
   cfg.loss_probability = 0.0;
-  cfg.jitter_ms = 0.0;
-  cfg.outage_mean_gap_sec = 1e9;
+  cfg.jitter = sim::Duration::zero();
+  cfg.outage_mean_gap = sim::Duration::seconds(1e9);
   sat::SatelliteLink link{sim, cfg, sim::Rng{9}};
   link.start(Duration::seconds(10.0));
 
@@ -129,7 +129,7 @@ TEST(SatelliteLink, PacketsSentDuringPassInterruptionAreLost) {
   sim::Simulator sim;
   sat::SatelliteLinkConfig cfg;
   cfg.loss_probability = 0.0;
-  cfg.outage_mean_gap_sec = 1e9;
+  cfg.outage_mean_gap = sim::Duration::seconds(1e9);
   sat::SatelliteLink link{sim, cfg, sim::Rng{3}};
   link.start(Duration::seconds(31.0));
 
@@ -158,7 +158,7 @@ TEST(MeshHopLink, LatencyCompoundsWithHopCount) {
   sat::MeshLinkConfig cfg;
   cfg.hops = 4;
   cfg.per_hop_loss = 0.0;
-  cfg.per_hop_jitter_ms = 0.0;
+  cfg.per_hop_jitter = sim::Duration::zero();
   sat::MeshHopLink link{sim, cfg, sim::Rng{11}};
   EXPECT_DOUBLE_EQ(link.base_latency_ms(), 32.0);
 

@@ -62,25 +62,75 @@ TEST(Simulator, PastEventsRunAtCurrentTime) {
   EXPECT_EQ(s.executed_events(), 2u);
 }
 
-TEST(Simulator, CancelPreventsExecution) {
+TEST(Simulator, TimerCancelPreventsExecution) {
   Simulator s;
   bool ran = false;
-  const auto id = s.schedule_at(TimePoint::from_us(10), [&] { ran = true; });
-  EXPECT_TRUE(s.cancel(id));
+  auto t = s.schedule_timer_at(TimePoint::from_us(10), [&] { ran = true; });
+  EXPECT_TRUE(t.cancel());
   s.run_all();
   EXPECT_FALSE(ran);
 }
 
-TEST(Simulator, CancelUnknownIdIsNoop) {
-  Simulator s;
-  EXPECT_FALSE(s.cancel(9999));
+TEST(Simulator, DefaultTimerCancelIsNoop) {
+  Timer t;
+  EXPECT_FALSE(t.pending());
+  EXPECT_FALSE(t.cancel());
 }
 
-TEST(Simulator, CancelTwiceSecondFails) {
+TEST(Simulator, TimerCancelTwiceSecondFails) {
   Simulator s;
-  const auto id = s.schedule_at(TimePoint::from_us(10), [] {});
-  EXPECT_TRUE(s.cancel(id));
-  EXPECT_FALSE(s.cancel(id));
+  auto t = s.schedule_timer_at(TimePoint::from_us(10), [] {});
+  EXPECT_TRUE(t.cancel());
+  EXPECT_FALSE(t.cancel());
+}
+
+TEST(Simulator, TimerDestructionCancels) {
+  Simulator s;
+  bool ran = false;
+  {
+    auto t = s.schedule_timer_at(TimePoint::from_us(10), [&] { ran = true; });
+    EXPECT_TRUE(t.pending());
+  }
+  s.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, TimerReleaseLetsEventFire) {
+  Simulator s;
+  bool ran = false;
+  {
+    auto t = s.schedule_timer_at(TimePoint::from_us(10), [&] { ran = true; });
+    t.release();
+  }
+  s.run_all();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, TimerInertAfterFire) {
+  Simulator s;
+  int runs = 0;
+  auto t = s.schedule_timer_at(TimePoint::from_us(10), [&] { ++runs; });
+  s.run_all();
+  EXPECT_FALSE(t.pending());
+  EXPECT_FALSE(t.cancel());
+  // The slot may be reused by a new event; the stale timer must not touch it.
+  bool second = false;
+  auto t2 = s.schedule_timer_at(TimePoint::from_us(20), [&] { second = true; });
+  EXPECT_FALSE(t.cancel());
+  s.run_all();
+  EXPECT_TRUE(second);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Simulator, TimerReassignmentCancelsPrevious) {
+  Simulator s;
+  bool first = false;
+  bool second = false;
+  auto t = s.schedule_timer_at(TimePoint::from_us(10), [&] { first = true; });
+  t = s.schedule_timer_at(TimePoint::from_us(20), [&] { second = true; });
+  s.run_all();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
 }
 
 TEST(Simulator, RunUntilStopsAtBoundary) {
@@ -122,10 +172,10 @@ TEST(Simulator, ReentrantSchedulingFromHandler) {
 
 TEST(Simulator, PendingEventsAccountsForCancellation) {
   Simulator s;
-  const auto a = s.schedule_at(TimePoint::from_us(1), [] {});
+  auto a = s.schedule_timer_at(TimePoint::from_us(1), [] {});
   s.schedule_at(TimePoint::from_us(2), [] {});
   EXPECT_EQ(s.pending_events(), 2u);
-  s.cancel(a);
+  a.cancel();
   EXPECT_EQ(s.pending_events(), 1u);
 }
 
