@@ -14,7 +14,12 @@ std::string tech_suffix(experiment::AccessTech tech) {
 }
 
 std::string policy_suffix(experiment::Policy policy) {
-  return policy == experiment::Policy::kProactive ? "-proactive" : "";
+  switch (policy) {
+    case experiment::Policy::kReactive: return "";
+    case experiment::Policy::kProactive: return "-proactive";
+    case experiment::Policy::kPlanned: return "-planned";
+  }
+  return "";
 }
 
 std::string multipath_suffix(experiment::Multipath m) {

@@ -44,8 +44,9 @@ struct GridAxes {
   std::vector<experiment::Mobility> mobilities;
   std::vector<pipeline::CcKind> ccs;
   std::vector<experiment::AccessTech> techs;
-  // Reactive vs. proactive (rpv::predict) adaptation. Labels stay unchanged
-  // for kReactive cells; kProactive cells gain a "-proactive" suffix.
+  // Reactive vs. proactive (rpv::predict) vs. planned (rpv::uav) adaptation.
+  // Labels stay unchanged for kReactive cells; kProactive cells gain a
+  // "-proactive" suffix, kPlanned cells "-planned".
   std::vector<experiment::Policy> policies;
   // Multi-operator bonding (rpv::bond). kNone keeps the single-path Session
   // and an unchanged label; every other value gains a policy suffix

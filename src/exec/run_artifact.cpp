@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
 
 #include "fault/fault_schedule.hpp"
 #include "obs/recorder.hpp"
@@ -140,6 +141,38 @@ std::filesystem::path RunArtifactStore::write_campaign(
                              manifest_path.string());
   }
   return campaign_dir;
+}
+
+std::filesystem::path RunArtifactStore::write_radio_map(
+    const std::string& campaign_name, const std::string& map_name,
+    const radiomap::RadioMap& map) const {
+  rpv::validate(!campaign_name.empty() &&
+                    campaign_name.find('/') == std::string::npos,
+                "RunArtifactStore: campaign name must be a non-empty "
+                "single path component");
+  rpv::validate(!map_name.empty() && map_name.find('/') == std::string::npos,
+                "RunArtifactStore: map name must be a non-empty "
+                "single path component");
+  const auto maps_dir = root_ / campaign_name / "maps";
+  std::filesystem::create_directories(maps_dir);
+  const auto path = maps_dir / (map_name + ".map.json");
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  const auto bytes = map.canonical_bytes();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.put('\n');
+  if (!out) {
+    throw std::runtime_error("RunArtifactStore: cannot write " + path.string());
+  }
+  return path;
+}
+
+radiomap::RadioMap RunArtifactStore::load_radio_map(
+    const std::filesystem::path& file) {
+  const auto text = json::read_file(file.string());
+  if (!text) {
+    throw std::runtime_error("RunArtifactStore: cannot read " + file.string());
+  }
+  return radiomap::radio_map_from_bytes(*text);
 }
 
 LoadedCampaign RunArtifactStore::load_campaign(

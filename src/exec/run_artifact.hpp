@@ -24,6 +24,7 @@
 
 #include "exec/campaign_engine.hpp"
 #include "json/json.hpp"
+#include "radiomap/radio_map.hpp"
 
 namespace rpv::exec {
 
@@ -62,6 +63,19 @@ class RunArtifactStore {
   // Read a campaign directory written by write_campaign.
   [[nodiscard]] static LoadedCampaign load_campaign(
       const std::filesystem::path& campaign_dir);
+
+  // Persist a radio map under <root>/<campaign>/maps/<map_name>.map.json.
+  // The file holds the map's canonical bytes verbatim, so byte-comparing two
+  // stores (e.g. across --jobs values) is a valid determinism check. Returns
+  // the written path; throws std::runtime_error on I/O errors.
+  std::filesystem::path write_radio_map(const std::string& campaign_name,
+                                        const std::string& map_name,
+                                        const radiomap::RadioMap& map) const;
+
+  // Read a map file written by write_radio_map (throws on I/O or schema
+  // errors — the loader is the strict radiomap::radio_map_from_bytes).
+  [[nodiscard]] static radiomap::RadioMap load_radio_map(
+      const std::filesystem::path& file);
 
  private:
   std::filesystem::path root_;

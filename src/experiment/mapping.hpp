@@ -1,0 +1,37 @@
+// Warm-up map building: fly deterministic survey sweeps over a scenario's
+// environment and accumulate a radiomap::RadioMap from the obs event stream.
+//
+// Each warm-up flight draws its own cell layout (seed + i*7919, the campaign
+// seed ladder), so a map built from several flights captures the
+// layout-independent spatial structure — altitude-driven loss and HO churn,
+// capacity vs. height — rather than one layout's cell borders. That is
+// exactly the signal the planner and the predictor prior can act on for a
+// future flight whose layout draw they have never seen.
+#pragma once
+
+#include "experiment/scenario.hpp"
+#include "radiomap/radio_map.hpp"
+#include "radiomap/survey.hpp"
+
+namespace rpv::experiment {
+
+struct MapBuildConfig {
+  // Independent warm-up flights accumulated into the map (seed ladder).
+  int flights = 3;
+  radiomap::SurveyConfig survey;
+};
+
+// The default mission-area grid: covers the Appendix A.2 flight box
+// (x 0..200 m plus margin, the take-off corridor, altitudes 0..150 m) at
+// 50 m x 30 m voxels — 160 voxels, fine enough to separate the paper's
+// 40/80/120 m altitude levels.
+[[nodiscard]] radiomap::GridSpec default_map_spec();
+
+// Accumulate `cfg.flights` survey sweeps of `base`'s environment into one
+// map. `base`'s policy/multipath/map fields are ignored (warm-ups fly
+// reactive single-path); env, tech, cc, faults and seed are honoured.
+[[nodiscard]] radiomap::RadioMap build_radio_map(
+    const Scenario& base, const radiomap::GridSpec& spec,
+    const MapBuildConfig& cfg = {});
+
+}  // namespace rpv::experiment

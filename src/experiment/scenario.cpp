@@ -23,7 +23,12 @@ std::string mobility_name(Mobility m) {
 }
 
 std::string policy_name(Policy p) {
-  return p == Policy::kProactive ? "proactive" : "reactive";
+  switch (p) {
+    case Policy::kReactive: return "reactive";
+    case Policy::kProactive: return "proactive";
+    case Policy::kPlanned: return "planned";
+  }
+  return "?";
 }
 
 std::string multipath_name(Multipath m) {
@@ -125,7 +130,8 @@ pipeline::SessionConfig make_session_config(const Scenario& s) {
   cfg.faults_on_link_b = s.faults_on_both_operators;
   cfg.resilience = s.resilience;
   cfg.receiver.model_reference_loss = s.model_reference_loss;
-  cfg.predict.proactive = (s.policy == Policy::kProactive);
+  cfg.predict.proactive = (s.policy != Policy::kReactive);
+  cfg.predict.map_prior = s.radio_map.get();
   cfg.obs.enabled = s.observe;
 
   if (s.multipath != Multipath::kNone && s.path_set != PathSet::kOperatorPair) {
@@ -227,6 +233,47 @@ pipeline::SessionReport run_scenario(const Scenario& s) {
   return run_scenario(s, nullptr);
 }
 
+namespace {
+
+// Under kPlanned with a warm map, replace the mission trajectory with the
+// planner's choice. Returns the plan (identity when planning did not run) so
+// the caller can annotate the report and publish the kReplan event.
+uav::PlanResult replan_if_planned(const Scenario& s,
+                                  geo::Trajectory& trajectory) {
+  uav::PlanResult plan;
+  if (s.policy == Policy::kPlanned && s.radio_map != nullptr &&
+      !s.radio_map->empty()) {
+    plan = uav::plan_trajectory(trajectory, *s.radio_map);
+    trajectory = plan.trajectory;
+  }
+  return plan;
+}
+
+void annotate_planning(pipeline::SessionReport& r, const Scenario& s,
+                       const uav::PlanResult& plan) {
+  if (s.policy != Policy::kPlanned) return;
+  r.planned = plan.candidates > 0;
+  r.plan_replanned = plan.replanned;
+  r.plan_candidates = plan.candidates;
+  r.plan_selected = plan.selected;
+  r.plan_predicted_stall_ms_direct = plan.predicted_stall_ms_direct;
+  r.plan_predicted_stall_ms_selected = plan.predicted_stall_ms_selected;
+  r.plan_deviation_m = plan.deviation_m;
+}
+
+void publish_replan(obs::EventBus& bus, const geo::Trajectory& trajectory,
+                    const uav::PlanResult& plan) {
+  if (plan.candidates == 0) return;
+  bus.publish(obs::Component::kPlanner, obs::EventKind::kReplan,
+              trajectory.start(),
+              obs::ReplanPayload{plan.candidates, plan.selected,
+                                 plan.predicted_stall_ms_direct,
+                                 plan.predicted_stall_ms_selected,
+                                 plan.deviation_m});
+}
+
+}  // namespace
+
 pipeline::SessionReport run_scenario(const Scenario& s,
                                      obs::EventSink* extra_sink) {
   sim::Rng rng{s.seed * 0x9E3779B97F4A7C15ULL + 0x1234567};
@@ -243,6 +290,7 @@ pipeline::SessionReport run_scenario(const Scenario& s,
     }
     auto layout_b = make_layout(other, rng);
     auto trajectory = make_trajectory(s, rng);
+    const auto plan = replan_if_planned(s, trajectory);
     auto cfg = make_session_config(s);
     std::string env_label =
         environment_name(s.env) + "+" + environment_name(other.env);
@@ -256,14 +304,21 @@ pipeline::SessionReport run_scenario(const Scenario& s,
         env_label + "/" + mobility_name(s.mobility),
         bond_policy_of(s.multipath)};
     if (extra_sink != nullptr) session.subscribe(extra_sink);
-    return session.run();
+    publish_replan(session.observer(), trajectory, plan);
+    auto r = session.run();
+    annotate_planning(r, s, plan);
+    return r;
   }
   auto trajectory = make_trajectory(s, rng);
+  const auto plan = replan_if_planned(s, trajectory);
   auto cfg = make_session_config(s);
   pipeline::Session session{cfg, std::move(layout), &trajectory,
                             environment_name(s.env) + "/" + mobility_name(s.mobility)};
   if (extra_sink != nullptr) session.observer().subscribe(extra_sink);
-  return session.run();
+  publish_replan(session.observer(), trajectory, plan);
+  auto r = session.run();
+  annotate_planning(r, s, plan);
+  return r;
 }
 
 }  // namespace rpv::experiment

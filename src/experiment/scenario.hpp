@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "bond/policy.hpp"
@@ -18,6 +19,8 @@
 #include "fault/fault_schedule.hpp"
 #include "geo/flight_profiles.hpp"
 #include "pipeline/session.hpp"
+#include "radiomap/radio_map.hpp"
+#include "uav/planner.hpp"
 
 namespace rpv::experiment {
 
@@ -30,8 +33,11 @@ enum class Mobility { kAir, kGround, kStatic };
 enum class AccessTech { kLte, k5gSa };
 // Adaptation policy: reactive is the paper's measured pipeline (CC reacts
 // after the fact); proactive turns on the rpv::predict HO-aware adapter
-// (pre-HO bitrate dip, keyframe deferral, post-HO flush).
-enum class Policy { kReactive, kProactive };
+// (pre-HO bitrate dip, keyframe deferral, post-HO flush); planned
+// additionally replans the flight trajectory through the scenario's radio
+// map (rpv::uav) before takeoff — the closed perception→planning loop of
+// ROADMAP item 5. kPlanned without a radio_map behaves like kProactive.
+enum class Policy { kReactive, kProactive, kPlanned };
 
 // Multi-operator bonding (rpv::bond). kNone runs the single-path Session;
 // everything else runs a MultipathSession over the environment's operator
@@ -108,6 +114,11 @@ struct Scenario {
   // HO-aware proactive adaptation (rpv::predict); reactive reproduces the
   // paper's measured behaviour.
   Policy policy = Policy::kReactive;
+  // Learned 3D radio map (rpv::radiomap). When set it always feeds the
+  // HandoverPredictor's spatial prior (instrumented under every policy);
+  // under kPlanned it additionally drives the rpv::uav trajectory planner.
+  // Scenarios without a map are byte-identical to their pre-radiomap runs.
+  std::shared_ptr<const radiomap::RadioMap> radio_map;
   // Decoder reference-loss modeling; enable in BOTH arms of a resilience
   // comparison so keyframe recovery is measured fairly.
   bool model_reference_loss = false;

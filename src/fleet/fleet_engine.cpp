@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "exec/thread_pool.hpp"
+#include "radiomap/map_sink.hpp"
 #include "sim/validate.hpp"
 
 namespace rpv::fleet {
@@ -21,6 +22,10 @@ void validate_scenario(const FleetScenario& s) {
   rpv::validate(s.base.multipath == experiment::Multipath::kNone,
                 "FleetScenario: fleet sessions are single-path (multipath "
                 "must be kNone)");
+  if (s.build_map) {
+    rpv::validate(s.map_spec.valid(),
+                  "FleetScenario: build_map requires a valid map_spec");
+  }
 }
 
 // The run_scenario seed whitening, reused so a fleet with the same base
@@ -132,6 +137,7 @@ FleetRunResult FleetEngine::run(const FleetScenario& scenario) const {
   struct SessionState {
     std::unique_ptr<pipeline::Session> session;
     std::unique_ptr<obs::FunctionSink> tap;
+    std::unique_ptr<radiomap::RadioMapSink> map_sink;
     int slot = 0;
     sim::TimePoint end;
   };
@@ -141,9 +147,15 @@ FleetRunResult FleetEngine::run(const FleetScenario& scenario) const {
     obs::Histogram owd_clean = make_owd_histogram("owd_clean_ms");
     obs::Histogram stall_contended = make_stall_histogram("stall_contended_ms");
     obs::Histogram stall_clean = make_stall_histogram("stall_clean_ms");
+    // Shard-local map partial; a shard's sessions advance on one worker at a
+    // time, so accumulation needs no synchronization.
+    radiomap::RadioMap map;
   };
   std::vector<SessionState> states(n);
   std::vector<ShardAgg> shards(num_shards);
+  if (scenario.build_map) {
+    for (auto& agg : shards) agg.map = radiomap::RadioMap{scenario.map_spec};
+  }
 
   // Serial construction keeps every rng draw and t=0 event publication in
   // session-index order. No load provider has committed anything yet, so
@@ -174,6 +186,11 @@ FleetRunResult FleetEngine::run(const FleetScenario& scenario) const {
         });
     st.session->observer().subscribe(&agg.registry);
     st.session->observer().subscribe(st.tap.get());
+    if (scenario.build_map) {
+      st.map_sink = std::make_unique<radiomap::RadioMapSink>(
+          &agg.map, &mission.trajectories[i]);
+      st.session->observer().subscribe(st.map_sink.get());
+    }
     st.session->link().set_load_provider(&dep);
     st.session->begin();
     dep.report(st.slot, st.session->link().serving_cell(), /*active=*/true);
@@ -219,12 +236,16 @@ FleetRunResult FleetEngine::run(const FleetScenario& scenario) const {
   // Fold shards in shard-index order (merge is associative, so the result
   // is independent of which worker ran which shard).
   obs::MetricsRegistry merged;
+  if (scenario.build_map) {
+    result.radio_map = radiomap::RadioMap{scenario.map_spec};
+  }
   for (const auto& agg : shards) {
     merged.merge(agg.registry);
     rep.owd_contended_ms.merge(agg.owd_contended);
     rep.owd_clean_ms.merge(agg.owd_clean);
     rep.stall_contended_ms.merge(agg.stall_contended);
     rep.stall_clean_ms.merge(agg.stall_clean);
+    if (scenario.build_map) result.radio_map.merge(agg.map);
   }
   rep.metrics = merged.summary();
 
@@ -246,6 +267,7 @@ FleetRunResult FleetEngine::run(const FleetScenario& scenario) const {
     if (cfg_.keep_reports) result.session_reports.push_back(std::move(r));
     st.session.reset();
     st.tap.reset();
+    st.map_sink.reset();
   }
   rep.mean_goodput_mbps = goodput_sum / static_cast<double>(n);
   rep.min_goodput_mbps = goodput_min;

@@ -28,6 +28,7 @@
 #include "obs/event_sink.hpp"
 #include "obs/metrics_registry.hpp"
 #include "pipeline/session.hpp"
+#include "radiomap/radio_map.hpp"
 
 namespace rpv::fleet {
 
@@ -49,6 +50,13 @@ struct FleetScenario {
   // their profiles' own altitudes.
   double min_altitude_m = 25.0;
   double max_altitude_m = 90.0;
+  // Radio-map accumulation: when set, every session's event stream also
+  // feeds a per-shard radiomap::RadioMap over map_spec. Shard partials fold
+  // into FleetRunResult::radio_map in shard-index order; the map's
+  // integer-sum algebra makes the fold order-independent, so the map's
+  // canonical bytes are identical for any --jobs value.
+  bool build_map = false;
+  radiomap::GridSpec map_spec{};
 };
 
 [[nodiscard]] std::string fleet_label(const FleetScenario& s);
@@ -100,6 +108,7 @@ struct FleetRunResult {
   double wall_seconds = 0.0;  // not serialized — wall clock is host-dependent
   int jobs = 0;               // resolved worker count used
   std::vector<pipeline::SessionReport> session_reports;  // keep_reports only
+  radiomap::RadioMap radio_map;  // build_map only; empty map otherwise
 };
 
 class FleetEngine {

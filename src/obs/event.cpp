@@ -13,7 +13,7 @@ namespace {
 
 constexpr std::array<std::string_view, kComponentCount> kComponentNames = {
     "cellular", "link-queue", "cc",  "sender",
-    "receiver", "wan",        "fault", "session", "bond", "sat",
+    "receiver", "wan",        "fault", "session", "bond", "sat", "planner",
 };
 
 constexpr std::array<std::string_view, kEventKindCount> kKindNames = {
@@ -23,7 +23,7 @@ constexpr std::array<std::string_view, kEventKindCount> kKindNames = {
     "packet-received",  "packet-lost",    "stall",        "wan-drop",
     "fault-injected",   "fault-ended",    "path-switch",  "fec-rate-change",
     "reorder-flush",    "class-preempt",  "sat-pass-ho",
-    "sat-obstruction-start", "sat-obstruction-end",
+    "sat-obstruction-start", "sat-obstruction-end", "replan",
 };
 
 std::string fmt(const char* format, ...) {
@@ -133,6 +133,12 @@ json::Value payload_to_json(const Payload& p) {
     v.set("kind", std::uint64_t{so->kind})
         .set("duration_us", so->duration_us)
         .set("magnitude", so->magnitude);
+  } else if (const auto* rp = std::get_if<ReplanPayload>(&p)) {
+    v.set("candidates", std::uint64_t{rp->candidates})
+        .set("selected", std::uint64_t{rp->selected})
+        .set("predicted_stall_ms_direct", rp->predicted_stall_ms_direct)
+        .set("predicted_stall_ms_selected", rp->predicted_stall_ms_selected)
+        .set("deviation_m", rp->deviation_m);
   }
   return v;
 }
@@ -275,6 +281,17 @@ Payload payload_from_json(EventKind k, const json::Value* p) {
       so.magnitude = p->at("magnitude").as_double();
       return so;
     }
+    case EventKind::kReplan: {
+      ReplanPayload rp;
+      rp.candidates = static_cast<std::uint32_t>(p->at("candidates").as_u64());
+      rp.selected = static_cast<std::uint32_t>(p->at("selected").as_u64());
+      rp.predicted_stall_ms_direct =
+          p->at("predicted_stall_ms_direct").as_double();
+      rp.predicted_stall_ms_selected =
+          p->at("predicted_stall_ms_selected").as_double();
+      rp.deviation_m = p->at("deviation_m").as_double();
+      return rp;
+    }
   }
   throw std::runtime_error("obs: unknown event kind in payload");
 }
@@ -393,6 +410,10 @@ std::string describe(const Event& e) {
     out += fmt(" %s %.1f ms (capacity x%.2f)",
                so->kind == 1 ? "rain-fade" : "obstruction",
                static_cast<double>(so->duration_us) / 1000.0, so->magnitude);
+  } else if (const auto* rp = std::get_if<ReplanPayload>(&e.payload)) {
+    out += fmt(" candidate %u/%u (stall %.0f -> %.0f ms, deviation %.1f m)",
+               rp->selected, rp->candidates, rp->predicted_stall_ms_direct,
+               rp->predicted_stall_ms_selected, rp->deviation_m);
   }
   return out;
 }

@@ -38,8 +38,9 @@ enum class Component : std::uint8_t {
   kSession,    // session-level bookkeeping
   kBond,       // bonded link manager (rpv::bond)
   kSat,        // LEO satellite / aerial-mesh paths (rpv::sat)
+  kPlanner,    // connectivity-aware trajectory planner (rpv::uav)
 };
-inline constexpr int kComponentCount = 10;
+inline constexpr int kComponentCount = 11;
 
 // What happened. At most 64 kinds so a subscription is one uint64 bitmask.
 enum class EventKind : std::uint8_t {
@@ -68,8 +69,9 @@ enum class EventKind : std::uint8_t {
   kSatPassHo,        // sat: satellite-pass handover (short interruption)
   kSatObstructionStart,  // sat: obstruction / rain-fade outage opened
   kSatObstructionEnd,    // sat: obstruction / rain-fade outage closed
+  kReplan,           // uav: planner chose a flight path through the radio map
 };
-inline constexpr int kEventKindCount = 25;
+inline constexpr int kEventKindCount = 26;
 
 [[nodiscard]] constexpr std::uint64_t kind_bit(EventKind k) {
   return std::uint64_t{1} << static_cast<unsigned>(k);
@@ -239,12 +241,24 @@ struct SatOutagePayload {
   bool operator==(const SatOutagePayload&) const = default;
 };
 
+// kReplan — the connectivity-aware planner (rpv::uav) selected the flight
+// path for a kPlanned mission: how many candidates it scored, which won,
+// and the map-predicted stall cost of the mission vs. the chosen path.
+struct ReplanPayload {
+  std::uint32_t candidates = 0;
+  std::uint32_t selected = 0;  // 0 = the unmodified mission
+  double predicted_stall_ms_direct = 0.0;
+  double predicted_stall_ms_selected = 0.0;
+  double deviation_m = 0.0;  // mean displacement of the chosen path
+  bool operator==(const ReplanPayload&) const = default;
+};
+
 using Payload =
     std::variant<std::monostate, MeasurementPayload, HandoverPayload,
                  QueuePayload, RatePayload, SignalPayload, FramePayload,
                  PacketPayload, StallPayload, FaultPayload, PathSwitchPayload,
                  FecRatePayload, ReorderFlushPayload, PreemptPayload,
-                 SatPassPayload, SatOutagePayload>;
+                 SatPassPayload, SatOutagePayload, ReplanPayload>;
 
 // One record on the stream. `seq` is assigned by the bus in publish order;
 // inside one (single-threaded, deterministic) simulation, sorting by

@@ -59,6 +59,13 @@ MultipathSession::MultipathSession(SessionConfig cfg,
   cfg_.predict.ho.hysteresis_db = cfg_.link.handover.hysteresis_db;
   adapter_a_ = std::make_unique<predict::ProactiveAdapter>(cfg_.predict);
   adapter_b_ = std::make_unique<predict::ProactiveAdapter>(cfg_.predict);
+  if (cfg_.predict.map_prior != nullptr) {
+    // One shared map prior: both operators fly the same trajectory, and the
+    // spatial HO risk the map encodes (altitude, cell-edge zones) is not
+    // operator-specific.
+    adapter_a_->set_map_prior(cfg_.predict.map_prior, trajectory_);
+    adapter_b_->set_map_prior(cfg_.predict.map_prior, trajectory_);
+  }
   relay_a_ = std::make_unique<obs::FunctionSink>(
       obs::kind_bit(obs::EventKind::kLinkMeasurement),
       [this](const obs::Event& e) {

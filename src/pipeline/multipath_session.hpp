@@ -81,6 +81,10 @@ class MultipathSession {
     bus_b_.subscribe(sink);
   }
 
+  // The session-level stream (operator A's bus also carries bond/session
+  // events); drivers publish session-scoped events like kReplan here.
+  [[nodiscard]] obs::EventBus& observer() { return bus_a_; }
+
   [[nodiscard]] bond::Policy policy() const { return policy_; }
   [[nodiscard]] cellular::CellularLink& link_a() { return *link_a_; }
   [[nodiscard]] cellular::CellularLink& link_b() { return *link_b_; }

@@ -75,6 +75,17 @@ struct SessionReport {
   // --- Prediction & proactive adaptation (rpv::predict) ---
   predict::PredictionStats prediction;
 
+  // --- Connectivity-aware flight planning (rpv::uav, schema v7) ---
+  // Filled by experiment::run_scenario under Policy::kPlanned with a warm
+  // radio map; all-zero otherwise.
+  bool planned = false;                       // planner ran on this session
+  bool plan_replanned = false;                // a non-identity path won
+  std::uint32_t plan_candidates = 0;          // candidate paths evaluated
+  std::uint32_t plan_selected = 0;            // winner index (0 = mission)
+  double plan_predicted_stall_ms_direct = 0;  // map cost of the mission path
+  double plan_predicted_stall_ms_selected = 0;  // map cost of the flown path
+  double plan_deviation_m = 0;                // mean displacement vs mission
+
   // --- Bonded link management (rpv::bond) ---
   // Empty/zero for single-path sessions; multipath sessions fill the policy
   // name ("duplicate", ..., "high-reliability") and the scheduler counters.

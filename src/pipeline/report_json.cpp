@@ -246,8 +246,23 @@ json::Value report_to_json(const SessionReport& r) {
         .set("dip_windows", p.dip_windows)
         .set("keyframes_deferred", p.keyframes_deferred)
         .set("proactive_flushes", p.proactive_flushes)
-        .set("predictive_switches", p.predictive_switches);
+        .set("predictive_switches", p.predictive_switches)
+        .set("map_prior", p.map_prior)
+        .set("map_prior_arms", p.map_prior_arms);
     v.set("prediction", std::move(o));
+  }
+
+  // Connectivity-aware flight planning (rpv::uav, schema v7).
+  {
+    json::Value o = json::Value::object();
+    o.set("planned", r.planned)
+        .set("replanned", r.plan_replanned)
+        .set("candidates", std::uint64_t{r.plan_candidates})
+        .set("selected", std::uint64_t{r.plan_selected})
+        .set("predicted_stall_ms_direct", r.plan_predicted_stall_ms_direct)
+        .set("predicted_stall_ms_selected", r.plan_predicted_stall_ms_selected)
+        .set("deviation_m", r.plan_deviation_m);
+    v.set("planning", std::move(o));
   }
 
   // Bonded link management (schema v4; per-path breakdown since v6).
@@ -397,6 +412,21 @@ SessionReport report_from_json(const json::Value& v) {
     p.keyframes_deferred = o.at("keyframes_deferred").as_u64();
     p.proactive_flushes = o.at("proactive_flushes").as_u64();
     p.predictive_switches = o.at("predictive_switches").as_u64();
+    p.map_prior = o.at("map_prior").as_bool();
+    p.map_prior_arms = o.at("map_prior_arms").as_u64();
+  }
+
+  {
+    const auto& o = v.at("planning");
+    r.planned = o.at("planned").as_bool();
+    r.plan_replanned = o.at("replanned").as_bool();
+    r.plan_candidates = static_cast<std::uint32_t>(o.at("candidates").as_u64());
+    r.plan_selected = static_cast<std::uint32_t>(o.at("selected").as_u64());
+    r.plan_predicted_stall_ms_direct =
+        o.at("predicted_stall_ms_direct").as_double();
+    r.plan_predicted_stall_ms_selected =
+        o.at("predicted_stall_ms_selected").as_double();
+    r.plan_deviation_m = o.at("deviation_m").as_double();
   }
 
   {

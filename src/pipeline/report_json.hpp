@@ -22,7 +22,7 @@ namespace rpv::pipeline {
 // block of merged metrics instead of N per-session reports); version 6 the
 // per-path breakdown inside the bond block, the sat block (LEO pass
 // handovers, outage totals, stall attribution), and sim_events.
-inline constexpr int kReportSchemaVersion = 6;
+inline constexpr int kReportSchemaVersion = 7;
 
 [[nodiscard]] json::Value report_to_json(const SessionReport& r);
 

@@ -61,6 +61,9 @@ Session::Session(SessionConfig cfg, cellular::CellLayout layout,
   // the adapter on cfg_.predict.proactive.
   cfg_.predict.ho.hysteresis_db = cfg_.link.handover.hysteresis_db;
   adapter_ = std::make_unique<predict::ProactiveAdapter>(cfg_.predict);
+  if (cfg_.predict.map_prior != nullptr) {
+    adapter_->set_map_prior(cfg_.predict.map_prior, trajectory_);
+  }
   // rpv::predict consumes link measurements off the event bus — the sole
   // always-on subscription; every measurement consumer goes through an
   // obs::FunctionSink relay like this one.

@@ -27,20 +27,50 @@ void HandoverPredictor::expire(sim::TimePoint now) {
   }
 }
 
+void HandoverPredictor::set_map_prior(const radiomap::RadioMap* map,
+                                      const geo::Trajectory* trajectory) {
+  map_ = map;
+  trajectory_ = trajectory;
+}
+
 void HandoverPredictor::on_margin(sim::TimePoint now, double margin_db) {
   expire(now);
   margin_.update(margin_db);
   if (armed_ || !margin_.initialized() || now < suppress_until_) return;
 
+  // Radio-map prior: when the trajectory is about to enter a voxel whose
+  // learned HO-trigger rate is hot, extrapolate deeper and keep the armed
+  // window open longer. The margin still has to cross the trigger line, so
+  // the prior buys lead time in learned HO zones without arming on noise.
+  double steps = cfg_.forecast_steps;
+  sim::Duration horizon = cfg_.horizon;
+  bool hot = false;
+  if (has_map_prior()) {
+    const geo::Vec3 ahead = trajectory_->position(
+        now + sim::Duration::seconds(cfg_.map_lookahead_s));
+    const radiomap::VoxelStats* v = map_->at(ahead);
+    hot = v != nullptr && v->samples > 0 &&
+          v->ho_risk() >= cfg_.map_risk_threshold;
+    if (hot) {
+      steps *= cfg_.map_forecast_boost;
+      horizon = horizon * cfg_.map_horizon_boost;
+    }
+  }
+
   // Arm when the extrapolated margin reaches the A3 trigger line (neighbor
   // beats serving by hysteresis) within the forecast window, or already has.
   const double trigger = -(cfg_.hysteresis_db - cfg_.margin_guard_db);
-  const double projected = margin_.forecast(cfg_.forecast_steps);
+  const double projected = margin_.forecast(steps);
   if (projected > trigger && margin_db > trigger) return;
 
+  if (hot && margin_.forecast(cfg_.forecast_steps) > trigger &&
+      margin_db > trigger) {
+    // Only the deepened forecast reached the trigger: a prior-driven arm.
+    ++map_prior_arms_;
+  }
   armed_ = true;
   armed_at_ = now;
-  expires_at_ = now + cfg_.horizon;
+  expires_at_ = now + horizon;
   ++predicted_;
   // Deeper projected penetration past the trigger line -> higher confidence.
   const double depth = trigger - std::min(projected, margin_db);

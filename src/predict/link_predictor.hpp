@@ -18,7 +18,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "geo/trajectory.hpp"
 #include "predict/estimators.hpp"
+#include "radiomap/radio_map.hpp"
 #include "sim/time.hpp"
 
 namespace rpv::predict {
@@ -37,6 +39,20 @@ struct HandoverPredictorConfig {
   sim::Duration horizon = sim::Duration::millis(2500);
   double holt_alpha = 0.45;
   double holt_beta = 0.25;
+
+  // --- Radio-map prior (ROADMAP item 5; active only via set_map_prior) ---
+  // A voxel whose learned HO-trigger rate (per measurement tick) reaches the
+  // threshold is "hot": while the UAV's trajectory leads into a hot voxel,
+  // the Holt extrapolation looks `map_forecast_boost` times deeper and an
+  // armed prediction's horizon stretches by `map_horizon_boost`, so decays
+  // the reactive filter would catch late get armed earlier — without the
+  // prior ever arming on a flat margin (precision is preserved: the margin
+  // still has to cross the trigger line, just at a deeper extrapolation).
+  double map_risk_threshold = 0.02;
+  double map_forecast_boost = 3.0;
+  double map_horizon_boost = 1.5;
+  // How far ahead along the trajectory the upcoming voxel is sampled (s).
+  double map_lookahead_s = 3.0;
 };
 
 // Deterministic online predictor + self-scorer. Feed every measurement tick
@@ -58,6 +74,18 @@ class HandoverPredictor {
   // neither confirmed nor refuted).
   void finish();
 
+  // Attach a learned radio map + the flight trajectory as a spatial prior
+  // (both borrowed; null detaches). Purely deterministic: the prior only
+  // deepens the forecast in learned HO zones, it never adds randomness.
+  void set_map_prior(const radiomap::RadioMap* map,
+                     const geo::Trajectory* trajectory);
+  [[nodiscard]] bool has_map_prior() const {
+    return map_ != nullptr && trajectory_ != nullptr;
+  }
+  // Arms that only the deepened (map-boosted) forecast reached — the base
+  // filter alone would have armed later or not at all.
+  [[nodiscard]] std::uint64_t map_prior_arms() const { return map_prior_arms_; }
+
   // True while an armed prediction's horizon is open.
   [[nodiscard]] bool armed(sim::TimePoint now) const {
     return armed_ && now <= expires_at_;
@@ -78,6 +106,9 @@ class HandoverPredictor {
 
   HandoverPredictorConfig cfg_;
   HoltFilter margin_;
+  const radiomap::RadioMap* map_ = nullptr;
+  const geo::Trajectory* trajectory_ = nullptr;
+  std::uint64_t map_prior_arms_ = 0;
   bool armed_ = false;
   double confidence_ = 0.0;
   sim::TimePoint armed_at_ = sim::TimePoint::never();

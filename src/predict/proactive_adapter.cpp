@@ -102,6 +102,8 @@ PredictionStats ProactiveAdapter::stats() const {
   s.ho_false_positives = predictor_.false_positives();
   s.ho_missed = predictor_.missed();
   s.ho_lead_time_ms = predictor_.lead_times_ms();
+  s.map_prior = predictor_.has_map_prior();
+  s.map_prior_arms = predictor_.map_prior_arms();
   s.capacity_mae_mbps = forecaster_.mae_mbps();
   s.capacity_samples = forecaster_.samples_scored();
   s.dip_windows = dip_windows_;

@@ -26,6 +26,11 @@ struct ProactiveConfig {
   HandoverPredictorConfig ho;
   CapacityForecasterConfig capacity;
 
+  // Learned radio map attached as the HO predictor's spatial prior
+  // (borrowed, may be null; the scenario owner guarantees lifetime). The
+  // session pairs it with its trajectory via set_map_prior().
+  const radiomap::RadioMap* map_prior = nullptr;
+
   // During a dip window the encoder target is capped at
   // dip_factor * forecast capacity (but never below min_rate_bps).
   double dip_factor = 0.7;
@@ -79,6 +84,14 @@ class ProactiveAdapter {
   [[nodiscard]] double goodput_ewma_mbps() const { return goodput_.value(); }
   [[nodiscard]] const HandoverPredictor& ho_predictor() const {
     return predictor_;
+  }
+
+  // Attach a learned radio map + flight trajectory as the HO predictor's
+  // spatial prior (rpv::radiomap; both borrowed, null detaches). Call before
+  // the run starts; instrumentation-only under a reactive policy.
+  void set_map_prior(const radiomap::RadioMap* map,
+                     const geo::Trajectory* trajectory) {
+    predictor_.set_map_prior(map, trajectory);
   }
 
   // Resolve the still-armed prediction (if any) and return the final stats.

@@ -20,6 +20,10 @@ struct PredictionStats {
   std::uint64_t ho_missed = 0;           // HO arrived with no armed prediction
   std::vector<double> ho_lead_time_ms;   // arm -> HO, per true positive
 
+  // --- Radio-map prior (schema v7) ---
+  bool map_prior = false;             // a RadioMap prior was attached
+  std::uint64_t map_prior_arms = 0;   // arms only the deepened forecast made
+
   // --- Capacity forecast quality ---
   double capacity_mae_mbps = 0.0;  // one-step-ahead mean absolute error
   std::uint64_t capacity_samples = 0;

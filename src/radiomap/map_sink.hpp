@@ -1,0 +1,62 @@
+// RadioMapSink — feeds a RadioMap from a session's obs::EventBus.
+//
+// Events carry time, not position, so the sink holds the session's
+// trajectory and samples position(t) at each event: the same deterministic
+// interpolation the radio model itself uses, so attribution lands in the
+// voxel the UAV actually occupied. Subscribing the sink is purely
+// observational — it publishes nothing and draws no randomness, so a run
+// with a sink attached is byte-identical to one without.
+#pragma once
+
+#include "geo/trajectory.hpp"
+#include "obs/event.hpp"
+#include "obs/event_sink.hpp"
+#include "radiomap/radio_map.hpp"
+
+namespace rpv::radiomap {
+
+class RadioMapSink final : public obs::EventSink {
+ public:
+  // Both pointers are borrowed and must outlive the sink.
+  RadioMapSink(RadioMap* map, const geo::Trajectory* trajectory)
+      : map_{map}, trajectory_{trajectory} {}
+
+  [[nodiscard]] std::uint64_t interest_mask() const override {
+    return obs::kind_bit(obs::EventKind::kLinkMeasurement) |
+           obs::kind_bit(obs::EventKind::kRlf) |
+           obs::kind_bit(obs::EventKind::kPacketLost) |
+           obs::kind_bit(obs::EventKind::kStall);
+  }
+
+  void on_event(const obs::Event& e) override {
+    const geo::Vec3 pos = trajectory_->position(e.t);
+    switch (e.kind) {
+      case obs::EventKind::kLinkMeasurement: {
+        // HO triggers ride the measurement tick's ho_triggered flag (not
+        // kHandoverStart) so each trigger is attributed exactly once.
+        const auto& m = std::get<obs::MeasurementPayload>(e.payload);
+        map_->observe_measurement(pos, m.serving_cell, m.serving_rsrp_dbm,
+                                  m.capacity_mbps, m.ho_triggered);
+        break;
+      }
+      case obs::EventKind::kRlf:
+        map_->observe_rlf(pos);
+        break;
+      case obs::EventKind::kPacketLost:
+        map_->observe_loss(pos);
+        break;
+      case obs::EventKind::kStall:
+        map_->observe_stall(
+            pos, std::get<obs::StallPayload>(e.payload).duration_ms);
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  RadioMap* map_;
+  const geo::Trajectory* trajectory_;
+};
+
+}  // namespace rpv::radiomap

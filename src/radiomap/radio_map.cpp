@@ -1,0 +1,276 @@
+#include "radiomap/radio_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rpv::radiomap {
+namespace {
+
+double var_from_sums(std::uint64_t n, std::int64_t milli_sum,
+                     std::uint64_t milli_sq_sum) {
+  if (n == 0) return 0.0;
+  const double nd = static_cast<double>(n);
+  const double mean_milli = static_cast<double>(milli_sum) / nd;
+  const double mean_sq_milli = static_cast<double>(milli_sq_sum) / nd;
+  const double var_milli2 = mean_sq_milli - mean_milli * mean_milli;
+  // milli-dBm^2 -> dB^2; clamp the tiny negatives cancellation can produce.
+  return std::max(0.0, var_milli2 / 1e6);
+}
+
+std::int64_t to_milli(double v) { return std::llround(v * 1000.0); }
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::runtime_error(std::string("radio map: ") + what);
+}
+
+const json::Value& field(const json::Value& v, const char* key) {
+  const json::Value* f = v.find(key);
+  require(f != nullptr, key);
+  return *f;
+}
+
+}  // namespace
+
+double CellStats::var_rsrp_db2() const {
+  return var_from_sums(samples, rsrp_milli_sum, rsrp_milli_sq_sum);
+}
+
+double VoxelStats::var_rsrp_db2() const {
+  return var_from_sums(samples, rsrp_milli_sum, rsrp_milli_sq_sum);
+}
+
+RadioMap::RadioMap(GridSpec spec) : spec_{spec} {
+  if (!spec_.valid()) {
+    throw std::invalid_argument("RadioMap: invalid grid spec");
+  }
+  if (spec_.voxel_count() > (1u << 24)) {
+    throw std::invalid_argument("RadioMap: grid too large");
+  }
+  voxels_.resize(spec_.voxel_count());
+}
+
+VoxelStats* RadioMap::mutable_at(const geo::Vec3& pos) {
+  const auto idx = spec_.index_of(pos);
+  return idx ? &voxels_[*idx] : nullptr;
+}
+
+const VoxelStats* RadioMap::at(const geo::Vec3& pos) const {
+  const auto idx = spec_.index_of(pos);
+  return idx ? &voxels_[*idx] : nullptr;
+}
+
+void RadioMap::observe_measurement(const geo::Vec3& pos,
+                                   std::uint32_t serving_cell, double rsrp_dbm,
+                                   double capacity_mbps, bool ho_triggered) {
+  VoxelStats* v = mutable_at(pos);
+  if (v == nullptr) return;
+  const std::int64_t milli = to_milli(rsrp_dbm);
+  const auto sq = static_cast<std::uint64_t>(milli * milli);
+  v->samples += 1;
+  v->rsrp_milli_sum += milli;
+  v->rsrp_milli_sq_sum += sq;
+  const double kbps = std::max(0.0, capacity_mbps) * 1000.0;
+  v->capacity_kbps_sum += static_cast<std::uint64_t>(std::llround(kbps));
+  if (ho_triggered) v->ho_triggers += 1;
+
+  auto it = std::lower_bound(
+      v->cells.begin(), v->cells.end(), serving_cell,
+      [](const CellStats& c, std::uint32_t id) { return c.cell_id < id; });
+  if (it == v->cells.end() || it->cell_id != serving_cell) {
+    it = v->cells.insert(it, CellStats{serving_cell, 0, 0, 0});
+  }
+  it->samples += 1;
+  it->rsrp_milli_sum += milli;
+  it->rsrp_milli_sq_sum += sq;
+}
+
+void RadioMap::observe_handover(const geo::Vec3& pos) {
+  if (VoxelStats* v = mutable_at(pos)) v->ho_triggers += 1;
+}
+
+void RadioMap::observe_rlf(const geo::Vec3& pos) {
+  if (VoxelStats* v = mutable_at(pos)) v->rlf_count += 1;
+}
+
+void RadioMap::observe_loss(const geo::Vec3& pos) {
+  if (VoxelStats* v = mutable_at(pos)) v->losses += 1;
+}
+
+void RadioMap::observe_stall(const geo::Vec3& pos, double duration_ms) {
+  if (VoxelStats* v = mutable_at(pos)) {
+    v->stall_us +=
+        static_cast<std::uint64_t>(std::llround(std::max(0.0, duration_ms) * 1000.0));
+  }
+}
+
+std::uint64_t RadioMap::total_samples() const {
+  std::uint64_t n = 0;
+  for (const auto& v : voxels_) n += v.samples;
+  return n;
+}
+
+std::uint64_t RadioMap::observed_voxels() const {
+  std::uint64_t n = 0;
+  for (const auto& v : voxels_) {
+    if (!v.empty()) ++n;
+  }
+  return n;
+}
+
+void RadioMap::merge(const RadioMap& other) {
+  if (!(spec_ == other.spec_)) {
+    throw std::invalid_argument("RadioMap::merge: grid spec mismatch");
+  }
+  for (std::size_t i = 0; i < voxels_.size(); ++i) {
+    VoxelStats& a = voxels_[i];
+    const VoxelStats& b = other.voxels_[i];
+    a.samples += b.samples;
+    a.rsrp_milli_sum += b.rsrp_milli_sum;
+    a.rsrp_milli_sq_sum += b.rsrp_milli_sq_sum;
+    a.capacity_kbps_sum += b.capacity_kbps_sum;
+    a.ho_triggers += b.ho_triggers;
+    a.rlf_count += b.rlf_count;
+    a.losses += b.losses;
+    a.stall_us += b.stall_us;
+    // Sorted set-union on cell id keeps the merged vector sorted, so the
+    // result is independent of merge order.
+    std::vector<CellStats> merged;
+    merged.reserve(a.cells.size() + b.cells.size());
+    std::size_t ia = 0, ib = 0;
+    while (ia < a.cells.size() || ib < b.cells.size()) {
+      if (ib == b.cells.size() ||
+          (ia < a.cells.size() && a.cells[ia].cell_id < b.cells[ib].cell_id)) {
+        merged.push_back(a.cells[ia++]);
+      } else if (ia == a.cells.size() ||
+                 b.cells[ib].cell_id < a.cells[ia].cell_id) {
+        merged.push_back(b.cells[ib++]);
+      } else {
+        CellStats c = a.cells[ia++];
+        const CellStats& d = b.cells[ib++];
+        c.samples += d.samples;
+        c.rsrp_milli_sum += d.rsrp_milli_sum;
+        c.rsrp_milli_sq_sum += d.rsrp_milli_sq_sum;
+        merged.push_back(c);
+      }
+    }
+    a.cells = std::move(merged);
+  }
+}
+
+json::Value RadioMap::to_json() const {
+  json::Value v = json::Value::object();
+  v.set("schema", std::int64_t{kRadioMapSchemaVersion});
+  json::Value spec = json::Value::object();
+  spec.set("origin_x", spec_.origin.x)
+      .set("origin_y", spec_.origin.y)
+      .set("origin_z", spec_.origin.z)
+      .set("voxel_xy_m", spec_.voxel_xy_m)
+      .set("voxel_z_m", spec_.voxel_z_m)
+      .set("nx", std::uint64_t{spec_.nx})
+      .set("ny", std::uint64_t{spec_.ny})
+      .set("nz", std::uint64_t{spec_.nz});
+  v.set("spec", std::move(spec));
+  json::Value voxels = json::Value::array();
+  for (std::uint32_t i = 0; i < voxels_.size(); ++i) {
+    const VoxelStats& s = voxels_[i];
+    if (s.empty()) continue;
+    json::Value o = json::Value::object();
+    o.set("i", std::uint64_t{i})
+        .set("samples", s.samples)
+        .set("rsrp_milli_sum", s.rsrp_milli_sum)
+        .set("rsrp_milli_sq_sum", s.rsrp_milli_sq_sum)
+        .set("capacity_kbps_sum", s.capacity_kbps_sum)
+        .set("ho_triggers", s.ho_triggers)
+        .set("rlf_count", s.rlf_count)
+        .set("losses", s.losses)
+        .set("stall_us", s.stall_us);
+    json::Value cells = json::Value::array();
+    for (const CellStats& c : s.cells) {
+      json::Value e = json::Value::object();
+      e.set("cell", std::uint64_t{c.cell_id})
+          .set("samples", c.samples)
+          .set("rsrp_milli_sum", c.rsrp_milli_sum)
+          .set("rsrp_milli_sq_sum", c.rsrp_milli_sq_sum);
+      cells.push_back(std::move(e));
+    }
+    o.set("cells", std::move(cells));
+    voxels.push_back(std::move(o));
+  }
+  v.set("voxels", std::move(voxels));
+  return v;
+}
+
+RadioMap radio_map_from_json(const json::Value& v) {
+  require(v.is_object(), "document must be an object");
+  require(field(v, "schema").as_i64() == kRadioMapSchemaVersion,
+          "unsupported schema version");
+  const json::Value& sp = field(v, "spec");
+  require(sp.is_object(), "spec must be an object");
+  GridSpec spec;
+  spec.origin.x = field(sp, "origin_x").as_double();
+  spec.origin.y = field(sp, "origin_y").as_double();
+  spec.origin.z = field(sp, "origin_z").as_double();
+  spec.voxel_xy_m = field(sp, "voxel_xy_m").as_double();
+  spec.voxel_z_m = field(sp, "voxel_z_m").as_double();
+  const std::uint64_t nx = field(sp, "nx").as_u64();
+  const std::uint64_t ny = field(sp, "ny").as_u64();
+  const std::uint64_t nz = field(sp, "nz").as_u64();
+  require(nx > 0 && ny > 0 && nz > 0, "grid axes must be positive");
+  require(nx * ny * nz <= (1u << 24), "grid too large");
+  require(std::isfinite(spec.voxel_xy_m) && std::isfinite(spec.voxel_z_m) &&
+              spec.voxel_xy_m > 0.0 && spec.voxel_z_m > 0.0,
+          "voxel size must be positive and finite");
+  spec.nx = static_cast<std::uint32_t>(nx);
+  spec.ny = static_cast<std::uint32_t>(ny);
+  spec.nz = static_cast<std::uint32_t>(nz);
+
+  RadioMap map{spec};
+  std::vector<VoxelStats> voxels(spec.voxel_count());
+  const json::Value& vx = field(v, "voxels");
+  require(vx.is_array(), "voxels must be an array");
+  std::int64_t prev_index = -1;
+  for (const json::Value& o : vx.items()) {
+    require(o.is_object(), "voxel entry must be an object");
+    const std::uint64_t i = field(o, "i").as_u64();
+    require(i < voxels.size(), "voxel index out of range");
+    require(static_cast<std::int64_t>(i) > prev_index,
+            "voxels must be sorted by index");
+    prev_index = static_cast<std::int64_t>(i);
+    VoxelStats& s = voxels[i];
+    s.samples = field(o, "samples").as_u64();
+    s.rsrp_milli_sum = field(o, "rsrp_milli_sum").as_i64();
+    s.rsrp_milli_sq_sum = field(o, "rsrp_milli_sq_sum").as_u64();
+    s.capacity_kbps_sum = field(o, "capacity_kbps_sum").as_u64();
+    s.ho_triggers = field(o, "ho_triggers").as_u64();
+    s.rlf_count = field(o, "rlf_count").as_u64();
+    s.losses = field(o, "losses").as_u64();
+    s.stall_us = field(o, "stall_us").as_u64();
+    const json::Value& cells = field(o, "cells");
+    require(cells.is_array(), "cells must be an array");
+    std::int64_t prev_cell = -1;
+    for (const json::Value& e : cells.items()) {
+      require(e.is_object(), "cell entry must be an object");
+      CellStats c;
+      const std::uint64_t id = field(e, "cell").as_u64();
+      require(id <= 0xFFFFFFFFull, "cell id out of range");
+      require(static_cast<std::int64_t>(id) > prev_cell,
+              "cells must be sorted by id");
+      prev_cell = static_cast<std::int64_t>(id);
+      c.cell_id = static_cast<std::uint32_t>(id);
+      c.samples = field(e, "samples").as_u64();
+      c.rsrp_milli_sum = field(e, "rsrp_milli_sum").as_i64();
+      c.rsrp_milli_sq_sum = field(e, "rsrp_milli_sq_sum").as_u64();
+      s.cells.push_back(c);
+    }
+    require(!s.empty(), "voxel entry must be non-empty");
+  }
+  map.voxels_ = std::move(voxels);
+  return map;
+}
+
+RadioMap radio_map_from_bytes(std::string_view text) {
+  return radio_map_from_json(json::parse(text));
+}
+
+}  // namespace rpv::radiomap

@@ -1,0 +1,34 @@
+#include "radiomap/survey.hpp"
+
+namespace rpv::radiomap {
+
+geo::Trajectory make_survey_trajectory(const GridSpec& spec,
+                                       const SurveyConfig& cfg) {
+  const double spacing =
+      cfg.row_spacing_m > 0.0 ? cfg.row_spacing_m : spec.voxel_xy_m;
+  const double x_lo = spec.origin.x + 0.5 * spec.voxel_xy_m;
+  const double x_hi =
+      spec.origin.x + (static_cast<double>(spec.nx) - 0.5) * spec.voxel_xy_m;
+  const double y_lo = spec.origin.y + 0.5 * spec.voxel_xy_m;
+  const double y_hi =
+      spec.origin.y + (static_cast<double>(spec.ny) - 0.5) * spec.voxel_xy_m;
+
+  geo::Trajectory t;
+  t.move_to({x_lo, y_lo, 0.0}, cfg.speed_mps);
+  bool left_to_right = true;
+  for (const double alt : cfg.altitudes_m) {
+    // Climb in place to the next altitude layer, then mow the extent.
+    geo::Vec3 here = t.waypoints().back().pos;
+    t.move_to({here.x, here.y, alt}, cfg.climb_speed_mps);
+    for (double y = y_lo; y <= y_hi + 1e-9; y += spacing) {
+      const double x_from = left_to_right ? x_lo : x_hi;
+      const double x_to = left_to_right ? x_hi : x_lo;
+      t.move_to({x_from, y, alt}, cfg.speed_mps);
+      t.move_to({x_to, y, alt}, cfg.speed_mps);
+      left_to_right = !left_to_right;
+    }
+  }
+  return t;
+}
+
+}  // namespace rpv::radiomap

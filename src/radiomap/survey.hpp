@@ -1,0 +1,30 @@
+// Warm-up survey sweep: a deterministic boustrophedon (lawnmower) flight
+// covering a GridSpec's extent at a ladder of altitudes, so a few warm-up
+// flights populate every altitude layer the planner will later score —
+// including layers the operational mission itself never visits.
+#pragma once
+
+#include <vector>
+
+#include "geo/trajectory.hpp"
+#include "radiomap/grid.hpp"
+
+namespace rpv::radiomap {
+
+struct SurveyConfig {
+  // Altitude ladder flown bottom-up; each entry is one full lawnmower pass.
+  std::vector<double> altitudes_m = {30.0, 60.0, 90.0, 120.0};
+  double speed_mps = 18.0;
+  // Spacing between adjacent lawnmower rows; defaults to the voxel edge so
+  // every horizontal voxel column is visited.
+  double row_spacing_m = 0.0;  // 0 -> spec.voxel_xy_m
+  double climb_speed_mps = 4.0;
+};
+
+// Build the survey trajectory over `spec`'s horizontal extent. Starts at the
+// grid's minimum corner at the first altitude; rows run along x, alternating
+// direction. Purely geometric and RNG-free.
+[[nodiscard]] geo::Trajectory make_survey_trajectory(const GridSpec& spec,
+                                                     const SurveyConfig& cfg = {});
+
+}  // namespace rpv::radiomap

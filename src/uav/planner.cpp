@@ -1,0 +1,114 @@
+#include "uav/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpv::uav {
+namespace {
+
+// A candidate transform of the mission profile: cap altitude, shift east.
+struct Candidate {
+  double alt_cap_m = 0.0;  // 0 = uncapped
+  double dx_m = 0.0;
+};
+
+geo::Trajectory transform(const geo::Trajectory& mission, const Candidate& c) {
+  std::vector<geo::Waypoint> pts = mission.waypoints();
+  for (auto& wp : pts) {
+    if (c.alt_cap_m > 0.0) wp.pos.z = std::min(wp.pos.z, c.alt_cap_m);
+    wp.pos.x += c.dx_m;
+  }
+  return geo::Trajectory{std::move(pts)};
+}
+
+double sample_cost_ms(const radiomap::RadioMap& map, const geo::Vec3& pos,
+                      double ticks, const PlannerConfig& cfg) {
+  const radiomap::VoxelStats* v = map.at(pos);
+  if (v == nullptr || v->samples == 0) return ticks * cfg.unknown_voxel_cost_ms * cfg.tick_s;
+  double per_tick = v->stall_ms_per_tick();
+  per_tick += cfg.ho_penalty_ms * v->ho_risk();
+  per_tick += cfg.rlf_penalty_ms * v->rlf_risk();
+  per_tick += cfg.loss_penalty_ms * v->loss_per_tick();
+  const double cap = v->mean_capacity_mbps();
+  if (cap < cfg.min_capacity_mbps) {
+    per_tick += cfg.capacity_penalty_ms_per_mbps * (cfg.min_capacity_mbps - cap) *
+                cfg.tick_s;
+  }
+  return ticks * per_tick;
+}
+
+}  // namespace
+
+double predicted_stall_ms(const geo::Trajectory& path,
+                          const radiomap::RadioMap& map,
+                          const PlannerConfig& cfg) {
+  if (path.empty()) return 0.0;
+  const double ticks_per_sample = cfg.sample_interval_s / cfg.tick_s;
+  double total = 0.0;
+  const sim::TimePoint start = path.start();
+  const sim::TimePoint end = path.end();
+  for (sim::TimePoint t = start; t <= end;
+       t = t + sim::Duration::seconds(cfg.sample_interval_s)) {
+    total += sample_cost_ms(map, path.position(t), ticks_per_sample, cfg);
+  }
+  return total;
+}
+
+PlanResult plan_trajectory(const geo::Trajectory& mission,
+                           const radiomap::RadioMap& map,
+                           const PlannerConfig& cfg) {
+  PlanResult r;
+  r.trajectory = mission;
+  if (mission.empty()) return r;
+
+  std::vector<Candidate> candidates;
+  candidates.push_back({});  // identity first: ties keep the mission
+  for (const double cap : cfg.altitude_caps_m) {
+    candidates.push_back({cap, 0.0});
+    for (const double dx : cfg.lateral_offsets_m) {
+      if (dx != 0.0) candidates.push_back({cap, dx});
+    }
+  }
+
+  const double ticks_per_sample = cfg.sample_interval_s / cfg.tick_s;
+  double best_cost = 0.0;
+  for (std::uint32_t i = 0; i < candidates.size(); ++i) {
+    const geo::Trajectory path = transform(mission, candidates[i]);
+    double stall_ms = 0.0;
+    double deviation_integral_m = 0.0;
+    std::uint64_t samples = 0;
+    const sim::TimePoint start = path.start();
+    const sim::TimePoint end = path.end();
+    for (sim::TimePoint t = start; t <= end;
+         t = t + sim::Duration::seconds(cfg.sample_interval_s)) {
+      const geo::Vec3 pos = path.position(t);
+      stall_ms += sample_cost_ms(map, pos, ticks_per_sample, cfg);
+      deviation_integral_m += geo::distance(mission.position(t), pos);
+      ++samples;
+    }
+    const double deviation_cost =
+        deviation_integral_m * cfg.deviation_cost_per_m;
+    const double cost = stall_ms + deviation_cost;
+    if (i == 0) {
+      r.direct_cost_ms = cost;
+      r.predicted_stall_ms_direct = stall_ms;
+      best_cost = cost;
+      r.selected_cost_ms = cost;
+      r.predicted_stall_ms_selected = stall_ms;
+    } else if (cost < best_cost) {
+      best_cost = cost;
+      r.selected = i;
+      r.selected_cost_ms = cost;
+      r.predicted_stall_ms_selected = stall_ms;
+      r.deviation_m =
+          samples == 0 ? 0.0
+                       : deviation_integral_m / static_cast<double>(samples);
+      r.trajectory = path;
+    }
+  }
+  r.candidates = static_cast<std::uint32_t>(candidates.size());
+  r.replanned = r.selected != 0;
+  return r;
+}
+
+}  // namespace rpv::uav

@@ -1,0 +1,79 @@
+// rpv::uav — connectivity-aware trajectory planning over a RadioMap.
+//
+// The paper ties stalls and latency spikes to *where* the UAV flies: urban
+// packet loss above ~80 m (§4.2.1), HO churn at cell edges and altitude.
+// Given a warm radio map, the planner closes that loop: it generates a
+// deterministic family of candidate trajectories from the mission profile
+// (altitude caps, lateral offsets), integrates each candidate's predicted
+// stall cost through the map, trades it against mission deviation, and
+// emits the cheapest as a geo::Trajectory.
+//
+// Candidate 0 is always the unmodified mission; with no map evidence every
+// candidate scores the same mission-deviation-only cost and the tie breaks
+// to candidate 0, so planning with a cold map is the identity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/trajectory.hpp"
+#include "radiomap/radio_map.hpp"
+
+namespace rpv::uav {
+
+struct PlannerConfig {
+  // Altitude caps tried as candidates (on top of the identity candidate).
+  std::vector<double> altitude_caps_m = {100.0, 80.0, 60.0, 40.0};
+  // Lateral (east) shifts tried at each cap, metres. 0 is always included.
+  std::vector<double> lateral_offsets_m = {};
+  // Sampling step when integrating a candidate through the map.
+  double sample_interval_s = 1.0;
+  // Measurement-tick length the per-voxel rates are normalized to (the
+  // modem's RRC tick in the simulator).
+  double tick_s = 0.1;
+  // Expected stall cost charged per HO trigger / RLF / radio loss the map
+  // predicts along the path (ms). HO execution times in the campaign run
+  // ~50-250 ms; an RLF costs an RRC re-establishment.
+  double ho_penalty_ms = 120.0;
+  double rlf_penalty_ms = 1200.0;
+  double loss_penalty_ms = 4.0;
+  // Capacity deficit: below this floor the encoder starves; each sampled
+  // second under the floor charges a deficit-proportional cost.
+  double min_capacity_mbps = 4.0;
+  double capacity_penalty_ms_per_mbps = 20.0;
+  // Unvisited voxels charge a small optimism-damping prior per sample.
+  double unknown_voxel_cost_ms = 5.0;
+  // Mission-deviation price: ms of stall-equivalent cost per metre of
+  // displacement between the mission point and the candidate point,
+  // integrated per sampled second. Keeps the planner from flattening the
+  // mission to the ground for a marginal link win, while letting a ~30%
+  // predicted-stall cut (the urban >80 m loss band) pay for a 40 m altitude
+  // cap over a third of the flight.
+  double deviation_cost_per_m = 0.3;
+};
+
+struct PlanResult {
+  geo::Trajectory trajectory;       // selected (replanned or identity) path
+  std::uint32_t candidates = 0;     // candidates evaluated
+  std::uint32_t selected = 0;       // index of the winner (0 = identity)
+  bool replanned = false;           // selected != identity
+  double direct_cost_ms = 0.0;      // total cost of the identity candidate
+  double selected_cost_ms = 0.0;    // total cost of the winner
+  double predicted_stall_ms_direct = 0.0;    // map-predicted stall, identity
+  double predicted_stall_ms_selected = 0.0;  // map-predicted stall, winner
+  double deviation_m = 0.0;  // mean displacement winner vs mission
+};
+
+// Score the mission and its candidates through `map` and return the best.
+// Deterministic and RNG-free: same mission + same map -> same plan.
+[[nodiscard]] PlanResult plan_trajectory(const geo::Trajectory& mission,
+                                         const radiomap::RadioMap& map,
+                                         const PlannerConfig& cfg = {});
+
+// Map-predicted stall cost (ms) of flying `path`, the scoring primitive
+// plan_trajectory minimizes; exposed for tests and the bench.
+[[nodiscard]] double predicted_stall_ms(const geo::Trajectory& path,
+                                        const radiomap::RadioMap& map,
+                                        const PlannerConfig& cfg = {});
+
+}  // namespace rpv::uav

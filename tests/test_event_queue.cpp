@@ -226,6 +226,79 @@ TEST(EventQueue, InterleavedPopAndScheduleAcrossWindows) {
   EXPECT_EQ(fired, 50);
 }
 
+TEST(EventQueue, OverflowDrainAcrossHorizonsSkipsTombstoneHeads) {
+  // Regression for the rebase path at wheel drain: when the window rebases
+  // onto the overflow heap, cancelled entries at the heap's head must be
+  // discarded *before* the new base granule is chosen. Build five full wheel
+  // windows beyond the first where a run of tombstones heads the overflow
+  // heap at every rebase — and one window that is cancelled wholesale, so a
+  // single rebase has to skip an entire dead horizon — then drain with
+  // pop_until() limits pinned exactly to the horizon boundaries.
+  constexpr std::int64_t kWindowUs = 1024 * 256;  // buckets x granule
+  EventQueue q;
+  std::vector<std::int64_t> order;
+  std::vector<std::int64_t> expected;
+  std::vector<EventQueue::Handle> doomed;
+
+  const auto live = [&](std::int64_t t) {
+    q.schedule(TimePoint::from_us(t), [&order, t] { order.push_back(t); });
+    expected.push_back(t);
+  };
+  const auto dead = [&](std::int64_t t) {
+    doomed.push_back(q.schedule(TimePoint::from_us(t), [] {
+      ADD_FAILURE() << "cancelled event fired";
+    }));
+  };
+
+  // Window 0 lives in the wheel; windows 1..5 go through the overflow heap.
+  live(100);
+  live(kWindowUs - 1);
+  for (int w = 1; w <= 5; ++w) {
+    const std::int64_t base = w * kWindowUs;
+    dead(base);  // scheduled before live(base): same timestamp, lower seq
+    dead(base + 7);
+    dead(base + 300);
+    if (w == 3) {
+      // Entire horizon cancelled: the rebase out of window 2 must pop five
+      // consecutive tombstones and anchor directly on window 4.
+      dead(base + 50'000);
+      dead(base + 200'000);
+    } else {
+      live(base);  // live event dead-on the horizon boundary
+      live(base + 50'000);
+      live(base + 200'000);
+    }
+  }
+  for (const auto h : doomed) EXPECT_TRUE(q.cancel(h));
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(q.size(), expected.size());
+
+  // pop_until()'s limit is inclusive: the live event sitting exactly on each
+  // boundary pops in that round even though a cancelled tombstone with the
+  // same timestamp (and lower seq) heads the overflow heap.
+  TimePoint at;
+  EventFn fn;
+  std::size_t idx = 0;
+  for (int w = 1; w <= 6; ++w) {
+    const auto limit = TimePoint::from_us(w * kWindowUs);
+    while (q.pop_until(limit, &at, &fn)) {
+      EXPECT_LE(at.us(), limit.us());
+      fn();
+    }
+    while (idx < expected.size() && expected[idx] <= limit.us()) ++idx;
+    ASSERT_EQ(order.size(), idx) << "wrong pop count at horizon " << w;
+    // Peeking across the boundary forces the rebase (tombstone heads and,
+    // after window 2, the fully dead horizon) before the next round pops.
+    if (idx < expected.size()) {
+      EXPECT_EQ(q.next_time().us(), expected[idx]);
+    } else {
+      EXPECT_TRUE(q.next_time().is_never());
+    }
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(order, expected);
+}
+
 // --- EventQueue: cancellation and handle safety ---
 
 TEST(EventQueue, CancelMakesPopSkipTombstone) {

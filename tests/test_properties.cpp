@@ -6,6 +6,7 @@
 #include "cc/scream/scream_controller.hpp"
 #include "cellular/link_queue.hpp"
 #include "cellular/loss_model.hpp"
+#include "radiomap/radio_map.hpp"
 #include "rtp/jitter_buffer.hpp"
 #include "rtp/packetizer.hpp"
 #include "rtp/sequence.hpp"
@@ -257,6 +258,171 @@ TEST_P(JitterBufferFuzz, ReleasesMonotoneInFrameId) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JitterBufferFuzz,
                          ::testing::Values(301, 302, 303, 304, 305, 306));
+
+// --- RadioMap merge algebra under randomized observation streams ---
+
+namespace {
+
+radiomap::GridSpec random_spec(sim::Rng& rng) {
+  radiomap::GridSpec spec;
+  spec.origin = {rng.uniform(-500.0, 500.0), rng.uniform(-500.0, 500.0),
+                 rng.uniform(-20.0, 20.0)};
+  spec.voxel_xy_m = rng.uniform(5.0, 120.0);
+  spec.voxel_z_m = rng.uniform(5.0, 60.0);
+  spec.nx = static_cast<std::uint32_t>(rng.uniform_int(1, 8));
+  spec.ny = static_cast<std::uint32_t>(rng.uniform_int(1, 8));
+  spec.nz = static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+  return spec;
+}
+
+// One random observation applied to a map; the same rng stream applied to
+// two maps produces identical mutations.
+void random_observation(radiomap::RadioMap& map, const radiomap::GridSpec& spec,
+                        sim::Rng& rng) {
+  // Mostly in-extent points, occasionally outside (must be dropped).
+  const geo::Vec3 p{
+      spec.origin.x + rng.uniform(-0.2, 1.2) * spec.voxel_xy_m * spec.nx,
+      spec.origin.y + rng.uniform(-0.2, 1.2) * spec.voxel_xy_m * spec.ny,
+      spec.origin.z + rng.uniform(-0.2, 1.2) * spec.voxel_z_m * spec.nz};
+  switch (rng.uniform_int(0, 4)) {
+    case 0:
+    case 1:
+      map.observe_measurement(p, static_cast<std::uint32_t>(rng.uniform_int(1, 6)),
+                              rng.uniform(-120.0, -60.0), rng.uniform(0.0, 40.0),
+                              rng.chance(0.1));
+      break;
+    case 2: map.observe_rlf(p); break;
+    case 3: map.observe_loss(p); break;
+    default: map.observe_stall(p, rng.uniform(0.0, 500.0)); break;
+  }
+}
+
+radiomap::RadioMap random_map(const radiomap::GridSpec& spec, sim::Rng& rng,
+                              int observations) {
+  radiomap::RadioMap map{spec};
+  for (int i = 0; i < observations; ++i) random_observation(map, spec, rng);
+  return map;
+}
+
+}  // namespace
+
+class RadioMapMergeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RadioMapMergeFuzz, MergeIsCommutativeAssociativeAndOrderFree) {
+  sim::Rng rng{GetParam()};
+  const auto spec = random_spec(rng);
+  const auto a = random_map(spec, rng, 200);
+  const auto b = random_map(spec, rng, 150);
+  const auto c = random_map(spec, rng, 100);
+
+  // Commutative: a+b == b+a.
+  auto ab = a;
+  ab.merge(b);
+  auto ba = b;
+  ba.merge(a);
+  EXPECT_TRUE(ab == ba);
+  EXPECT_EQ(ab.canonical_bytes(), ba.canonical_bytes());
+
+  // Associative: (a+b)+c == a+(b+c).
+  auto ab_c = ab;
+  ab_c.merge(c);
+  auto bc = b;
+  bc.merge(c);
+  auto a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_TRUE(ab_c == a_bc);
+  EXPECT_EQ(ab_c.canonical_bytes(), a_bc.canonical_bytes());
+
+  // Any fold order over shards gives the shard-merge bytes (the fleet
+  // j1-vs-j8 invariant in miniature).
+  auto cba = c;
+  cba.merge(b);
+  cba.merge(a);
+  EXPECT_EQ(ab_c.canonical_bytes(), cba.canonical_bytes());
+
+  // Merging an empty map is the identity.
+  auto with_empty = ab_c;
+  with_empty.merge(radiomap::RadioMap{spec});
+  EXPECT_TRUE(with_empty == ab_c);
+
+  // Interleaved single-stream accumulation equals split-and-merge: replay
+  // the identical observation stream into one map vs. two alternating maps.
+  sim::Rng replay_a{GetParam() + 17};
+  sim::Rng replay_b{GetParam() + 17};
+  radiomap::RadioMap whole{spec};
+  radiomap::RadioMap even{spec}, odd{spec};
+  for (int i = 0; i < 300; ++i) random_observation(whole, spec, replay_a);
+  for (int i = 0; i < 300; ++i) {
+    random_observation(i % 2 == 0 ? even : odd, spec, replay_b);
+  }
+  even.merge(odd);
+  EXPECT_TRUE(whole == even);
+  EXPECT_EQ(whole.canonical_bytes(), even.canonical_bytes());
+
+  // And the canonical bytes round-trip exactly through the strict loader.
+  EXPECT_EQ(radiomap::radio_map_from_bytes(whole.canonical_bytes())
+                .canonical_bytes(),
+            whole.canonical_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RadioMapMergeFuzz,
+                         ::testing::Values(401, 402, 403, 404, 405, 406, 407,
+                                           408));
+
+// --- Grid quantization round-trip for randomized extents/resolutions ---
+
+class RadioMapQuantizeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RadioMapQuantizeFuzz, QuantizeIndexCenterNeverLeavesTheVoxel) {
+  sim::Rng rng{GetParam()};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto spec = random_spec(rng);
+    for (int i = 0; i < 200; ++i) {
+      const geo::Vec3 p{
+          spec.origin.x + rng.uniform(-0.5, 1.5) * spec.voxel_xy_m * spec.nx,
+          spec.origin.y + rng.uniform(-0.5, 1.5) * spec.voxel_xy_m * spec.ny,
+          spec.origin.z + rng.uniform(-0.5, 1.5) * spec.voxel_z_m * spec.nz};
+      const auto idx = spec.index_of(p);
+      const bool inside =
+          p.x >= spec.origin.x &&
+          p.x < spec.origin.x + spec.voxel_xy_m * spec.nx &&
+          p.y >= spec.origin.y &&
+          p.y < spec.origin.y + spec.voxel_xy_m * spec.ny &&
+          p.z >= spec.origin.z && p.z < spec.origin.z + spec.voxel_z_m * spec.nz;
+      if (!idx.has_value()) {
+        // index_of may reject boundary points the naive float test admits
+        // (accumulated division error), but never interior ones.
+        if (inside) {
+          const double fx = (p.x - spec.origin.x) / spec.voxel_xy_m;
+          const double fy = (p.y - spec.origin.y) / spec.voxel_xy_m;
+          const double fz = (p.z - spec.origin.z) / spec.voxel_z_m;
+          ADD_FAILURE() << "in-extent point rejected: fx=" << fx
+                        << " fy=" << fy << " fz=" << fz;
+        }
+        continue;
+      }
+      ASSERT_LT(*idx, spec.voxel_count());
+      // The center maps back to the same voxel...
+      EXPECT_EQ(spec.index_of(spec.center_of(*idx)).value(), *idx);
+      // ...and the point lies inside [voxel_min, voxel_max).
+      const auto lo = spec.voxel_min(*idx);
+      const auto hi = spec.voxel_max(*idx);
+      EXPECT_GE(p.x, lo.x);
+      EXPECT_LT(p.x, hi.x + 1e-9);
+      EXPECT_GE(p.y, lo.y);
+      EXPECT_LT(p.y, hi.y + 1e-9);
+      EXPECT_GE(p.z, lo.z);
+      EXPECT_LT(p.z, hi.z + 1e-9);
+      // Axis decomposition is consistent with the linear layout.
+      EXPECT_EQ((spec.z_of(*idx) * spec.ny + spec.y_of(*idx)) * spec.nx +
+                    spec.x_of(*idx),
+                *idx);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RadioMapQuantizeFuzz,
+                         ::testing::Values(501, 502, 503, 504, 505, 506));
 
 }  // namespace
 }  // namespace rpv

@@ -19,6 +19,10 @@
 //              x {failover, bond-bal, bond-hr} under rlf-storm
 //   fleet      shared-cell multi-UAV sweep: size x {urban, rural-p1}; one
 //              FleetEngine run per cell, streaming-merged fleet reports
+//   plan       radio-map planning study: a warm-up survey map per
+//              environment, then {reactive, proactive, planned} x
+//              {urban, rural-p1} with the map attached; with --out the maps
+//              are stored as campaign artifacts (maps/<env>.map.json)
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -30,6 +34,7 @@
 #include "exec/campaign_engine.hpp"
 #include "exec/run_artifact.hpp"
 #include "exec/thread_pool.hpp"
+#include "experiment/mapping.hpp"
 #include "fleet/fleet_engine.hpp"
 #include "metrics/cdf.hpp"
 #include "metrics/text_table.hpp"
@@ -161,7 +166,10 @@ void print_usage() {
          "  --env E         collapse the environment axis (urban, rural-p1,\n"
          "                  rural-p2)\n"
          "  --horizon SEC   mission length per UAV (default 60)\n"
-         "  with --out, each cell writes DIR/<name>/fleet_<label>.json\n";
+         "  with --out, each cell writes DIR/<name>/fleet_<label>.json\n"
+         "plan grid: builds a warm-up survey radio map per environment, then\n"
+         "  runs {reactive, proactive, planned} x {urban, rural-p1} with the\n"
+         "  map attached; with --out, maps land in DIR/<name>/maps/\n";
 }
 
 experiment::Environment parse_env_name(const std::string& name) {
@@ -234,6 +242,78 @@ int run_fleet_grid(const FleetOptions& opt) {
             << exec::resolve_jobs(opt.jobs) << " worker(s)\n\n";
   std::cout << table.render();
   if (dir) std::cout << "\nfleet reports written to " << dir->string() << "\n";
+  return 0;
+}
+
+struct PlanOptions {
+  int runs = 5;
+  std::uint64_t seed = 1000;
+  int jobs = 0;
+  std::optional<std::string> out_dir;
+  std::optional<std::string> name;
+  bool observe = false;
+};
+
+void print_summary(const std::vector<exec::GridCellResult>& cells);
+
+// The radio-map planning study. Unlike the static named grids, each
+// environment first flies warm-up survey sweeps to build its map, then the
+// policy cells {reactive, proactive, planned} run with that map attached
+// (the predictor prior reads it on every policy except reactive; the planner
+// only under planned).
+int run_plan_grid(const PlanOptions& opt) {
+  const std::vector<experiment::Environment> envs = {
+      experiment::Environment::kUrban, experiment::Environment::kRuralP1};
+  const auto spec = experiment::default_map_spec();
+
+  std::vector<exec::GridCell> cells;
+  std::vector<std::pair<std::string, std::shared_ptr<const radiomap::RadioMap>>>
+      maps;
+  for (const auto env : envs) {
+    experiment::Scenario base;
+    base.env = env;
+    base.seed = opt.seed;
+    base.observe = opt.observe;
+    auto map = std::make_shared<radiomap::RadioMap>(
+        experiment::build_radio_map(base, spec));
+    std::cout << "warm-up map (" << experiment::environment_name(env)
+              << "): " << map->observed_voxels() << " voxels, "
+              << map->total_samples() << " samples\n";
+    maps.emplace_back(experiment::environment_name(env), map);
+    base.radio_map = map;
+    exec::GridAxes axes;
+    axes.policies = {experiment::Policy::kReactive,
+                     experiment::Policy::kProactive,
+                     experiment::Policy::kPlanned};
+    auto env_cells = exec::expand_grid(axes, base);
+    cells.insert(cells.end(), std::make_move_iterator(env_cells.begin()),
+                 std::make_move_iterator(env_cells.end()));
+  }
+
+  const exec::CampaignEngine engine{{.jobs = opt.jobs}};
+  std::cout << "grid 'plan': " << cells.size() << " cells x " << opt.runs
+            << " runs on " << engine.jobs() << " worker(s)\n";
+  const auto result = engine.run_grid(cells, opt.runs, opt.seed);
+  std::cout << "simulated "
+            << cells.size() * static_cast<std::size_t>(opt.runs) << " runs in "
+            << metrics::TextTable::num(result.wall_seconds, 1) << " s\n\n";
+  print_summary(result.cells);
+
+  if (opt.out_dir) {
+    exec::CampaignManifest manifest;
+    manifest.name = opt.name.value_or("plan");
+    manifest.git_describe = exec::current_git_describe();
+    manifest.runs_per_cell = opt.runs;
+    manifest.jobs = result.jobs;
+    manifest.wall_seconds = result.wall_seconds;
+    const exec::RunArtifactStore store{*opt.out_dir};
+    const auto dir = store.write_campaign(manifest, result);
+    for (const auto& [env_name, map] : maps) {
+      store.write_radio_map(manifest.name, env_name, *map);
+    }
+    std::cout << "\nartifacts written to " << dir.string()
+              << " (including maps/<env>.map.json)\n";
+  }
   return 0;
 }
 
@@ -327,6 +407,9 @@ int main(int argc, char** argv) {
                     << " fleet cells)\tshared-cell multi-UAV sweep: "
                        "{16, 64} UAVs x {urban, rural-p1}\n";
         }
+        std::cout << "  plan\t(6 scenarios)\tradio-map planning study: "
+                     "{reactive, proactive, planned} x {urban, rural-p1} "
+                     "with warm-up survey maps\n";
         return 0;
       } else if (arg == "--help" || arg == "-h") {
         print_usage();
@@ -366,6 +449,21 @@ int main(int argc, char** argv) {
   if (grid_name.empty()) {
     print_usage();
     return 2;
+  }
+  if (grid_name == "plan") {
+    PlanOptions opt;
+    opt.runs = runs;
+    opt.seed = seed;
+    opt.jobs = jobs;
+    opt.out_dir = out_dir;
+    opt.name = campaign_name;
+    opt.observe = observe;
+    try {
+      return run_plan_grid(opt);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
   }
   if (grid_name == "fleet") {
     FleetOptions opt;
